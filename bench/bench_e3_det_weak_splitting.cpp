@@ -1,0 +1,99 @@
+// E3 — Theorem 2.5 (main deterministic result): weak splitting in
+// O(r/δ·log²n + log³n·(log log n)^1.1) rounds for δ >= 2 log n.
+//
+// Two sweeps:
+//   (a) fixed r/δ, growing n — total rounds should grow polylogarithmically
+//       (we fit rounds against log³n·(loglog n)^1.1 and report the ratio);
+//   (b) fixed n, growing r/δ — rounds should grow linearly in r/δ.
+// Shape checks: all outputs valid; in sweep (b) rounds are monotone in r/δ
+// and the normalized cost rounds/(r/δ) stays within a constant band.
+
+#include <cmath>
+#include <iostream>
+
+#include "graph/generators.hpp"
+#include "splitting/deterministic.hpp"
+#include "support/options.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+using namespace ds;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  Rng rng(opts.seed());
+  bool ok = true;
+
+  std::cout << "E3 — Theorem 2.5: deterministic weak splitting\n";
+  {
+    Table table({"n", "delta", "r", "r/delta", "rounds", "log^3n*(llogn)^1.1",
+                 "rounds/shape"});
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (std::size_t scale : {1, 2, 4, 8, 16}) {
+      const std::size_t nu = 48 * scale;
+      const std::size_t nv = 96 * scale;
+      const std::size_t delta = 24 + 4 * scale;  // stays >= 2 log n
+      const auto b = graph::gen::random_biregular(nu, nv, delta, rng);
+      local::CostMeter meter;
+      const auto colors = splitting::deterministic_weak_split(b, rng, &meter);
+      ok = ok && splitting::is_weak_splitting(b, colors);
+      const double n = static_cast<double>(b.num_nodes());
+      const double shape = std::pow(std::log2(n), 3.0) *
+                           std::pow(std::log2(std::log2(n)), 1.1);
+      table.row()
+          .num(b.num_nodes())
+          .num(delta)
+          .num(b.rank())
+          .num(static_cast<double>(b.rank()) / delta, 2)
+          .num(meter.total_rounds(), 0)
+          .num(shape, 0)
+          .num(meter.total_rounds() / shape, 3);
+      xs.push_back(std::log2(n));
+      ys.push_back(std::log2(meter.total_rounds()));
+    }
+    std::cout << "(a) growing n at near-constant r/delta\n";
+    table.print(std::cout);
+    const LinearFit fit = fit_line(xs, ys);
+    std::cout << "log-log slope of rounds vs n: " << format_double(fit.slope, 2)
+              << " (polylog expected: slope << 1 asymptotically; "
+              << "sub-linear required)\n";
+    ok = ok && fit.slope < 0.9;
+  }
+  {
+    Table table({"r/delta", "delta", "r", "rounds", "rounds/(r/delta)"});
+    Summary normalized;
+    double previous = 0.0;
+    bool monotone = true;
+    for (std::size_t ratio : {1, 2, 4, 8, 16}) {
+      const std::size_t delta = 32;
+      // rank ~ nu*delta/nv: grow nu at fixed nv = 2*delta to hit the
+      // target r/delta ratio while keeping the instance simple (delta <= nv).
+      const std::size_t nv = 64;
+      const std::size_t nu = 64 * ratio;
+      const auto b = graph::gen::random_biregular(nu, nv, delta, rng);
+      local::CostMeter meter;
+      const auto colors = splitting::deterministic_weak_split(b, rng, &meter);
+      ok = ok && splitting::is_weak_splitting(b, colors);
+      const double rd = static_cast<double>(b.rank()) / delta;
+      table.row()
+          .num(rd, 2)
+          .num(delta)
+          .num(b.rank())
+          .num(meter.total_rounds(), 0)
+          .num(meter.total_rounds() / std::max(1.0, rd), 0);
+      normalized.add(meter.total_rounds() / std::max(1.0, rd));
+      monotone = monotone && meter.total_rounds() >= previous * 0.8;
+      previous = meter.total_rounds();
+    }
+    std::cout << "(b) growing r/delta at fixed n\n";
+    table.print(std::cout);
+    ok = ok && monotone;
+    ok = ok && normalized.max() < 10.0 * normalized.min();
+    std::cout << "normalized cost band: [" << format_double(normalized.min(), 0)
+              << ", " << format_double(normalized.max(), 0) << "]\n";
+  }
+  std::cout << (ok ? "SHAPE CHECK: PASS" : "SHAPE CHECK: FAIL")
+            << " (valid outputs; polylog growth in n; ~linear in r/δ)\n";
+  return ok ? 0 : 1;
+}

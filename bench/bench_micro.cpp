@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) of the hot substrate operations:
+// Euler partition, power-graph coloring, derandomization throughput,
+// verifier throughput, and instance generation.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "coloring/distance_coloring.hpp"
+#include "derand/engine.hpp"
+#include "derand/events.hpp"
+#include "graph/generators.hpp"
+#include "mis/mis.hpp"
+#include "netdecomp/decomposition.hpp"
+#include "orient/euler.hpp"
+#include "graph/properties.hpp"
+#include "local/ids.hpp"
+#include "orient/euler.hpp"
+#include "splitting/trivial_random.hpp"
+#include "splitting/weak_splitting.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ds;
+
+graph::Multigraph make_multigraph(std::size_t n, std::size_t m) {
+  Rng rng(n + m);
+  graph::Multigraph g(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    g.add_edge(static_cast<graph::NodeId>(rng.next_index(n)),
+               static_cast<graph::NodeId>(rng.next_index(n)));
+  }
+  return g;
+}
+
+void BM_EulerOrientation(benchmark::State& state) {
+  const auto g = make_multigraph(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(4 * state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orient::euler_orientation(g));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_EulerOrientation)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_PowerColoringB2(benchmark::State& state) {
+  Rng rng(1);
+  const auto b = graph::gen::random_biregular(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(2 * state.range(0)), 16, rng);
+  const auto unified = b.unified();
+  Rng id_rng(2);
+  const auto ids =
+      local::assign_ids(unified, local::IdStrategy::kSequential, id_rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coloring::color_power(unified, 2, ids, nullptr));
+  }
+}
+BENCHMARK(BM_PowerColoringB2)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_WeakSplittingDerand(benchmark::State& state) {
+  Rng rng(3);
+  const auto b = graph::gen::random_biregular(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(2 * state.range(0)), 16, rng);
+  const derand::Problem problem = derand::weak_splitting_problem(b);
+  std::vector<std::uint32_t> order(b.num_right());
+  std::iota(order.begin(), order.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(derand::derandomize(problem, order));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(b.num_right()));
+}
+BENCHMARK(BM_WeakSplittingDerand)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_VerifierThroughput(benchmark::State& state) {
+  Rng rng(4);
+  const auto b = graph::gen::random_biregular(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(2 * state.range(0)), 24, rng);
+  const auto colors = splitting::trivial_random_split(b, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(splitting::is_weak_splitting(b, colors));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(b.num_edges()));
+}
+BENCHMARK(BM_VerifierThroughput)->Arg(512)->Arg(4096);
+
+void BM_BallGathering(benchmark::State& state) {
+  Rng rng(5);
+  const auto g =
+      graph::gen::random_regular(static_cast<std::size_t>(state.range(0)), 8,
+                                 rng);
+  graph::NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::ball(g, v, 2));
+    v = (v + 1) % static_cast<graph::NodeId>(g.num_nodes());
+  }
+}
+BENCHMARK(BM_BallGathering)->Arg(1024)->Arg(8192);
+
+void BM_RandomBiregular(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::gen::random_biregular(
+        static_cast<std::size_t>(state.range(0)),
+        static_cast<std::size_t>(2 * state.range(0)), 16, rng));
+  }
+}
+BENCHMARK(BM_RandomBiregular)->Arg(128)->Arg(1024);
+
+void BM_AlternatingBicoloring(benchmark::State& state) {
+  Rng rng(7);
+  const auto g = graph::gen::random_regular(
+      static_cast<std::size_t>(state.range(0)), 16, rng);
+  graph::Multigraph m(g.num_nodes());
+  for (const graph::Edge& e : g.edges()) m.add_edge(e.u, e.v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orient::alternating_bicoloring(m));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m.num_edges()));
+}
+BENCHMARK(BM_AlternatingBicoloring)->Arg(512)->Arg(4096);
+
+void BM_LubyMis(benchmark::State& state) {
+  Rng rng(8);
+  const auto g = graph::gen::random_regular(
+      static_cast<std::size_t>(state.range(0)), 8, rng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mis::luby(g, seed++));
+  }
+}
+BENCHMARK(BM_LubyMis)->Arg(256)->Arg(1024);
+
+void BM_BallCarving(benchmark::State& state) {
+  Rng rng(9);
+  const auto g = graph::gen::random_regular(
+      static_cast<std::size_t>(state.range(0)), 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netdecomp::ball_carving(g));
+  }
+}
+BENCHMARK(BM_BallCarving)->Arg(256)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,45 @@
+// The Figure 1 pipeline end-to-end (Section 2.5 / Theorem 2.10): orient all
+// edges of a d-regular graph so that no node is a sink, by reducing to weak
+// splitting on a rank-2 bipartite instance.
+//
+//   $ ./sinkless_orientation [--n=200] [--d=8] [--seed=1]
+
+#include <iostream>
+
+#include "graph/generators.hpp"
+#include "orient/sinkless.hpp"
+#include "reductions/sinkless.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ds;
+  const Options opts(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(opts.get_int("n", 200));
+  const std::size_t d = static_cast<std::size_t>(opts.get_int("d", 8));
+  Rng rng(opts.seed());
+
+  const auto g = graph::gen::random_regular(n, d, rng);
+  std::cout << "graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " edges, " << d << "-regular\n";
+
+  // Step 1+2: build the bipartite instance (left: nodes, right: edges, each
+  // node attached to its majority-ID side) and solve weak splitting on it.
+  std::string algorithm;
+  local::CostMeter meter;
+  const auto orientation =
+      reductions::sinkless_via_weak_splitting(g, rng, &meter, &algorithm);
+
+  // Step 3: the red/blue edge coloring decodes into an orientation; verify.
+  std::cout << "weak splitting solved by: " << algorithm << "\n";
+  std::cout << "sinkless: "
+            << (orient::is_sinkless(g, orientation, 1) ? "yes" : "NO") << "\n";
+
+  std::size_t toward_larger = 0;
+  for (bool t : orientation) toward_larger += t;
+  std::cout << "edges oriented low->high id: " << toward_larger << " / "
+            << orientation.size() << "\n";
+  std::cout << "rounds: executed = " << meter.executed_rounds()
+            << ", charged = " << meter.charged_rounds() << "\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file distance_coloring.hpp
+/// Proper colorings of graph powers (B², B⁴). Used to schedule SLOCAL(t)
+/// algorithms in the LOCAL model: Lemma 2.1 needs a coloring of B² with
+/// O(Δr) colors, Theorem 5.2 one of B⁴ with O(Δ²r²) colors.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+
+namespace ds::coloring {
+
+/// A proper coloring of G^k together with its palette size.
+struct PowerColoring {
+  std::vector<std::uint32_t> colors;
+  std::uint32_t num_colors = 0;
+};
+
+/// Computes a proper coloring of G^k with at most Δ(G^k)+1 colors via Linial
+/// reduction + greedy reduction on the power graph. Each simulated round on
+/// the power graph costs k rounds on G; the meter is charged accordingly
+/// under label "distance-coloring". Rounds total O(Δ(G^k) + k·log* n),
+/// matching the O(Δr + log* n) of Lemma 2.1 for k = 2.
+PowerColoring color_power(const graph::Graph& g, std::size_t k,
+                          const std::vector<std::uint64_t>& ids,
+                          local::CostMeter* meter);
+
+}  // namespace ds::coloring

@@ -1,0 +1,134 @@
+#include "coloring/linial.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace ds::coloring {
+
+namespace {
+
+/// Digits of `value` in base `q`, least significant first, padded to `k`.
+std::vector<std::uint64_t> digits(std::uint64_t value, std::uint64_t q,
+                                  std::size_t k) {
+  std::vector<std::uint64_t> out(k, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    out[i] = value % q;
+    value /= q;
+  }
+  DS_CHECK_MSG(value == 0, "value does not fit in k base-q digits");
+  return out;
+}
+
+/// Evaluates the polynomial with coefficients `coeff` at `x` over F_q.
+std::uint64_t eval_poly(const std::vector<std::uint64_t>& coeff,
+                        std::uint64_t x, std::uint64_t q) {
+  std::uint64_t acc = 0;
+  for (auto it = coeff.rbegin(); it != coeff.rend(); ++it) {
+    acc = (acc * x + *it) % q;
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::uint64_t next_prime(std::uint64_t x) {
+  auto is_prime = [](std::uint64_t p) {
+    if (p < 2) return false;
+    for (std::uint64_t d = 2; d * d <= p; ++d) {
+      if (p % d == 0) return false;
+    }
+    return true;
+  };
+  std::uint64_t p = x + 1;
+  while (!is_prime(p)) ++p;
+  return p;
+}
+
+std::vector<std::uint32_t> linial_step(const graph::Graph& g,
+                                       const std::vector<std::uint32_t>& colors,
+                                       std::uint32_t num_colors,
+                                       std::uint32_t* new_num_colors,
+                                       local::CostMeter* meter) {
+  DS_CHECK(colors.size() == g.num_nodes());
+  const std::size_t delta = std::max<std::size_t>(1, g.max_degree());
+
+  // Choose the field size q and digit count k: q prime with q > Δ·k and
+  // q^k >= num_colors. Search increasing k until consistent.
+  std::uint64_t q = 0;
+  std::size_t k = 1;
+  for (;; ++k) {
+    q = next_prime(delta * k);
+    // Does q^k cover the palette?
+    std::uint64_t cap = 1;
+    bool enough = false;
+    for (std::size_t i = 0; i < k; ++i) {
+      cap *= q;
+      if (cap >= num_colors) {
+        enough = true;
+        break;
+      }
+    }
+    if (enough) break;
+    DS_CHECK_MSG(k < 64, "linial_step: palette too large");
+  }
+
+  std::vector<std::uint32_t> next(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    DS_CHECK(colors[v] < num_colors);
+    const auto my_poly = digits(colors[v], q, k);
+    // Pick the smallest evaluation point a where this node's polynomial
+    // differs from every neighbor's. Two distinct polynomials of degree
+    // < k agree on at most k-1 points, so Δ(k-1) < q points are excluded.
+    std::uint64_t chosen = q;  // sentinel
+    for (std::uint64_t a = 0; a < q; ++a) {
+      bool ok = true;
+      const std::uint64_t mine = eval_poly(my_poly, a, q);
+      for (graph::NodeId w : g.neighbors(v)) {
+        DS_CHECK_MSG(colors[w] != colors[v],
+                     "linial_step requires a proper input coloring");
+        const auto their_poly = digits(colors[w], q, k);
+        if (eval_poly(their_poly, a, q) == mine) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        chosen = a;
+        break;
+      }
+    }
+    DS_CHECK_MSG(chosen < q, "no collision-free evaluation point found");
+    next[v] = static_cast<std::uint32_t>(chosen * q + eval_poly(my_poly, chosen, q));
+  }
+  *new_num_colors = static_cast<std::uint32_t>(q * q);
+  if (meter != nullptr) meter->add_executed(1);
+  return next;
+}
+
+std::vector<std::uint32_t> linial_coloring(const graph::Graph& g,
+                                           const std::vector<std::uint64_t>& ids,
+                                           std::uint32_t* num_colors_out,
+                                           local::CostMeter* meter) {
+  DS_CHECK(ids.size() == g.num_nodes());
+  // Initial coloring: the IDs themselves (distinct by contract).
+  std::uint64_t max_id = 0;
+  for (std::uint64_t id : ids) max_id = std::max(max_id, id);
+  std::uint32_t num_colors = static_cast<std::uint32_t>(max_id + 1);
+  std::vector<std::uint32_t> colors(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    colors[v] = static_cast<std::uint32_t>(ids[v]);
+  }
+  // Iterate until the palette stops shrinking (O(log* n) steps).
+  for (int step = 0; step < 64; ++step) {
+    std::uint32_t next_colors = 0;
+    auto next = linial_step(g, colors, num_colors, &next_colors, meter);
+    if (next_colors >= num_colors) break;  // fixpoint reached
+    colors = std::move(next);
+    num_colors = next_colors;
+  }
+  if (num_colors_out != nullptr) *num_colors_out = num_colors;
+  return colors;
+}
+
+}  // namespace ds::coloring

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file linial.hpp
+/// Linial's color reduction [Lin92]: from any proper m-coloring (initially
+/// the unique IDs) to an O(Δ²·log²Δ)-ish coloring in O(log* m) rounds. Each
+/// step encodes the current color as a polynomial over a finite field F_q
+/// with q > Δ·k (k = number of digits); a node picks an evaluation point
+/// where its polynomial differs from all neighbors' polynomials, and
+/// (point, value) is the new color with q² values. This is the concrete
+/// algorithm behind the "compute a coloring in O(Δr + log* n) rounds with
+/// the algorithm from [BEK14a]" steps of the paper.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+
+namespace ds::coloring {
+
+/// One Linial reduction step: given a proper coloring with values < m,
+/// returns a proper coloring with values < q² for the smallest prime
+/// q > Δ·⌈log_q m⌉. Executes as one communication round (charged on meter).
+std::vector<std::uint32_t> linial_step(const graph::Graph& g,
+                                       const std::vector<std::uint32_t>& colors,
+                                       std::uint32_t num_colors,
+                                       std::uint32_t* new_num_colors,
+                                       local::CostMeter* meter);
+
+/// Full Linial reduction: starts from the coloring induced by `ids`
+/// (which must be distinct) and iterates `linial_step` until the palette
+/// stops shrinking. Returns a proper coloring; `num_colors_out` receives the
+/// final palette size (O(Δ² log² Δ) in theory, small in practice).
+/// Executed rounds = number of steps = O(log* n), charged on `meter`.
+std::vector<std::uint32_t> linial_coloring(const graph::Graph& g,
+                                           const std::vector<std::uint64_t>& ids,
+                                           std::uint32_t* num_colors_out,
+                                           local::CostMeter* meter);
+
+/// Smallest prime strictly greater than `x`.
+std::uint64_t next_prime(std::uint64_t x);
+
+}  // namespace ds::coloring

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file randcolor.hpp
+/// Randomized distributed (Δ+1)-coloring (trial coloring / Johansson's
+/// algorithm), run as a genuine message-passing program on the LOCAL
+/// simulator.
+///
+/// Every round, each uncolored node picks a uniformly random color from its
+/// palette minus the colors already fixed in its neighborhood, announces the
+/// pick, and keeps it unless a neighbor picked the same color this round
+/// (ties broken toward the higher UID, so every conflict fixes at least one
+/// node). Each node survives a round with probability at most ~3/4, giving
+/// O(log n) rounds w.h.p. — the randomized yardstick that the paper's
+/// derandomization agenda (and our netdecomp sweeps) are measured against.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+#include "local/ids.hpp"
+
+namespace ds::coloring {
+
+/// Outcome of a randomized coloring execution.
+struct RandColorOutcome {
+  std::vector<std::uint32_t> colors;
+  std::uint32_t num_colors = 0;     ///< palette size used (<= Δ+1)
+  std::size_t executed_rounds = 0;  ///< synchronous rounds on the simulator
+};
+
+/// Runs trial coloring with palette size Δ+1 on the LOCAL simulator.
+/// The output is verified proper (throws otherwise, or if `max_rounds` is
+/// exhausted).
+RandColorOutcome randomized_coloring(
+    const graph::Graph& g, std::uint64_t seed,
+    local::CostMeter* meter = nullptr, std::size_t max_rounds = 10000,
+    local::IdStrategy ids = local::IdStrategy::kSequential);
+
+}  // namespace ds::coloring

@@ -1,0 +1,92 @@
+#include "coloring/reduce.hpp"
+
+#include <algorithm>
+
+#include "coloring/linial.hpp"
+#include "support/check.hpp"
+
+namespace ds::coloring {
+
+std::vector<std::uint32_t> reduce_colors(const graph::Graph& g,
+                                         std::vector<std::uint32_t> colors,
+                                         std::uint32_t num_colors,
+                                         std::uint32_t target,
+                                         local::CostMeter* meter) {
+  DS_CHECK(colors.size() == g.num_nodes());
+  DS_CHECK_MSG(target >= g.max_degree() + 1,
+               "cannot reduce below Δ+1 with greedy reduction");
+  std::size_t rounds = 0;
+  for (std::uint32_t c = num_colors; c-- > target;) {
+    bool class_nonempty = false;
+    // All nodes of color c recolor simultaneously; they are pairwise
+    // non-adjacent so the result stays proper.
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (colors[v] != c) continue;
+      class_nonempty = true;
+      std::vector<bool> used(target, false);
+      for (graph::NodeId w : g.neighbors(v)) {
+        if (colors[w] < target) used[colors[w]] = true;
+      }
+      std::uint32_t pick = target;
+      for (std::uint32_t x = 0; x < target; ++x) {
+        if (!used[x]) {
+          pick = x;
+          break;
+        }
+      }
+      DS_CHECK_MSG(pick < target, "no free color below target (degree > Δ?)");
+      colors[v] = pick;
+    }
+    if (class_nonempty) ++rounds;
+  }
+  if (meter != nullptr) meter->add_executed(rounds);
+  return colors;
+}
+
+std::vector<std::uint32_t> delta_plus_one_coloring(
+    const graph::Graph& g, const std::vector<std::uint64_t>& ids,
+    std::uint32_t* num_colors_out, local::CostMeter* meter) {
+  std::uint32_t linial_colors = 0;
+  auto colors = linial_coloring(g, ids, &linial_colors, meter);
+  const std::uint32_t target =
+      static_cast<std::uint32_t>(g.max_degree() + 1);
+  if (linial_colors > target) {
+    colors = reduce_colors(g, std::move(colors), linial_colors, target, meter);
+    linial_colors = target;
+  }
+  if (num_colors_out != nullptr) *num_colors_out = linial_colors;
+  return colors;
+}
+
+std::vector<bool> mis_from_coloring(const graph::Graph& g,
+                                    const std::vector<std::uint32_t>& colors,
+                                    std::uint32_t num_colors,
+                                    local::CostMeter* meter) {
+  DS_CHECK(colors.size() == g.num_nodes());
+  std::vector<bool> in_mis(g.num_nodes(), false);
+  std::vector<bool> blocked(g.num_nodes(), false);
+  for (std::uint32_t c = 0; c < num_colors; ++c) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (colors[v] != c || blocked[v]) continue;
+      in_mis[v] = true;
+      for (graph::NodeId w : g.neighbors(v)) blocked[w] = true;
+    }
+  }
+  if (meter != nullptr) meter->add_executed(num_colors);
+  return in_mis;
+}
+
+bool is_mis(const graph::Graph& g, const std::vector<bool>& mis) {
+  DS_CHECK(mis.size() == g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    bool neighbor_in = false;
+    for (graph::NodeId w : g.neighbors(v)) {
+      if (mis[v] && mis[w]) return false;  // not independent
+      neighbor_in = neighbor_in || mis[w];
+    }
+    if (!mis[v] && !neighbor_in) return false;  // not maximal
+  }
+  return true;
+}
+
+}  // namespace ds::coloring

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file reduce.hpp
+/// Color-count reduction and coloring-driven MIS.
+///
+/// `reduce_colors` implements the standard one-class-per-round reduction:
+/// nodes of the currently highest color class simultaneously recolor to the
+/// smallest color unused in their neighborhood (same-class nodes are
+/// non-adjacent, so simultaneous recoloring stays proper). Combined with
+/// Linial's reduction this yields the O(Δ + log* n)-style (Δ+1)-coloring of
+/// [BEK14a] that the paper invokes.
+///
+/// `mis_from_coloring` processes color classes in increasing order; a node
+/// joins the MIS iff no neighbor joined earlier — the standard reduction
+/// from coloring to MIS used for the low-degree base case of Section 4.2.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+
+namespace ds::coloring {
+
+/// Reduces a proper coloring to use at most `target` colors, where `target`
+/// must be at least Δ+1. One executed round per eliminated color class.
+std::vector<std::uint32_t> reduce_colors(const graph::Graph& g,
+                                         std::vector<std::uint32_t> colors,
+                                         std::uint32_t num_colors,
+                                         std::uint32_t target,
+                                         local::CostMeter* meter);
+
+/// Proper (Δ+1)-coloring from IDs: Linial reduction then `reduce_colors`.
+/// `num_colors_out` (optional) receives the palette size (Δ+1 for non-empty
+/// graphs).
+std::vector<std::uint32_t> delta_plus_one_coloring(
+    const graph::Graph& g, const std::vector<std::uint64_t>& ids,
+    std::uint32_t* num_colors_out, local::CostMeter* meter);
+
+/// Maximal independent set from a proper coloring, one round per color
+/// class. Returns the indicator vector of the MIS.
+std::vector<bool> mis_from_coloring(const graph::Graph& g,
+                                    const std::vector<std::uint32_t>& colors,
+                                    std::uint32_t num_colors,
+                                    local::CostMeter* meter);
+
+/// True iff `mis` is independent and maximal in `g`.
+bool is_mis(const graph::Graph& g, const std::vector<bool>& mis);
+
+}  // namespace ds::coloring

@@ -1,0 +1,49 @@
+#include "coloring/verify.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace ds::coloring {
+
+bool is_proper_coloring(const graph::Graph& g,
+                        const std::vector<std::uint32_t>& colors) {
+  DS_CHECK(colors.size() == g.num_nodes());
+  for (const graph::Edge& e : g.edges()) {
+    if (colors[e.u] == colors[e.v]) return false;
+  }
+  return true;
+}
+
+std::string check_proper_coloring(const graph::Graph& g,
+                                  const std::vector<std::uint32_t>& colors,
+                                  std::uint32_t num_colors) {
+  if (colors.size() != g.num_nodes()) {
+    return "coloring size does not match node count";
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (colors[v] >= num_colors) {
+      std::ostringstream os;
+      os << "node " << v << " has color " << colors[v]
+         << " outside palette of size " << num_colors;
+      return os.str();
+    }
+  }
+  for (const graph::Edge& e : g.edges()) {
+    if (colors[e.u] == colors[e.v]) {
+      std::ostringstream os;
+      os << "edge {" << e.u << "," << e.v << "} is monochromatic (color "
+         << colors[e.u] << ")";
+      return os.str();
+    }
+  }
+  return {};
+}
+
+std::uint32_t palette_size(const std::vector<std::uint32_t>& colors) {
+  std::set<std::uint32_t> used(colors.begin(), colors.end());
+  return static_cast<std::uint32_t>(used.size());
+}
+
+}  // namespace ds::coloring

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file verify.hpp
+/// Verifiers for coloring outputs. Verifiers are the ground truth of the
+/// test and experiment suites: every algorithm's output is validated by the
+/// corresponding verifier, never by trusting the algorithm.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ds::coloring {
+
+/// True iff no edge of `g` is monochromatic under `colors`.
+bool is_proper_coloring(const graph::Graph& g,
+                        const std::vector<std::uint32_t>& colors);
+
+/// Detailed verification: returns an empty string on success, otherwise a
+/// description of the first violated constraint.
+std::string check_proper_coloring(const graph::Graph& g,
+                                  const std::vector<std::uint32_t>& colors,
+                                  std::uint32_t num_colors);
+
+/// Number of distinct colors used.
+std::uint32_t palette_size(const std::vector<std::uint32_t>& colors);
+
+}  // namespace ds::coloring

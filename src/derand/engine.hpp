@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file engine.hpp
+/// Method-of-conditional-expectations derandomization, the concrete engine
+/// behind every "[GHK16, Theorem III.1] derandomizes this 0/1-round
+/// randomized algorithm into an SLOCAL algorithm" step of the paper.
+///
+/// Setup: variables (typically the right-hand nodes of a bipartite instance)
+/// each pick one of `num_choices` values; bad events live at constraints
+/// (typically left-hand nodes) and each constraint j carries a *pessimistic
+/// estimator* φ_j: a function of the partial assignment such that
+///   (1) φ_j upper-bounds the conditional probability of the bad event, and
+///   (2) for every unset variable v, the average of φ_j over v's random
+///       choice is at most the current φ_j (supermartingale property).
+/// Processing variables in any order and greedily picking the choice that
+/// minimizes Σ_j φ_j therefore never increases the sum; if the initial sum
+/// is < 1, the final (fully fixed) assignment has no bad event.
+///
+/// The engine checks the supermartingale property at run time: a greedy step
+/// that increases the total (beyond floating-point noise) throws, which is
+/// how the test suite catches invalid estimators.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ds::derand {
+
+/// Sentinel for an unset variable in a partial assignment.
+inline constexpr int kUnset = -1;
+
+/// A derandomization problem: variables with a finite choice domain and
+/// constraints with pessimistic estimators.
+struct Problem {
+  std::size_t num_variables = 0;
+  std::size_t num_constraints = 0;
+  int num_choices = 2;
+
+  /// var_constraints[v]: ids of constraints whose estimator depends on v.
+  std::vector<std::vector<std::uint32_t>> var_constraints;
+
+  /// Pessimistic estimator of constraint j under the partial assignment
+  /// (values in {kUnset, 0..num_choices-1}).
+  std::function<double(std::uint32_t j, const std::vector<int>& assignment)>
+      phi;
+};
+
+/// Result of a derandomization run.
+struct Result {
+  std::vector<int> assignment;  ///< one value in [0, num_choices) per variable
+  double initial_potential = 0.0;
+  double final_potential = 0.0;
+};
+
+/// Runs the greedy conditional-expectation derandomization, processing
+/// variables in `order` (a permutation of all variables). Throws if the
+/// estimator violates the supermartingale property.
+Result derandomize(const Problem& problem,
+                   const std::vector<std::uint32_t>& order);
+
+/// Convenience: total potential Σ_j φ_j under `assignment`.
+double total_potential(const Problem& problem,
+                       const std::vector<int>& assignment);
+
+}  // namespace ds::derand

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file events.hpp
+/// Concrete pessimistic-estimator problems for the paper's bad-event
+/// families. Each builder returns a self-contained `derand::Problem`
+/// (adjacency copied; no dangling references to the input instance).
+///
+///  * Weak splitting (Lemma 2.1): variables = right nodes, 2 colors; bad
+///    event at u ∈ U = "monochromatic neighborhood"; estimator = exact
+///    conditional probability under uniform future choices.
+///  * C-weak multicolor splitting (Theorem 3.2): variables pick one of C'
+///    colors; bad event at u = "some color missing among N(u)"; estimator =
+///    union bound Σ_x Pr[x missing | partial].
+///  * (C,λ)-multicolor splitting (Theorem 3.3): bad event at u = "some color
+///    has > ⌈λ·deg(u)⌉ neighbors"; estimator = Σ_x Chernoff MGF bound.
+///  * Uniform (strong) splitting (Section 4): bad event at u = "red-neighbor
+///    count outside [(1/2−ε)d, (1/2+ε)d]"; estimator = two-sided MGF bound.
+
+#include "derand/engine.hpp"
+#include "graph/bipartite.hpp"
+
+namespace ds::derand {
+
+/// Weak splitting estimator problem. Colors: 0 = red, 1 = blue.
+/// φ_u = exact Pr[N(u) ends monochromatic | partial assignment].
+Problem weak_splitting_problem(const graph::BipartiteGraph& b);
+
+/// C-weak multicolor splitting estimator problem over `num_colors` colors.
+/// φ_u = Σ_x Pr[no neighbor of u gets color x | partial].
+Problem missing_color_problem(const graph::BipartiteGraph& b, int num_colors);
+
+/// (C,λ)-multicolor splitting estimator problem: palette `num_colors`,
+/// per-color cap ⌈lambda·deg(u)⌉ at every u.
+/// φ_u = Σ_x e^{−s·cap_u}·e^{s·fixed_x}·(1+(e^s−1)/C)^{#unfixed} with
+/// s = ln(max(1.5, lambda·num_colors)).
+Problem overload_problem(const graph::BipartiteGraph& b, int num_colors,
+                         double lambda);
+
+/// Uniform splitting estimator problem (2 colors): at every u the red count
+/// must lie within (1/2±eps)·deg(u). φ_u = upper-tail MGF + lower-tail MGF.
+Problem two_sided_problem(const graph::BipartiteGraph& b, double eps);
+
+}  // namespace ds::derand

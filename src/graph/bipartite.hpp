@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file bipartite.hpp
+/// Bipartite weak-splitting instances B = (U ∪ V, E).
+///
+/// Following the paper's conventions (Section 1.2): U is the *left* side of
+/// constraint nodes, V the *right* side of variable nodes; δ and Δ denote
+/// the minimum/maximum degree over U, and the *rank* r is the maximum degree
+/// over V (the hypergraph view: U = vertices, V = hyperedges).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/multigraph.hpp"
+
+namespace ds::graph {
+
+/// Index of a node on the left (U) side.
+using LeftId = std::uint32_t;
+/// Index of a node on the right (V) side.
+using RightId = std::uint32_t;
+
+/// Bipartite graph with stable edge ids, the problem instance of every
+/// splitting variant in the library. Simple: at most one edge per (u, v).
+class BipartiteGraph {
+ public:
+  /// Creates an instance with `nu` left and `nv` right isolated nodes.
+  BipartiteGraph(std::size_t nu = 0, std::size_t nv = 0);
+
+  LeftId add_left_node();
+  RightId add_right_node();
+
+  /// Adds the edge (u, v) and returns its id. The edge must not exist yet.
+  EdgeId add_edge(LeftId u, RightId v);
+
+  [[nodiscard]] std::size_t num_left() const { return left_edges_.size(); }
+  [[nodiscard]] std::size_t num_right() const { return right_edges_.size(); }
+  /// Total node count |U| + |V| — the `n` in the paper's bounds.
+  [[nodiscard]] std::size_t num_nodes() const {
+    return num_left() + num_right();
+  }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  /// Endpoints of edge `e` as (left, right).
+  [[nodiscard]] std::pair<LeftId, RightId> endpoints(EdgeId e) const;
+
+  /// Edge ids incident to left node `u`.
+  [[nodiscard]] const std::vector<EdgeId>& left_edges(LeftId u) const;
+  /// Edge ids incident to right node `v`.
+  [[nodiscard]] const std::vector<EdgeId>& right_edges(RightId v) const;
+
+  /// Right neighbors of left node `u` (materialized per call).
+  [[nodiscard]] std::vector<RightId> left_neighbors(LeftId u) const;
+  /// Left neighbors of right node `v` (materialized per call).
+  [[nodiscard]] std::vector<LeftId> right_neighbors(RightId v) const;
+
+  [[nodiscard]] std::size_t left_degree(LeftId u) const;
+  [[nodiscard]] std::size_t right_degree(RightId v) const;
+
+  /// Minimum degree δ over U; 0 if U is empty.
+  [[nodiscard]] std::size_t min_left_degree() const;
+  /// Maximum degree Δ over U; 0 if U is empty.
+  [[nodiscard]] std::size_t max_left_degree() const;
+  /// Rank r: maximum degree over V; 0 if V is empty.
+  [[nodiscard]] std::size_t rank() const;
+  /// Minimum degree over V; 0 if V is empty.
+  [[nodiscard]] std::size_t min_right_degree() const;
+
+  /// True if edge (u, v) exists. O(min degree).
+  [[nodiscard]] bool has_edge(LeftId u, RightId v) const;
+
+  /// New instance with the same node sets keeping exactly the edges with
+  /// keep[e] == true. Edge ids are renumbered; the returned vector maps
+  /// new edge id -> old edge id.
+  [[nodiscard]] std::pair<BipartiteGraph, std::vector<EdgeId>> filter_edges(
+      const std::vector<bool>& keep) const;
+
+  /// The unified simple graph on |U| + |V| nodes: left node u maps to vertex
+  /// u, right node v maps to vertex num_left() + v. Used for LOCAL-model
+  /// simulation and for coloring powers of B.
+  [[nodiscard]] Graph unified() const;
+
+  /// Vertex index of left node `u` in `unified()`.
+  [[nodiscard]] NodeId unified_left(LeftId u) const {
+    return static_cast<NodeId>(u);
+  }
+  /// Vertex index of right node `v` in `unified()`.
+  [[nodiscard]] NodeId unified_right(RightId v) const {
+    return static_cast<NodeId>(num_left() + v);
+  }
+
+ private:
+  std::vector<std::vector<EdgeId>> left_edges_;
+  std::vector<std::vector<EdgeId>> right_edges_;
+  std::vector<std::pair<LeftId, RightId>> edges_;
+};
+
+/// A connected component of a bipartite graph, as a standalone instance plus
+/// the mappings back to the parent instance.
+struct BipartiteComponent {
+  BipartiteGraph graph;
+  std::vector<LeftId> left_to_parent;    // component LeftId -> parent LeftId
+  std::vector<RightId> right_to_parent;  // component RightId -> parent RightId
+};
+
+/// Splits `b` into connected components (isolated nodes are kept, each as a
+/// singleton component only if `keep_isolated` is set).
+std::vector<BipartiteComponent> connected_components(const BipartiteGraph& b,
+                                                     bool keep_isolated = false);
+
+}  // namespace ds::graph

@@ -1,0 +1,78 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace ds::graph {
+
+Graph::Graph(std::size_t n) : adjacency_(n) {}
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  DS_CHECK_MSG(u != v, "self-loops are not allowed in Graph");
+  DS_CHECK(u < adjacency_.size() && v < adjacency_.size());
+  DS_CHECK_MSG(!has_edge(u, v), "parallel edges are not allowed in Graph");
+  if (u > v) std::swap(u, v);
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  edges_.push_back(Edge{u, v});
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  DS_CHECK(u < adjacency_.size() && v < adjacency_.size());
+  const auto& a =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                   : adjacency_[v];
+  const NodeId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(a.begin(), a.end(), target) != a.end();
+}
+
+const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
+  DS_CHECK(v < adjacency_.size());
+  return adjacency_[v];
+}
+
+std::size_t Graph::degree(NodeId v) const { return neighbors(v).size(); }
+
+std::size_t Graph::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& a : adjacency_) d = std::max(d, a.size());
+  return d;
+}
+
+std::size_t Graph::min_degree() const {
+  if (adjacency_.empty()) return 0;
+  std::size_t d = adjacency_.front().size();
+  for (const auto& a : adjacency_) d = std::min(d, a.size());
+  return d;
+}
+
+std::pair<Graph, std::vector<NodeId>> Graph::induced_subgraph(
+    const std::vector<NodeId>& nodes) const {
+  std::vector<NodeId> old_to_new(num_nodes(), static_cast<NodeId>(-1));
+  std::vector<NodeId> new_to_old;
+  new_to_old.reserve(nodes.size());
+  for (NodeId v : nodes) {
+    DS_CHECK(v < num_nodes());
+    DS_CHECK_MSG(old_to_new[v] == static_cast<NodeId>(-1),
+                 "duplicate node in induced_subgraph");
+    old_to_new[v] = static_cast<NodeId>(new_to_old.size());
+    new_to_old.push_back(v);
+  }
+  Graph sub(new_to_old.size());
+  for (const Edge& e : edges_) {
+    const NodeId nu = old_to_new[e.u];
+    const NodeId nv = old_to_new[e.v];
+    if (nu != static_cast<NodeId>(-1) && nv != static_cast<NodeId>(-1)) {
+      sub.add_edge(nu, nv);
+    }
+  }
+  return {std::move(sub), std::move(new_to_old)};
+}
+
+}  // namespace ds::graph

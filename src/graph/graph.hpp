@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file graph.hpp
+/// Undirected simple graph used as the communication network and as the
+/// problem instance for the general-graph problems (splitting, coloring,
+/// MIS, sinkless orientation).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ds::graph {
+
+/// Node identifier: dense index in [0, num_nodes()).
+using NodeId = std::uint32_t;
+
+/// Undirected edge as an (endpoint, endpoint) pair with u <= v.
+struct Edge {
+  NodeId u;
+  NodeId v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Undirected simple graph (no self-loops, no parallel edges) with adjacency
+/// lists. Nodes are dense indices; unique LOCAL-model IDs are assigned
+/// separately (see local/ids.hpp) so experiments can control ID adversaries.
+class Graph {
+ public:
+  /// Creates a graph with `n` isolated nodes.
+  explicit Graph(std::size_t n = 0);
+
+  /// Adds an isolated node and returns its id.
+  NodeId add_node();
+
+  /// Adds the undirected edge {u, v}. Requires u != v, both in range, and
+  /// that the edge is not already present.
+  void add_edge(NodeId u, NodeId v);
+
+  /// True if {u, v} is an edge. O(min degree).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  [[nodiscard]] std::size_t num_nodes() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  /// Neighbors of `v` in insertion order.
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId v) const;
+
+  [[nodiscard]] std::size_t degree(NodeId v) const;
+
+  /// Maximum degree Δ; 0 for the empty graph.
+  [[nodiscard]] std::size_t max_degree() const;
+
+  /// Minimum degree δ; 0 for the empty graph.
+  [[nodiscard]] std::size_t min_degree() const;
+
+  /// All edges, in insertion order.
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Returns the subgraph induced by `nodes`, together with the mapping from
+  /// new node ids to the original ids (`new -> old`).
+  [[nodiscard]] std::pair<Graph, std::vector<NodeId>> induced_subgraph(
+      const std::vector<NodeId>& nodes) const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace ds::graph

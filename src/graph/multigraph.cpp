@@ -1,0 +1,71 @@
+#include "graph/multigraph.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace ds::graph {
+
+Multigraph::Multigraph(std::size_t n) : incident_(n) {}
+
+NodeId Multigraph::add_node() {
+  incident_.emplace_back();
+  return static_cast<NodeId>(incident_.size() - 1);
+}
+
+EdgeId Multigraph::add_edge(NodeId u, NodeId v) {
+  DS_CHECK(u < incident_.size() && v < incident_.size());
+  const EdgeId e = static_cast<EdgeId>(endpoints_.size());
+  endpoints_.push_back(Edge{u, v});
+  incident_[u].push_back(e);
+  incident_[v].push_back(e);  // self-loop appears twice by design
+  return e;
+}
+
+Edge Multigraph::endpoints(EdgeId e) const {
+  DS_CHECK(e < endpoints_.size());
+  return endpoints_[e];
+}
+
+const std::vector<EdgeId>& Multigraph::incident_edges(NodeId v) const {
+  DS_CHECK(v < incident_.size());
+  return incident_[v];
+}
+
+std::size_t Multigraph::degree(NodeId v) const {
+  return incident_edges(v).size();
+}
+
+NodeId Multigraph::other_endpoint(EdgeId e, NodeId v) const {
+  const Edge ep = endpoints(e);
+  DS_CHECK(ep.u == v || ep.v == v);
+  if (ep.u == v) return ep.v;
+  return ep.u;
+}
+
+bool Orientation::directed_out_of(const Multigraph& g, EdgeId e,
+                                  NodeId x) const {
+  const Edge ep = g.endpoints(e);
+  DS_CHECK(ep.u == x || ep.v == x);
+  DS_CHECK(e < toward_v.size());
+  if (ep.u == ep.v) {
+    // Self-loop: by convention one out and one in; callers that need
+    // per-traversal direction should not ask through this interface.
+    return true;
+  }
+  return ep.u == x ? toward_v[e] : !toward_v[e];
+}
+
+std::size_t orientation_discrepancy(const Multigraph& g,
+                                    const Orientation& orient, NodeId v) {
+  DS_CHECK(orient.toward_v.size() == g.num_edges());
+  long long balance = 0;
+  for (EdgeId e : g.incident_edges(v)) {
+    const Edge ep = g.endpoints(e);
+    if (ep.u == ep.v) continue;  // self-loop: one in, one out, net zero
+    balance += orient.directed_out_of(g, e, v) ? 1 : -1;
+  }
+  return static_cast<std::size_t>(std::llabs(balance));
+}
+
+}  // namespace ds::graph

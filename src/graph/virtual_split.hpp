@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file virtual_split.hpp
+/// Virtual-node transforms used by the paper:
+///  * Degree normalization (Section 2.4): split each left node u with
+///    deg(u) > 2δ into ⌊deg(u)/δ⌋ virtual nodes of degree in [δ, 2δ), so the
+///    randomized algorithm can assume δ > Δ/2. A weak splitting of the
+///    virtual instance induces one of the original instance.
+///  * The δ-clique gadget (Remark in Section 4.1): pad every node of degree
+///    < δ in a general graph with a fresh δ-clique so the uniform splitting
+///    problem's δ >= Δ/2 precondition holds.
+
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "graph/graph.hpp"
+
+namespace ds::graph {
+
+/// Result of left-degree normalization.
+struct NormalizedBipartite {
+  BipartiteGraph graph;
+  /// Maps every virtual left node to the original left node it came from.
+  std::vector<LeftId> left_to_original;
+};
+
+/// Splits every left node of degree > 2*delta into ⌊deg/delta⌋ virtual nodes
+/// whose degrees lie in [delta, 2*delta). Nodes of degree <= 2*delta are kept
+/// as a single virtual node. Requires min_left_degree >= delta.
+NormalizedBipartite normalize_left_degrees(const BipartiteGraph& b,
+                                           std::size_t delta);
+
+/// Result of clique-gadget padding.
+struct PaddedGraph {
+  Graph graph;
+  /// is_virtual[v] is true for gadget nodes (absent in the original graph).
+  std::vector<bool> is_virtual;
+};
+
+/// Adds, for every node v with deg(v) < delta, a fresh delta-clique and
+/// connects delta - deg(v) of its nodes to v, raising v's degree to exactly
+/// delta. Gadget node degrees stay <= delta. Requires delta >= 2.
+PaddedGraph pad_to_min_degree(const Graph& g, std::size_t delta);
+
+}  // namespace ds::graph

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file hypergraph.hpp
+/// Low-rank hypergraphs and their degree splitting — the machinery behind
+/// the edge-coloring results the paper's introduction builds its case on.
+///
+/// Section 1.1: the deterministic (2Δ−1)- and (1+o(1))Δ-edge-coloring
+/// breakthroughs [FGK17, GKMU18] were obtained by solving degree splitting
+/// (and maximal matching) on *low-rank hypergraphs* — hypergraphs whose
+/// hyperedges contain at most r vertices. This module supplies that
+/// substrate:
+///  * `Hypergraph` — vertices plus hyperedges (vertex lists), with rank and
+///    degree tracking;
+///  * `hyperedge_split` — 2-color the hyperedges so that every vertex has
+///    a (1/2 ± ε)-balanced number of incident hyperedges of each color;
+///    solved through the two-sided derandomization core on the incidence
+///    bipartite graph (vertices = constraints, hyperedges = variables),
+///    i.e. exactly the paper's constraint/variable framing;
+///  * `maximal_matching` — greedy and randomized (Luby-on-conflict-graph)
+///    maximal matchings: hyperedge sets that are pairwise vertex-disjoint
+///    and maximal, the [FGK17] primitive;
+///  * verifiers for both.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+#include "support/rng.hpp"
+
+namespace ds::hypergraph {
+
+using VertexId = std::uint32_t;
+using HyperedgeId = std::uint32_t;
+
+/// A hypergraph on a fixed vertex set; hyperedges are vertex lists.
+class Hypergraph {
+ public:
+  explicit Hypergraph(std::size_t num_vertices = 0);
+
+  /// Adds a hyperedge over `vertices` (distinct, non-empty) and returns its
+  /// id. Duplicate hyperedges are allowed (multi-hypergraph).
+  HyperedgeId add_edge(std::vector<VertexId> vertices);
+
+  [[nodiscard]] std::size_t num_vertices() const { return incident_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  /// Vertices of hyperedge `e`.
+  [[nodiscard]] const std::vector<VertexId>& vertices(HyperedgeId e) const;
+  /// Hyperedges incident to vertex `v`.
+  [[nodiscard]] const std::vector<HyperedgeId>& incident(VertexId v) const;
+
+  [[nodiscard]] std::size_t degree(VertexId v) const;
+  /// Rank r: the maximum hyperedge size (0 for edgeless hypergraphs).
+  [[nodiscard]] std::size_t rank() const;
+  [[nodiscard]] std::size_t min_degree() const;
+  [[nodiscard]] std::size_t max_degree() const;
+
+  /// The incidence bipartite graph: left nodes are vertices (constraints),
+  /// right nodes are hyperedges (variables).
+  [[nodiscard]] graph::BipartiteGraph incidence() const;
+
+  /// The conflict graph of the hyperedges: two hyperedges are adjacent iff
+  /// they share a vertex (the "line graph" of the hypergraph).
+  [[nodiscard]] graph::Graph conflict_graph() const;
+
+ private:
+  std::vector<std::vector<HyperedgeId>> incident_;
+  std::vector<std::vector<VertexId>> edges_;
+};
+
+/// The incidence hypergraph of a graph (rank 2): hyperedges are the edges.
+Hypergraph from_graph(const graph::Graph& g);
+
+/// Random d-regular rank-r hypergraph: nv vertices, each hyperedge has
+/// exactly r distinct vertices, every vertex has degree ~d (within 1).
+/// Requires nv*d divisible by... (relaxed: the last hyperedge may be
+/// smaller than r if the slot count is not divisible; degrees stay within
+/// 1 of d).
+Hypergraph random_regular_hypergraph(std::size_t nv, std::size_t d,
+                                     std::size_t r, Rng& rng);
+
+/// True iff every vertex of degree >= degree_threshold has at most
+/// ceil((1/2+eps)·deg) incident hyperedges of each color.
+bool is_hyperedge_split(const Hypergraph& h, const std::vector<bool>& is_red,
+                        double eps, std::size_t degree_threshold = 0);
+
+/// Result of a hyperedge splitting run.
+struct HyperedgeSplitResult {
+  std::vector<bool> is_red;  ///< by hyperedge id
+  double initial_potential = 0.0;
+  bool derandomized = true;
+};
+
+/// 2-colors the hyperedges so every vertex of degree >= degree_threshold
+/// is (1/2 ± eps)-balanced. Throws if the two-sided core fails.
+HyperedgeSplitResult hyperedge_split(const Hypergraph& h, double eps,
+                                     std::size_t degree_threshold, Rng& rng,
+                                     local::CostMeter* meter = nullptr);
+
+/// True iff `in_matching` hyperedges are pairwise vertex-disjoint and no
+/// hyperedge could be added (maximality).
+bool is_maximal_matching(const Hypergraph& h,
+                         const std::vector<bool>& in_matching);
+
+/// Greedy sequential maximal matching in hyperedge-id order.
+std::vector<bool> greedy_maximal_matching(const Hypergraph& h);
+
+/// Randomized distributed maximal matching: Luby's MIS on the conflict
+/// graph (a matching of H is an independent set of its conflict graph).
+/// `executed_rounds_out` (optional) receives the simulator rounds.
+std::vector<bool> randomized_maximal_matching(
+    const Hypergraph& h, std::uint64_t seed,
+    std::size_t* executed_rounds_out = nullptr,
+    local::CostMeter* meter = nullptr);
+
+}  // namespace ds::hypergraph

@@ -1,0 +1,59 @@
+#include "local/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace ds::local {
+
+void CostMeter::charge(const std::string& label, double rounds) {
+  DS_CHECK(rounds >= 0.0);
+  charged_ += rounds;
+  breakdown_[label] += rounds;
+}
+
+void CostMeter::merge_sequential(const CostMeter& other) {
+  executed_ += other.executed_;
+  charged_ += other.charged_;
+  for (const auto& [label, rounds] : other.breakdown_) {
+    breakdown_[label] += rounds;
+  }
+}
+
+void CostMeter::merge_parallel_max(const CostMeter& other) {
+  executed_ = std::max(executed_, other.executed_);
+  charged_ = std::max(charged_, other.charged_);
+  for (const auto& [label, rounds] : other.breakdown_) {
+    breakdown_[label] = std::max(breakdown_[label], rounds);
+  }
+}
+
+double degree_splitting_cost_det(double eps, std::size_t n) {
+  DS_CHECK(eps > 0.0 && eps <= 1.0);
+  const double inv = 1.0 / eps;
+  const double log_inv = std::max(1.0, std::log2(inv));
+  const double log_n = std::max(1.0, std::log2(static_cast<double>(n)));
+  return inv * std::pow(log_inv, 1.1) * log_n;
+}
+
+double degree_splitting_cost_rand(double eps, std::size_t n) {
+  DS_CHECK(eps > 0.0 && eps <= 1.0);
+  const double inv = 1.0 / eps;
+  const double log_inv = std::max(1.0, std::log2(inv));
+  const double loglog_n =
+      std::max(1.0, std::log2(std::max(2.0, std::log2(static_cast<double>(n)))));
+  return inv * std::pow(log_inv, 1.1) * loglog_n;
+}
+
+double log_star(std::size_t n) {
+  double x = static_cast<double>(n);
+  double count = 0;
+  while (x > 1.0) {
+    x = std::log2(x);
+    count += 1.0;
+  }
+  return count;
+}
+
+}  // namespace ds::local

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file cost.hpp
+/// Round accounting for LOCAL-model executions.
+///
+/// The library distinguishes two meters (see DESIGN.md §5):
+///  * *executed* rounds — synchronous rounds the simulator actually ran;
+///  * *charged* rounds — round costs of black-box substrates accounted per
+///    their cited theorems (e.g. directed degree splitting per Theorem 2.3,
+///    the O(log* n) coloring of [BEK14a], SLOCAL-to-LOCAL compilation at
+///    O(C·t) rounds per [GHK17a, Prop. 3.2]).
+/// Experiment tables report both and state which column a theorem bounds.
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace ds::local {
+
+/// Accumulates executed and charged round costs, with a per-label breakdown
+/// of charges so experiments can attribute cost to substrates.
+class CostMeter {
+ public:
+  /// Records `k` executed synchronous rounds.
+  void add_executed(std::size_t k) { executed_ += k; }
+
+  /// Records `rounds` charged rounds under `label`.
+  void charge(const std::string& label, double rounds);
+
+  /// Merges another meter into this one (used when solving components
+  /// in parallel: parallel executions cost the max, sequential the sum).
+  void merge_sequential(const CostMeter& other);
+
+  /// Merges `other` as a parallel execution: executed/charged totals take
+  /// the max of the two meters, labels accumulate for attribution.
+  void merge_parallel_max(const CostMeter& other);
+
+  [[nodiscard]] std::size_t executed_rounds() const { return executed_; }
+  [[nodiscard]] double charged_rounds() const { return charged_; }
+  /// Executed plus charged rounds — the headline number in experiments.
+  [[nodiscard]] double total_rounds() const {
+    return static_cast<double>(executed_) + charged_;
+  }
+
+  /// Charged-cost attribution by label.
+  [[nodiscard]] const std::map<std::string, double>& breakdown() const {
+    return breakdown_;
+  }
+
+ private:
+  std::size_t executed_ = 0;
+  double charged_ = 0.0;
+  std::map<std::string, double> breakdown_;
+};
+
+/// Charged cost of one directed degree splitting invocation with accuracy
+/// `eps` on an n-node (multi)graph, per Theorem 2.3 ([GHK+17b]):
+/// deterministic O(ε⁻¹·(log ε⁻¹)^1.1·log n). The constant is 1 by
+/// convention; experiments compare shapes, not constants.
+double degree_splitting_cost_det(double eps, std::size_t n);
+
+/// Randomized variant of Theorem 2.3: O(ε⁻¹·(log ε⁻¹)^1.1·log log n).
+double degree_splitting_cost_rand(double eps, std::size_t n);
+
+/// Charged cost of computing an O(Δ²)-ish coloring in O(Δ + log* n)
+/// rounds per [BEK14a] when the library uses its own Linial+reduction
+/// implementation whose executed rounds are already counted. Returns
+/// `colors + log* n` (used when the paper charges O(C) scheduling cost).
+double log_star(std::size_t n);
+
+}  // namespace ds::local

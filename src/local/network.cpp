@@ -1,0 +1,107 @@
+#include "local/network.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace ds::local {
+
+Network::Network(const graph::Graph& g, IdStrategy strategy,
+                 std::uint64_t seed)
+    : graph_(g), seed_(seed) {
+  Rng rng(seed ^ 0x1D5ull);
+  uids_ = assign_ids(g, strategy, rng);
+  reverse_ports_.resize(g.num_nodes());
+  // For each node w, record where each neighbor v sits in w's adjacency so a
+  // message sent on v's port p can be delivered into w's inbox slot.
+  std::vector<std::size_t> cursor(g.num_nodes(), 0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    reverse_ports_[v].resize(g.degree(v));
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& nbrs = g.neighbors(v);
+    for (std::size_t p = 0; p < nbrs.size(); ++p) {
+      const graph::NodeId w = nbrs[p];
+      const auto& wn = g.neighbors(w);
+      // Find v in w's list starting from a per-pair scan; adjacency lists are
+      // short in our instances so a linear scan is fine.
+      const auto it = std::find(wn.begin(), wn.end(), v);
+      DS_CHECK(it != wn.end());
+      reverse_ports_[v][p] = static_cast<std::size_t>(it - wn.begin());
+    }
+  }
+}
+
+std::size_t Network::reverse_port(graph::NodeId v, std::size_t p) const {
+  DS_CHECK(v < reverse_ports_.size());
+  DS_CHECK(p < reverse_ports_[v].size());
+  return reverse_ports_[v][p];
+}
+
+std::size_t Network::run(const ProgramFactory& factory, std::size_t max_rounds,
+                         CostMeter* meter) {
+  const std::size_t n = graph_.num_nodes();
+  auto& programs = programs_;
+  programs.clear();
+  programs.resize(n);
+  Rng master(seed_);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    NodeEnv env;
+    env.node = v;
+    env.uid = uids_[v];
+    env.n = n;
+    env.degree = graph_.degree(v);
+    env.neighbor_uids.reserve(env.degree);
+    for (graph::NodeId w : graph_.neighbors(v)) {
+      env.neighbor_uids.push_back(uids_[w]);
+    }
+    env.rng = master.fork(uids_[v]);
+    programs[v] = factory(env);
+    DS_CHECK(programs[v] != nullptr);
+  }
+
+  std::size_t round = 0;
+  auto all_done = [&] {
+    return std::all_of(programs.begin(), programs.end(),
+                       [](const auto& p) { return p->done(); });
+  };
+  std::vector<std::vector<Message>> inboxes(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    inboxes[v].resize(graph_.degree(v));
+  }
+  while (!all_done()) {
+    DS_CHECK_MSG(round < max_rounds, "Network::run exceeded max_rounds");
+    // Send phase: collect all outgoing messages first so that no node can
+    // observe same-round messages while producing its own (synchrony).
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (programs[v]->done()) continue;
+      std::vector<Message> out = programs[v]->send(round);
+      DS_CHECK_MSG(out.size() == graph_.degree(v),
+                   "send() must produce one (possibly empty) message per port");
+      for (std::size_t p = 0; p < out.size(); ++p) {
+        const graph::NodeId w = graph_.neighbors(v)[p];
+        inboxes[w][reverse_ports_[v][p]] = std::move(out[p]);
+      }
+    }
+    // Receive phase.
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (programs[v]->done()) continue;
+      programs[v]->receive(round, inboxes[v]);
+    }
+    // Clear inboxes for the next round.
+    for (auto& inbox : inboxes) {
+      for (auto& msg : inbox) msg.clear();
+    }
+    ++round;
+  }
+  if (meter != nullptr) meter->add_executed(round);
+  return round;
+}
+
+const NodeProgram& Network::program(graph::NodeId v) const {
+  DS_CHECK(v < programs_.size());
+  DS_CHECK(programs_[v] != nullptr);
+  return *programs_[v];
+}
+
+}  // namespace ds::local

@@ -1,0 +1,128 @@
+#include "mis/mis.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "coloring/reduce.hpp"
+#include "local/network.hpp"
+#include "support/check.hpp"
+
+namespace ds::mis {
+
+namespace {
+
+/// Per-node Luby program. Phase = two rounds:
+///  * even round: active nodes broadcast a fresh random priority; on
+///    receive, a node decides whether it is the strict local maximum among
+///    its still-active neighbors (empty inbox slots are done neighbors);
+///  * odd round: nodes broadcast whether they joined; on receive, joiners
+///    halt as MIS members and their neighbors halt as dominated.
+class LubyProgram final : public local::NodeProgram {
+ public:
+  explicit LubyProgram(const local::NodeEnv& env) : env_(env) {}
+
+  std::vector<local::Message> send(std::size_t round) override {
+    std::vector<local::Message> out(env_.degree);
+    if (round % 2 == 0) {
+      priority_ = env_.rng.next_raw();
+      for (auto& msg : out) msg = {priority_, env_.uid};
+    } else {
+      for (auto& msg : out) msg = {joining_ ? 1ull : 0ull};
+    }
+    return out;
+  }
+
+  void receive(std::size_t round, const std::vector<local::Message>& inbox)
+      override {
+    if (round % 2 == 0) {
+      // Strict lexicographic (priority, uid) maximum among active neighbors.
+      joining_ = true;
+      for (const local::Message& msg : inbox) {
+        if (msg.empty()) continue;  // done neighbor
+        if (std::make_pair(msg[0], msg[1]) >
+            std::make_pair(priority_, env_.uid)) {
+          joining_ = false;
+          break;
+        }
+      }
+    } else {
+      if (joining_) {
+        in_mis_ = true;
+        done_ = true;
+        return;
+      }
+      for (const local::Message& msg : inbox) {
+        if (!msg.empty() && msg[0] == 1) {
+          done_ = true;  // dominated by a joining neighbor
+          return;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] bool in_mis() const { return in_mis_; }
+
+ private:
+  local::NodeEnv env_;
+  std::uint64_t priority_ = 0;
+  bool joining_ = false;
+  bool in_mis_ = false;
+  bool done_ = false;
+};
+
+}  // namespace
+
+MisOutcome luby(const graph::Graph& g, std::uint64_t seed,
+                local::CostMeter* meter, std::size_t max_rounds,
+                local::IdStrategy ids) {
+  local::Network net(g, ids, seed);
+  std::vector<const LubyProgram*> programs(g.num_nodes(), nullptr);
+  const std::size_t rounds = net.run(
+      [&](const local::NodeEnv& env) {
+        auto p = std::make_unique<LubyProgram>(env);
+        programs[env.node] = p.get();
+        return p;
+      },
+      max_rounds, meter);
+
+  MisOutcome outcome;
+  outcome.executed_rounds = rounds;
+  outcome.phases = (rounds + 1) / 2;
+  outcome.in_mis.resize(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    outcome.in_mis[v] = programs[v]->in_mis();
+  }
+  DS_CHECK_MSG(coloring::is_mis(g, outcome.in_mis),
+               "Luby produced an invalid MIS");
+  return outcome;
+}
+
+std::vector<bool> greedy_by_order(const graph::Graph& g,
+                                  const std::vector<std::size_t>& order) {
+  DS_CHECK(order.size() == g.num_nodes());
+  std::vector<bool> in_mis(g.num_nodes(), false);
+  std::vector<bool> dominated(g.num_nodes(), false);
+  for (std::size_t v : order) {
+    DS_CHECK(v < g.num_nodes());
+    if (dominated[v]) continue;
+    in_mis[v] = true;
+    for (graph::NodeId w : g.neighbors(v)) dominated[w] = true;
+    dominated[v] = true;
+  }
+  DS_CHECK_MSG(coloring::is_mis(g, in_mis), "greedy produced an invalid MIS");
+  return in_mis;
+}
+
+std::vector<bool> greedy_by_ids(const graph::Graph& g,
+                                const std::vector<std::uint64_t>& ids) {
+  DS_CHECK(ids.size() == g.num_nodes());
+  std::vector<std::size_t> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return ids[a] < ids[b]; });
+  return greedy_by_order(g, order);
+}
+
+}  // namespace ds::mis

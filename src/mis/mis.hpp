@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file mis.hpp
+/// Maximal independent set algorithms.
+///
+/// Section 4.2 reduces MIS to splitting; this module supplies the MIS
+/// algorithms that reduction is measured against and builds on:
+///  * `luby` — Luby's classic randomized MIS, executed as a genuine
+///    message-passing program on the LOCAL simulator. O(log n) phases
+///    w.h.p.; the canonical "exponentially faster randomized algorithm"
+///    whose derandomization the paper's completeness results are about.
+///  * `greedy_by_order` / `greedy_by_ids` — the sequential greedy oracle
+///    (processes nodes in a given order; joins unless dominated). Zero
+///    communication; the correctness baseline every distributed MIS is
+///    compared with, and the per-cluster solver of the network
+///    decomposition route ([GHK16]).
+///
+/// The MIS verifier lives in coloring/reduce.hpp (`coloring::is_mis`) and is
+/// shared by all producers.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+#include "local/ids.hpp"
+
+namespace ds::mis {
+
+/// Outcome of a distributed MIS execution.
+struct MisOutcome {
+  std::vector<bool> in_mis;
+  std::size_t phases = 0;           ///< Luby phases (2 rounds each)
+  std::size_t executed_rounds = 0;  ///< synchronous rounds on the simulator
+};
+
+/// Luby's randomized MIS on the LOCAL simulator. Each phase draws a random
+/// priority per active node; strict local maxima join, dominated nodes
+/// leave. Terminates in O(log n) phases w.h.p. The output is verified
+/// (throws on a non-MIS result or if `max_rounds` is exceeded).
+MisOutcome luby(const graph::Graph& g, std::uint64_t seed,
+                local::CostMeter* meter = nullptr,
+                std::size_t max_rounds = 10000,
+                local::IdStrategy ids = local::IdStrategy::kSequential);
+
+/// Sequential greedy MIS: processes `order` (a permutation of the nodes)
+/// and adds each node unless a neighbor was already added.
+std::vector<bool> greedy_by_order(const graph::Graph& g,
+                                  const std::vector<std::size_t>& order);
+
+/// Greedy MIS in increasing-UID order (the SLOCAL(1) greedy).
+std::vector<bool> greedy_by_ids(const graph::Graph& g,
+                                const std::vector<std::uint64_t>& ids);
+
+}  // namespace ds::mis

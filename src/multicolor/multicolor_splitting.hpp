@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file multicolor_splitting.hpp
+/// The two relaxed splitting variants of Section 3 and their verifiers.
+///
+/// Definition 1.2 ((C, λ)-multicolor splitting): color V with C colors such
+/// that every u ∈ U has at most ⌈λ·deg(u)⌉ neighbors of each color.
+///
+/// Definition 1.3 (C-weak multicolor splitting): color V with C >= 2 log n
+/// colors such that every u ∈ U with deg(u) >= 2(log n + 1)·ln n sees at
+/// least 2 log n different colors.
+///
+/// Both are P-RLOCAL-complete (Theorems 3.2, 3.3); the reduction chains live
+/// in multicolor/reductions.hpp.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+
+namespace ds::multicolor {
+
+/// One color in [0, C) per right node.
+using ColorAssignment = std::vector<std::uint32_t>;
+
+/// Number of distinct colors among u's neighbors.
+std::size_t distinct_colors_seen(const graph::BipartiteGraph& b,
+                                 const ColorAssignment& colors,
+                                 graph::LeftId u);
+
+/// Largest per-color neighbor count at u.
+std::size_t max_color_load(const graph::BipartiteGraph& b,
+                           const ColorAssignment& colors, graph::LeftId u);
+
+/// Definition 1.2 verifier: every u ∈ U with deg(u) >= degree_threshold has
+/// at most ⌈lambda·deg(u)⌉ neighbors of each color, and all colors are < C.
+bool is_multicolor_splitting(const graph::BipartiteGraph& b,
+                             const ColorAssignment& colors, std::uint32_t C,
+                             double lambda, std::size_t degree_threshold = 0);
+
+/// Detailed Definition 1.2 check; empty string on success.
+std::string check_multicolor_splitting(const graph::BipartiteGraph& b,
+                                       const ColorAssignment& colors,
+                                       std::uint32_t C, double lambda,
+                                       std::size_t degree_threshold = 0);
+
+/// Definition 1.3 verifier: every u with deg(u) >= degree_threshold sees at
+/// least `required_colors` distinct colors, and all colors are < C.
+bool is_weak_multicolor_splitting(const graph::BipartiteGraph& b,
+                                  const ColorAssignment& colors,
+                                  std::uint32_t C,
+                                  std::size_t required_colors,
+                                  std::size_t degree_threshold);
+
+/// Definition 1.3's standard parameters for an instance with n = |U| + |V|:
+/// required_colors = ⌈2 log₂ n⌉, degree_threshold = ⌈2(log₂ n + 1)·ln n⌉.
+struct WeakMulticolorParams {
+  std::uint32_t num_colors = 0;       ///< C' = required_colors (palette used)
+  std::size_t required_colors = 0;    ///< 2 log n
+  std::size_t degree_threshold = 0;   ///< 2(log n + 1) ln n
+};
+WeakMulticolorParams weak_multicolor_params(std::size_t n);
+
+}  // namespace ds::multicolor

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file random_algorithms.hpp
+/// The 0-round randomized algorithms of Theorems 3.2 and 3.3 and their
+/// derandomized (SLOCAL(2), scheduled by a B² coloring) counterparts. These
+/// place both Section 3 problems in P-RLOCAL; the other direction of the
+/// completeness proofs lives in multicolor/reductions.hpp.
+
+#include "graph/bipartite.hpp"
+#include "local/cost.hpp"
+#include "multicolor/multicolor_splitting.hpp"
+#include "support/rng.hpp"
+
+namespace ds::multicolor {
+
+/// Theorem 3.2 upper bound: every right node picks one of `num_colors`
+/// colors uniformly at random (0 rounds).
+ColorAssignment random_uniform_colors(const graph::BipartiteGraph& b,
+                                      std::uint32_t num_colors, Rng& rng);
+
+/// Diagnostics of a derandomized multicolor run.
+struct MulticolorDerandInfo {
+  double initial_potential = 0.0;
+  double final_potential = 0.0;
+  std::uint32_t schedule_colors = 0;
+};
+
+/// Derandomized Theorem 3.2: conditional expectations on the union-bound
+/// "some color missing" estimator, scheduled by a B² coloring. Guaranteed to
+/// make every constraint see *all* `num_colors` colors when the initial
+/// potential is < 1 (which the theorem's degree requirement ensures).
+ColorAssignment derand_weak_multicolor(const graph::BipartiteGraph& b,
+                                       std::uint32_t num_colors, Rng& rng,
+                                       local::CostMeter* meter = nullptr,
+                                       MulticolorDerandInfo* info = nullptr);
+
+/// The palette size C' <= C the Theorem 3.3 proof actually colors with:
+/// 3 if lambda >= 2/3, else ⌈3/lambda⌉.
+std::uint32_t cl_palette(std::uint32_t C, double lambda);
+
+/// Derandomized Theorem 3.3 upper bound: conditional expectations on the
+/// per-color Chernoff overload estimator with palette cl_palette(C, lambda).
+ColorAssignment derand_cl_multicolor(const graph::BipartiteGraph& b,
+                                     std::uint32_t C, double lambda, Rng& rng,
+                                     local::CostMeter* meter = nullptr,
+                                     MulticolorDerandInfo* info = nullptr);
+
+}  // namespace ds::multicolor

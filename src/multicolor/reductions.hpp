@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file reductions.hpp
+/// The completeness reductions of Section 3, run end-to-end:
+///
+///  * Theorem 3.2 (hardness direction): a weak *multicolor* splitting black
+///    box solves weak splitting. For each u, keep ⌈2 log n⌉ distinctly
+///    colored neighbors S(u); the pruned graph B′ has left degrees exactly
+///    ⌈2 log n⌉ and the multicolor assignment is a proper coloring of B′²
+///    restricted to V — exactly the schedule the SLOCAL(2) weak splitting
+///    derandomization needs, giving O(C) LOCAL rounds.
+///
+///  * Theorem 3.3 (hardness direction): ⌈log_{1/λ}(2 log n)⌉ iterated
+///    invocations of a (C, λ)-multicolor splitting black box refine the
+///    color classes until every class at every heavy u has at most a
+///    1/(2 log n) fraction of its neighbors — i.e. a
+///    (C^t, 1/(2 log n))-multicolor splitting, which in turn solves weak
+///    multicolor splitting (and hence, via Theorem 3.2, weak splitting).
+
+#include "graph/bipartite.hpp"
+#include "local/cost.hpp"
+#include "multicolor/multicolor_splitting.hpp"
+#include "splitting/weak_splitting.hpp"
+#include "support/rng.hpp"
+
+namespace ds::multicolor {
+
+/// Diagnostics of the Theorem 3.2 reduction.
+struct WeakViaMulticolorInfo {
+  std::uint32_t multicolor_palette = 0;  ///< C' used by the black box
+  std::size_t pruned_degree = 0;         ///< left degree of B′ (⌈2 log n⌉)
+  double weak_potential = 0.0;  ///< initial potential of the final derand
+};
+
+/// Theorem 3.2 reduction: weak splitting on `b` using the weak multicolor
+/// splitting black box (derand_weak_multicolor). Requires every left degree
+/// >= (2 log n + 1)·ln n (throws otherwise). Output verified.
+splitting::Coloring weak_splitting_via_multicolor(
+    const graph::BipartiteGraph& b, Rng& rng,
+    local::CostMeter* meter = nullptr, WeakViaMulticolorInfo* info = nullptr);
+
+/// Diagnostics/result of the Theorem 3.3 iterated reduction.
+struct IteratedCLResult {
+  ColorAssignment colors;        ///< final (compacted) color per right node
+  std::uint32_t num_colors = 0;  ///< distinct final colors (<= C^iterations)
+  std::size_t iterations = 0;    ///< ⌈log_{1/λ}(2 log n)⌉
+  std::size_t max_load = 0;      ///< max per-color neighbor count over heavy u
+  double target_load_frac = 0.0; ///< 1/(2 log n)
+  std::size_t heavy_threshold = 0;  ///< degree above which u is constrained
+  bool achieves_weak_multicolor = false;  ///< heavy u see >= 2 log n colors
+};
+
+/// Theorem 3.3 reduction: iterate the (C, λ) black box (derand_cl_multicolor)
+/// on virtual color-class nodes of degree >= alpha·λ·ln n until the per-class
+/// load fraction reaches 1/(2 log n).
+IteratedCLResult iterated_cl_multicolor(const graph::BipartiteGraph& b,
+                                        std::uint32_t C, double lambda,
+                                        double alpha, Rng& rng,
+                                        local::CostMeter* meter = nullptr);
+
+}  // namespace ds::multicolor

@@ -1,0 +1,244 @@
+#include "netdecomp/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "graph/properties.hpp"
+#include "support/check.hpp"
+
+namespace ds::netdecomp {
+
+namespace {
+
+constexpr std::uint32_t kUnassigned = UINT32_MAX;
+
+/// BFS from `source` over the nodes where `active` holds, truncated at
+/// `max_depth`. Returns (node, distance) pairs in visit order.
+std::vector<std::pair<graph::NodeId, std::size_t>> active_ball(
+    const graph::Graph& g, graph::NodeId source,
+    const std::vector<bool>& active, std::size_t max_depth) {
+  std::vector<std::pair<graph::NodeId, std::size_t>> visited;
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::queue<std::pair<graph::NodeId, std::size_t>> frontier;
+  seen[source] = true;
+  frontier.emplace(source, 0);
+  while (!frontier.empty()) {
+    const auto [v, d] = frontier.front();
+    frontier.pop();
+    visited.emplace_back(v, d);
+    if (d == max_depth) continue;
+    for (graph::NodeId w : g.neighbors(v)) {
+      if (!seen[w] && active[w]) {
+        seen[w] = true;
+        frontier.emplace(w, d + 1);
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace
+
+std::size_t weak_diameter(const graph::Graph& g, const Decomposition& d) {
+  DS_CHECK(d.cluster.size() == g.num_nodes());
+  // Group members per cluster, then BFS from each member of small clusters
+  // — O(sum over clusters of |cluster| * (n + m)) is fine at test scale.
+  std::vector<std::vector<graph::NodeId>> members(d.num_clusters);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    DS_CHECK(d.cluster[v] < d.num_clusters);
+    members[d.cluster[v]].push_back(v);
+  }
+  std::size_t worst = 0;
+  for (const auto& cluster : members) {
+    if (cluster.size() <= 1) continue;
+    if (cluster.size() <= 64) {
+      // Exact: max pairwise distance.
+      for (graph::NodeId s : cluster) {
+        const auto ds = graph::bfs_distances(g, s);
+        for (graph::NodeId v : cluster) {
+          DS_CHECK_MSG(ds[v] != SIZE_MAX,
+                       "cluster spans disconnected components");
+          worst = std::max(worst, ds[v]);
+        }
+      }
+    } else {
+      // Eccentricity from one member bounds the diameter within factor 2.
+      const auto dist = graph::bfs_distances(g, cluster.front());
+      std::size_t ecc = 0;
+      for (graph::NodeId v : cluster) {
+        DS_CHECK_MSG(dist[v] != SIZE_MAX,
+                     "cluster spans disconnected components");
+        ecc = std::max(ecc, dist[v]);
+      }
+      worst = std::max(worst, 2 * ecc);
+    }
+  }
+  return worst;
+}
+
+bool is_network_decomposition(const graph::Graph& g,
+                              const Decomposition& decomp,
+                              std::size_t max_diameter,
+                              std::size_t max_blocks) {
+  if (decomp.cluster.size() != g.num_nodes()) return false;
+  if (decomp.block.size() != decomp.num_clusters) return false;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (decomp.cluster[v] == kUnassigned ||
+        decomp.cluster[v] >= decomp.num_clusters) {
+      return false;
+    }
+  }
+  for (std::uint32_t b : decomp.block) {
+    if (b >= max_blocks || b >= decomp.num_blocks) return false;
+  }
+  // Adjacent clusters must differ in block.
+  for (const graph::Edge& e : g.edges()) {
+    const std::uint32_t cu = decomp.cluster[e.u];
+    const std::uint32_t cv = decomp.cluster[e.v];
+    if (cu != cv && decomp.block[cu] == decomp.block[cv]) return false;
+  }
+  return weak_diameter(g, decomp) <= max_diameter;
+}
+
+Decomposition linial_saks(const graph::Graph& g, std::uint64_t seed,
+                          local::CostMeter* meter, std::size_t radius_cap) {
+  const std::size_t n = g.num_nodes();
+  Decomposition decomp;
+  decomp.cluster.assign(n, kUnassigned);
+  if (n == 0) return decomp;
+  if (radius_cap == 0) {
+    radius_cap = 2 * static_cast<std::size_t>(
+                         std::ceil(std::log2(static_cast<double>(n) + 1))) +
+                 4;
+  }
+  const std::size_t max_blocks = 4 * radius_cap + 8;
+
+  Rng master(seed);
+  std::vector<bool> active(n, true);
+  std::size_t remaining = n;
+  std::size_t block = 0;
+  for (; remaining > 0; ++block) {
+    DS_CHECK_MSG(block < max_blocks,
+                 "Linial-Saks exceeded its phase budget (improbable)");
+    // Radii: r_y ~ Geometric(1/2) capped.
+    std::vector<std::size_t> radius(n, 0);
+    for (graph::NodeId y = 0; y < n; ++y) {
+      if (!active[y]) continue;
+      Rng coin = master.fork((static_cast<std::uint64_t>(block) << 32) ^ y);
+      std::size_t r = 0;
+      while (r < radius_cap && coin.next_bool()) ++r;
+      radius[y] = r;
+    }
+    // For every active node v: the highest-UID active center covering it
+    // (dist <= r_y), and whether strictly inside (dist < r_y). UIDs here are
+    // the dense node ids — unique, which is all the argument needs.
+    // Computed by multi-source layered BFS from each center; at test scale a
+    // per-center BFS is fine and keeps the code transparent.
+    std::vector<graph::NodeId> best(n, 0);
+    std::vector<bool> covered(n, false);
+    std::vector<bool> strictly_inside(n, false);
+    for (graph::NodeId y = 0; y < n; ++y) {
+      if (!active[y]) continue;
+      for (const auto& [v, d] : active_ball(g, y, active, radius[y])) {
+        if (!covered[v] || y > best[v]) {
+          best[v] = y;
+          covered[v] = true;
+          strictly_inside[v] = d < radius[y];
+        }
+      }
+    }
+    // Strictly-inside nodes join their center's cluster for this block.
+    std::vector<std::uint32_t> cluster_of_center(n, kUnassigned);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (!active[v] || !covered[v] || !strictly_inside[v]) continue;
+      const graph::NodeId y = best[v];
+      if (cluster_of_center[y] == kUnassigned) {
+        cluster_of_center[y] = static_cast<std::uint32_t>(decomp.num_clusters);
+        decomp.block.push_back(static_cast<std::uint32_t>(block));
+        ++decomp.num_clusters;
+      }
+      decomp.cluster[v] = cluster_of_center[y];
+    }
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (decomp.cluster[v] != kUnassigned && active[v]) {
+        active[v] = false;
+        --remaining;
+      }
+    }
+    if (meter != nullptr) {
+      // One block costs O(radius_cap) rounds: radius broadcast + join.
+      meter->charge("linial-saks-block", static_cast<double>(radius_cap));
+    }
+  }
+  decomp.num_blocks = block;
+  decomp.max_weak_diameter = weak_diameter(g, decomp);
+  // True weak diameter is <= 2*radius_cap; the measurement doubles an
+  // eccentricity for large clusters, hence the 2x verification slack.
+  DS_CHECK_MSG(is_network_decomposition(g, decomp, 4 * radius_cap,
+                                        decomp.num_blocks),
+               "Linial-Saks produced an invalid decomposition");
+  return decomp;
+}
+
+Decomposition ball_carving(const graph::Graph& g, local::CostMeter* meter) {
+  const std::size_t n = g.num_nodes();
+  Decomposition decomp;
+  decomp.cluster.assign(n, kUnassigned);
+  if (n == 0) return decomp;
+
+  std::vector<bool> active(n, true);
+  std::size_t remaining = n;
+  std::size_t block = 0;
+  std::size_t worst_radius = 0;
+  for (; remaining > 0; ++block) {
+    DS_CHECK_MSG(block <= n, "ball carving failed to make progress");
+    // `carved` marks nodes consumed in this block (interiors and shells);
+    // shells stay active for later blocks.
+    std::vector<bool> carvable = active;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (!carvable[v]) continue;
+      // Grow the ball radius until the next shell would not double it.
+      std::size_t r = 0;
+      for (;;) {
+        const auto ball = active_ball(g, v, carvable, r + 1);
+        std::size_t inside = 0;
+        for (const auto& [w, d] : ball) {
+          if (d <= r) ++inside;
+        }
+        if (ball.size() < 2 * inside) break;  // shell < interior: stop
+        ++r;
+        DS_CHECK_MSG(r <= n, "ball growth runaway");
+      }
+      worst_radius = std::max(worst_radius, r);
+      // Interior B(v, r) becomes a cluster; shell (distance r+1) is carved
+      // out of this block but stays active.
+      const auto ball = active_ball(g, v, carvable, r + 1);
+      const auto id = static_cast<std::uint32_t>(decomp.num_clusters);
+      decomp.block.push_back(static_cast<std::uint32_t>(block));
+      ++decomp.num_clusters;
+      for (const auto& [w, d] : ball) {
+        carvable[w] = false;
+        if (d <= r) {
+          decomp.cluster[w] = id;
+          active[w] = false;
+          --remaining;
+        }
+      }
+    }
+    if (meter != nullptr) {
+      meter->charge("ball-carving-block",
+                    static_cast<double>(2 * (worst_radius + 1)));
+    }
+  }
+  decomp.num_blocks = block;
+  decomp.max_weak_diameter = weak_diameter(g, decomp);
+  // Clusters are radius-<=worst_radius balls (strong diameter 2r); the
+  // measurement doubles an eccentricity for large clusters (2x slack).
+  DS_CHECK_MSG(is_network_decomposition(g, decomp, 4 * worst_radius + 1,
+                                        decomp.num_blocks),
+               "ball carving produced an invalid decomposition");
+  return decomp;
+}
+
+}  // namespace ds::netdecomp

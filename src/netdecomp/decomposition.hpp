@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file decomposition.hpp
+/// (d, c)-network decompositions.
+///
+/// A (d, c)-network decomposition partitions the nodes into clusters of
+/// (weak) diameter at most d, and colors the clusters with c colors so that
+/// adjacent clusters get different colors. This is the object the paper's
+/// completeness story revolves around: [GKM17] turn an efficient weak
+/// splitting algorithm into an efficient network decomposition, and [GHK16]
+/// turn a network decomposition into a derandomizer for every locally
+/// checkable problem (see derandomize.hpp for that second step, executed).
+///
+/// Two constructions:
+///  * `linial_saks` — the classic randomized decomposition: per block,
+///    active nodes draw geometric radii; a node joins the highest-UID
+///    covering center if strictly inside its radius, and defers if on the
+///    boundary. Expected half of the active nodes are assigned per block,
+///    giving an (O(log n), O(log n)) decomposition w.h.p.
+///  * `ball_carving` — the deterministic sequential (SLOCAL-flavored)
+///    construction: per block, carve balls grown until the next shell would
+///    less than double the ball; interiors become clusters, shells defer to
+///    later blocks. Since the shell of each carved ball is at most as large
+///    as its interior, blocks halve the active set: at most ceil(log2 n)+1
+///    blocks and radius at most log2 n.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+#include "support/rng.hpp"
+
+namespace ds::netdecomp {
+
+/// A clustering plus a proper coloring of the cluster graph.
+struct Decomposition {
+  /// Cluster id per node (dense, in [0, num_clusters)).
+  std::vector<std::uint32_t> cluster;
+  /// Block (cluster color) per cluster id, in [0, num_blocks).
+  std::vector<std::uint32_t> block;
+  std::size_t num_clusters = 0;
+  std::size_t num_blocks = 0;
+  /// Largest measured weak diameter (max distance in G between two nodes of
+  /// one cluster) — filled by the constructions and by `weak_diameter`.
+  std::size_t max_weak_diameter = 0;
+};
+
+/// Max over clusters of the G-distance between any two cluster members.
+std::size_t weak_diameter(const graph::Graph& g, const Decomposition& d);
+
+/// True iff `decomp` is a valid (max_diameter, max_blocks)-decomposition:
+/// every node is clustered, weak diameters are at most `max_diameter`, and
+/// adjacent clusters are in different blocks with block ids < max_blocks.
+bool is_network_decomposition(const graph::Graph& g,
+                              const Decomposition& decomp,
+                              std::size_t max_diameter,
+                              std::size_t max_blocks);
+
+/// Randomized Linial–Saks decomposition. `radius_cap` bounds the geometric
+/// radii (default 2·log2 n + 4). Verified before returning; throws if the
+/// phase budget (4·radius_cap blocks) is exhausted, which w.h.p. never
+/// happens.
+Decomposition linial_saks(const graph::Graph& g, std::uint64_t seed,
+                          local::CostMeter* meter = nullptr,
+                          std::size_t radius_cap = 0);
+
+/// Deterministic sequential ball carving. Produces clusters that are
+/// *strong*-diameter balls (connected in the induced subgraph). Verified
+/// before returning.
+Decomposition ball_carving(const graph::Graph& g,
+                           local::CostMeter* meter = nullptr);
+
+}  // namespace ds::netdecomp

@@ -1,0 +1,93 @@
+#include "netdecomp/derandomize.hpp"
+
+#include <algorithm>
+
+#include "coloring/reduce.hpp"
+#include "coloring/verify.hpp"
+#include "support/check.hpp"
+
+namespace ds::netdecomp {
+
+namespace {
+
+/// Nodes grouped by block, clusters kept contiguous, node order inside a
+/// cluster ascending — the deterministic sweep schedule.
+std::vector<std::vector<graph::NodeId>> block_schedule(
+    const graph::Graph& g, const Decomposition& decomp) {
+  DS_CHECK(decomp.cluster.size() == g.num_nodes());
+  std::vector<std::vector<graph::NodeId>> by_cluster(decomp.num_clusters);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    DS_CHECK(decomp.cluster[v] < decomp.num_clusters);
+    by_cluster[decomp.cluster[v]].push_back(v);
+  }
+  std::vector<std::vector<graph::NodeId>> by_block(decomp.num_blocks);
+  for (std::uint32_t c = 0; c < decomp.num_clusters; ++c) {
+    DS_CHECK(decomp.block[c] < decomp.num_blocks);
+    auto& blk = by_block[decomp.block[c]];
+    blk.insert(blk.end(), by_cluster[c].begin(), by_cluster[c].end());
+  }
+  return by_block;
+}
+
+void charge_sweeps(const graph::Graph& g, const Decomposition& decomp,
+                   local::CostMeter* meter) {
+  if (meter != nullptr) {
+    meter->charge("decomposition-sweep",
+                  static_cast<double>(decomp.num_blocks) *
+                      static_cast<double>(decomp.max_weak_diameter + 2));
+  }
+}
+
+}  // namespace
+
+std::vector<bool> mis_via_decomposition(const graph::Graph& g,
+                                        const Decomposition& decomp,
+                                        local::CostMeter* meter) {
+  std::vector<bool> in_mis(g.num_nodes(), false);
+  std::vector<bool> dominated(g.num_nodes(), false);
+  for (const auto& block : block_schedule(g, decomp)) {
+    // Same-block clusters are non-adjacent, so this sequential loop equals
+    // the parallel per-cluster greedy: a node's dominators are either in
+    // its own cluster (earlier in the schedule) or in an earlier block.
+    for (graph::NodeId v : block) {
+      if (dominated[v]) continue;
+      in_mis[v] = true;
+      for (graph::NodeId w : g.neighbors(v)) dominated[w] = true;
+      dominated[v] = true;
+    }
+  }
+  charge_sweeps(g, decomp, meter);
+  DS_CHECK_MSG(coloring::is_mis(g, in_mis),
+               "decomposition sweep produced an invalid MIS");
+  return in_mis;
+}
+
+std::vector<std::uint32_t> coloring_via_decomposition(
+    const graph::Graph& g, const Decomposition& decomp,
+    std::uint32_t* num_colors_out, local::CostMeter* meter) {
+  constexpr std::uint32_t kNone = UINT32_MAX;
+  std::vector<std::uint32_t> colors(g.num_nodes(), kNone);
+  std::uint32_t palette = 0;
+  for (const auto& block : block_schedule(g, decomp)) {
+    for (graph::NodeId v : block) {
+      // Smallest color unused among already-colored neighbors.
+      std::vector<bool> used(g.degree(v) + 1, false);
+      for (graph::NodeId w : g.neighbors(v)) {
+        if (colors[w] != kNone && colors[w] <= g.degree(v)) {
+          used[colors[w]] = true;
+        }
+      }
+      std::uint32_t pick = 0;
+      while (used[pick]) ++pick;
+      colors[v] = pick;
+      palette = std::max(palette, pick + 1);
+    }
+  }
+  charge_sweeps(g, decomp, meter);
+  DS_CHECK_MSG(coloring::is_proper_coloring(g, colors),
+               "decomposition sweep produced an improper coloring");
+  if (num_colors_out != nullptr) *num_colors_out = palette;
+  return colors;
+}
+
+}  // namespace ds::netdecomp

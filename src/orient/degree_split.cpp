@@ -1,0 +1,62 @@
+#include "orient/degree_split.hpp"
+
+#include <algorithm>
+
+#include "orient/euler.hpp"
+#include "support/check.hpp"
+
+namespace ds::orient {
+
+graph::Orientation degree_split(const graph::Multigraph& g,
+                                const SplitConfig& config, Rng& rng,
+                                local::CostMeter* meter) {
+  DS_CHECK(config.eps > 0.0);
+  switch (config.method) {
+    case SplitMethod::kEuler: {
+      graph::Orientation orient = euler_orientation(g);
+      if (meter != nullptr) {
+        const double eps = std::min(1.0, config.eps);
+        const double cost =
+            config.randomized
+                ? local::degree_splitting_cost_rand(eps, g.num_nodes())
+                : local::degree_splitting_cost_det(eps, g.num_nodes());
+        meter->charge("degree-split", cost);
+      }
+      return orient;
+    }
+    case SplitMethod::kRandomBaseline: {
+      graph::Orientation orient;
+      orient.toward_v.resize(g.num_edges());
+      for (std::size_t e = 0; e < g.num_edges(); ++e) {
+        orient.toward_v[e] = rng.next_bool();
+      }
+      // A 0-round local coin flip per edge: nothing to charge.
+      return orient;
+    }
+  }
+  DS_CHECK_MSG(false, "unknown SplitMethod");
+  return {};
+}
+
+std::size_t max_discrepancy(const graph::Multigraph& g,
+                            const graph::Orientation& orient) {
+  std::size_t worst = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    worst = std::max(worst, graph::orientation_discrepancy(g, orient, v));
+  }
+  return worst;
+}
+
+bool satisfies_split_contract(const graph::Multigraph& g,
+                              const graph::Orientation& orient, double eps) {
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double bound = eps * static_cast<double>(g.degree(v)) + 2.0;
+    if (static_cast<double>(graph::orientation_discrepancy(g, orient, v)) >
+        bound) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ds::orient

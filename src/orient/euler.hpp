@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file euler.hpp
+/// Eulerian trail partition of multigraphs and the orientation it induces.
+///
+/// Every multigraph's edge set partitions into maximal trails whose endpoints
+/// are odd-degree nodes (each odd node ends exactly one trail) plus closed
+/// cycles. Orienting every trail along its walk direction balances in/out
+/// degree at every intermediate visit, so the discrepancy |out − in| is 0 at
+/// even-degree nodes and 1 at odd-degree nodes — which dominates the
+/// ε·d(v)+2 contract of Theorem 2.3 for every ε. This is the engine of the
+/// library's directed degree splitting substrate (degree_split.hpp).
+
+#include <vector>
+
+#include "graph/multigraph.hpp"
+
+namespace ds::orient {
+
+/// A trail: the sequence of edge ids walked, plus the start node (the walk
+/// direction of each edge follows from the previous endpoint).
+struct Trail {
+  graph::NodeId start = 0;
+  std::vector<graph::EdgeId> edges;
+  bool closed = false;  ///< true if the trail returns to `start` (a cycle)
+};
+
+/// Partitions all edges of `g` into maximal trails and cycles.
+/// Every edge appears in exactly one trail.
+std::vector<Trail> euler_partition(const graph::Multigraph& g);
+
+/// The orientation induced by walking each trail of `euler_partition(g)`
+/// forward. Discrepancy is 1 at odd-degree nodes, 0 at even-degree nodes.
+graph::Orientation euler_orientation(const graph::Multigraph& g);
+
+/// A balanced red/blue *edge coloring* (one bit per edge id, true = red):
+/// colors alternate along every Euler trail, so each internal trail visit
+/// pairs one red with one blue edge at the visited node. Per-node
+/// |#red − #blue| <= 3: every node is an endpoint of at most one open
+/// trail (+-1, the uncontrolled part), and the start color of each trail is
+/// chosen greedily against the running balance (envelope +-2). This is the
+/// [GS17] edge splitting construction used by the edgecolor module.
+std::vector<bool> alternating_bicoloring(const graph::Multigraph& g);
+
+/// Max over nodes of |#red − #blue| incident edges under `is_red`.
+std::size_t bicoloring_discrepancy(const graph::Multigraph& g,
+                                   const std::vector<bool>& is_red);
+
+}  // namespace ds::orient

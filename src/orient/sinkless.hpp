@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file sinkless.hpp
+/// Sinkless orientation: orient the edges of a graph so that no node of
+/// sufficiently large degree is a sink (i.e. every such node has at least
+/// one outgoing edge). This is the problem underlying the paper's lower
+/// bound (Section 2.5): weak splitting on rank-2 instances solves sinkless
+/// orientation, and sinkless orientation has an Ω(log_Δ log n) randomized
+/// lower bound [BFH+16], which transfers to weak splitting (Theorem 2.10).
+///
+/// Edge orientations on a simple Graph are represented as one bool per edge
+/// index: toward_v[e] == true means edges()[e] points u -> v.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+#include "support/rng.hpp"
+
+namespace ds::orient {
+
+/// True iff every node with degree >= min_degree has at least one outgoing
+/// edge under `toward_v`.
+bool is_sinkless(const graph::Graph& g, const std::vector<bool>& toward_v,
+                 std::size_t min_degree);
+
+/// Simple randomized LOCAL baseline: orient every edge by a fair coin, then
+/// repeatedly let every remaining sink flip one uniformly random incident
+/// edge (all sinks act simultaneously each round). Terminates quickly for
+/// min degree >= 3 in practice; throws after `max_rounds`. Executed rounds
+/// are added to `meter`.
+std::vector<bool> sinkless_random_fix(const graph::Graph& g, Rng& rng,
+                                      local::CostMeter* meter,
+                                      std::size_t max_rounds = 10000);
+
+/// Outcome of the message-passing sinkless orientation.
+struct SinklessOutcome {
+  std::vector<bool> toward_v;       ///< per edge id of `g`
+  std::size_t executed_rounds = 0;  ///< total simulator rounds (all trials)
+  std::size_t trials = 1;           ///< Las Vegas restarts used
+};
+
+/// The same sink-flipping protocol as `sinkless_random_fix`, but run as a
+/// genuine message-passing program on the LOCAL simulator: round 0
+/// exchanges per-edge coin flips (both endpoints derive the same initial
+/// orientation), then every sink flips one random incident edge per round
+/// and announces the flip. Each trial runs a fixed O(log n) round budget
+/// (global termination is not locally detectable); the driver verifies and
+/// retries with a fresh seed — a Las Vegas wrapper. Throws after
+/// `max_trials` failed trials. Requires min degree >= `min_degree` checks
+/// only at verification.
+SinklessOutcome sinkless_program(const graph::Graph& g, std::uint64_t seed,
+                                 std::size_t min_degree,
+                                 local::CostMeter* meter = nullptr,
+                                 std::size_t max_trials = 30);
+
+}  // namespace ds::orient

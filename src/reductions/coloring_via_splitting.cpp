@@ -1,0 +1,84 @@
+#include "reductions/coloring_via_splitting.hpp"
+
+#include <algorithm>
+
+#include "coloring/reduce.hpp"
+#include "coloring/verify.hpp"
+#include "local/ids.hpp"
+#include "reductions/uniform_splitting.hpp"
+#include "support/check.hpp"
+
+namespace ds::reductions {
+
+RecursiveColoringResult coloring_via_splitting(
+    const graph::Graph& g, const RecursiveColoringConfig& config, Rng& rng,
+    local::CostMeter* meter) {
+  RecursiveColoringResult result;
+  result.colors.assign(g.num_nodes(), 0);
+
+  // Parts as node lists; split every part whose induced degree exceeds the
+  // target, level-synchronously (all parts split in parallel in LOCAL; we
+  // merge their meters as a max per level).
+  std::vector<std::vector<graph::NodeId>> parts(1);
+  parts[0].resize(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) parts[0][v] = v;
+
+  for (std::size_t level = 0; level < config.max_levels; ++level) {
+    bool any_split = false;
+    std::vector<std::vector<graph::NodeId>> next;
+    local::CostMeter level_meter;
+    for (auto& part : parts) {
+      auto [sub, to_parent] = g.induced_subgraph(part);
+      if (sub.max_degree() <= config.target_degree) {
+        next.push_back(std::move(part));
+        continue;
+      }
+      any_split = true;
+      local::CostMeter one;
+      const UniformSplitResult split =
+          uniform_split(sub, config.eps, config.split_degree_threshold,
+                        rng, &one);
+      level_meter.merge_parallel_max(one);
+      std::vector<graph::NodeId> red;
+      std::vector<graph::NodeId> blue;
+      for (graph::NodeId s = 0; s < sub.num_nodes(); ++s) {
+        (split.is_red[s] ? red : blue).push_back(to_parent[s]);
+      }
+      if (!red.empty()) next.push_back(std::move(red));
+      if (!blue.empty()) next.push_back(std::move(blue));
+    }
+    parts = std::move(next);
+    if (meter != nullptr) meter->merge_sequential(level_meter);
+    if (!any_split) break;
+    ++result.levels;
+  }
+
+  // Disjoint palettes: each part is colored with Δ_part + 1 fresh colors.
+  std::uint32_t palette_base = 0;
+  local::CostMeter leaf_meter;
+  for (const auto& part : parts) {
+    auto [sub, to_parent] = g.induced_subgraph(part);
+    result.max_part_degree = std::max(result.max_part_degree, sub.max_degree());
+    Rng id_rng = rng.fork(0xC01u + palette_base);
+    const auto ids =
+        local::assign_ids(sub, local::IdStrategy::kSequential, id_rng);
+    std::uint32_t part_colors = 0;
+    local::CostMeter one;
+    const auto sub_coloring =
+        coloring::delta_plus_one_coloring(sub, ids, &part_colors, &one);
+    leaf_meter.merge_parallel_max(one);
+    for (graph::NodeId s = 0; s < sub.num_nodes(); ++s) {
+      result.colors[to_parent[s]] = palette_base + sub_coloring[s];
+    }
+    palette_base += part_colors;
+  }
+  if (meter != nullptr) meter->merge_sequential(leaf_meter);
+  result.num_parts = parts.size();
+  result.num_colors = palette_base;
+
+  DS_CHECK_MSG(coloring::is_proper_coloring(g, result.colors),
+               "recursive splitting coloring is not proper");
+  return result;
+}
+
+}  // namespace ds::reductions

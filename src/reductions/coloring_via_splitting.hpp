@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file coloring_via_splitting.hpp
+/// Lemma 4.1: recursive uniform splitting yields a (1 + o(1))Δ vertex
+/// coloring. The graph is split r ≈ log Δ − log log n times into 2^r parts
+/// whose maximum degrees are ~Δ/2^r·(1+ε)^r; each part is then colored with
+/// its own disjoint (Δ_part + 1)-palette, for
+/// 2^r·(Δ_part + 1) = (1+ε)^r·Δ + o(Δ) total colors.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+#include "support/rng.hpp"
+
+namespace ds::reductions {
+
+/// Knobs of the recursive coloring.
+struct RecursiveColoringConfig {
+  double eps = 0.1;  ///< uniform splitting accuracy per level
+  /// Stop splitting when every part's max degree is <= this.
+  std::size_t target_degree = 16;
+  /// Constrain only nodes of at least this degree inside each part (small
+  /// degrees cannot meet a (1/2±ε) window; they are colored greedily at the
+  /// leaves anyway).
+  std::size_t split_degree_threshold = 16;
+  /// Hard cap on levels (safety; the natural stop is target_degree).
+  std::size_t max_levels = 24;
+};
+
+/// Result of the Lemma 4.1 pipeline.
+struct RecursiveColoringResult {
+  std::vector<std::uint32_t> colors;  ///< proper coloring of the input graph
+  std::uint32_t num_colors = 0;       ///< total palette across all parts
+  std::size_t levels = 0;             ///< r, number of splitting levels
+  std::size_t num_parts = 0;          ///< 2^r-ish leaf count (non-empty)
+  std::size_t max_part_degree = 0;    ///< Δ* over the leaf parts
+};
+
+/// Runs the recursive splitting + disjoint-palette coloring. The output is
+/// verified to be a proper coloring (throws on failure).
+RecursiveColoringResult coloring_via_splitting(
+    const graph::Graph& g, const RecursiveColoringConfig& config, Rng& rng,
+    local::CostMeter* meter = nullptr);
+
+}  // namespace ds::reductions

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file graph_to_bipartite.hpp
+/// The v_L/v_R doubling construction of Section 1.2: for each node v of a
+/// graph G make a left copy v_L ∈ U and a right copy v_R ∈ V; for every edge
+/// {u, v} ∈ E(G) connect v_L–u_R and u_L–v_R. A weak splitting of the
+/// resulting bipartite instance is exactly a red/blue coloring of V(G) in
+/// which every node sees both colors among its neighbors — the splitting
+/// problem on general graphs. Note δ_B = δ_G and r_B = Δ_G (so δ_B <= r_B
+/// always; this is why Theorem 2.7 cannot be applied to general graphs).
+
+#include "graph/bipartite.hpp"
+#include "graph/graph.hpp"
+#include "splitting/weak_splitting.hpp"
+
+namespace ds::reductions {
+
+/// Builds the doubled bipartite instance; left i = (node i)_L and right
+/// i = (node i)_R.
+graph::BipartiteGraph graph_to_bipartite(const graph::Graph& g);
+
+/// True iff every node of `g` with degree >= min_degree has both a red and
+/// a blue neighbor under the node coloring (node i gets colors[i]).
+bool is_graph_weak_splitting(const graph::Graph& g,
+                             const splitting::Coloring& colors,
+                             std::size_t min_degree = 0);
+
+}  // namespace ds::reductions

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file mis_via_splitting.hpp
+/// Lemma 4.2 (Section 4.2): MIS via repeated splitting. The algorithm runs
+/// O(log Δ) degree-halving phases; inside a phase, heavy nodes (degree >=
+/// Δ_cur/2) are eliminated by (a) repeatedly splitting the active node set
+/// until active degrees drop to O(log n), (b) computing an MIS of the active
+/// graph by coloring (the [BEK14b] linear-in-degree base case), and (c)
+/// removing the MIS and its neighbors. Lemma 4.4 shows each elimination
+/// round covers Ω(|V_H|/log³ n) heavy nodes.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+#include "support/rng.hpp"
+
+namespace ds::reductions {
+
+/// Knobs of the MIS pipeline.
+struct MisConfig {
+  double eps = 0.1;  ///< splitting accuracy
+  /// Run the coloring-based MIS directly once the remaining max degree is
+  /// <= low_degree_factor · log₂ n.
+  double low_degree_factor = 4.0;
+  /// Keep splitting the active set until active degrees are <= this factor
+  /// times log₂ n (the paper's 4·log n).
+  double active_degree_factor = 4.0;
+};
+
+/// Result of the MIS pipeline.
+struct MisResult {
+  std::vector<bool> in_mis;
+  std::size_t phases = 0;           ///< outer degree-halving phases
+  std::size_t elimination_rounds = 0;  ///< heavy-node elimination iterations
+  std::size_t splitting_calls = 0;  ///< uniform splitting invocations
+};
+
+/// Computes a maximal independent set of `g` via the splitting reduction.
+/// The output is verified (throws on failure).
+MisResult mis_via_splitting(const graph::Graph& g, const MisConfig& config,
+                            Rng& rng, local::CostMeter* meter = nullptr);
+
+}  // namespace ds::reductions

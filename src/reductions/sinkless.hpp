@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file sinkless.hpp
+/// The lower-bound reduction of Section 2.5 / Figure 1 (Theorem 2.10):
+/// sinkless orientation on G reduces to weak splitting on a rank-2 bipartite
+/// instance B. Left nodes of B are the nodes of G; right nodes are the edges
+/// of G. Node u connects to its edges towards larger IDs if at least half of
+/// its neighbors have larger IDs, otherwise to its edges towards smaller
+/// IDs — so every left degree is >= ⌈deg_G(u)/2⌉. A weak splitting of B
+/// 2-colors E(G); orienting red edges small-ID -> large-ID and blue edges
+/// the other way gives every node an outgoing edge (its majority side
+/// contains both colors, one of which points away from it).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+#include "splitting/weak_splitting.hpp"
+#include "support/rng.hpp"
+
+namespace ds::reductions {
+
+/// The Figure 1 instance: left i = node i of g, right e = edge e of g.
+/// `ids` must be distinct.
+graph::BipartiteGraph build_sinkless_instance(
+    const graph::Graph& g, const std::vector<std::uint64_t>& ids);
+
+/// Converts a weak splitting of the Figure 1 instance into an edge
+/// orientation of g: red => toward the larger ID, blue => toward the
+/// smaller ID (per edge index of g.edges()).
+std::vector<bool> orientation_from_splitting(
+    const graph::Graph& g, const splitting::Coloring& edge_colors,
+    const std::vector<std::uint64_t>& ids);
+
+/// End-to-end pipeline: build B, solve weak splitting with the facade,
+/// convert, and verify sinklessness. Requires min degree >= 5 (Theorem
+/// 2.10's regime; guarantees left degrees >= 3). `algorithm_used` (optional)
+/// receives the facade's choice.
+std::vector<bool> sinkless_via_weak_splitting(
+    const graph::Graph& g, Rng& rng, local::CostMeter* meter = nullptr,
+    std::string* algorithm_used = nullptr);
+
+}  // namespace ds::reductions

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file uniform_splitting.hpp
+/// The uniform (strong) splitting problem of Section 4: divide the nodes of
+/// a graph into red and blue so that every constrained node's red-neighbor
+/// count lies within (1/2 ± ε)·deg (blue is then automatically in range).
+/// The paper's uniform variant assumes δ >= Δ/2; the Remark in Section 4.1
+/// reduces the general case to it by padding low-degree nodes with δ-clique
+/// gadgets (graph/virtual_split.hpp).
+///
+/// The solver derandomizes the fair-coin algorithm with the two-sided
+/// Chernoff estimator (derand/events.hpp), scheduled by a coloring of the
+/// square of the doubled bipartite instance, and falls back to Las Vegas
+/// retries outside the potential < 1 regime.
+
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+#include "support/rng.hpp"
+
+namespace ds::reductions {
+
+/// Is `red_count(v)` within [floor((1/2−eps)·d), ceil((1/2+eps)·d)] for
+/// every node v with degree >= degree_threshold?
+bool is_uniform_splitting(const graph::Graph& g,
+                          const std::vector<bool>& is_red, double eps,
+                          std::size_t degree_threshold);
+
+/// Result of one uniform splitting run.
+struct UniformSplitResult {
+  std::vector<bool> is_red;
+  double initial_potential = 0.0;  ///< two-sided Chernoff potential
+  bool derandomized = true;        ///< false if the Las Vegas path was taken
+};
+
+/// Solves uniform splitting on `g` (constraining nodes of degree >=
+/// degree_threshold). Throws if neither the derandomized pass nor Las Vegas
+/// retries produce a valid split.
+UniformSplitResult uniform_split(const graph::Graph& g, double eps,
+                                 std::size_t degree_threshold, Rng& rng,
+                                 local::CostMeter* meter = nullptr);
+
+/// The bipartite core both `uniform_split` and the hypergraph splitting
+/// build on: 2-color the right nodes of `b` so every left node u has
+/// between floor((1/2−eps)·deg(u)) and ceil((1/2+eps)·deg(u)) red
+/// neighbors. Derandomized pass first (valid whenever the two-sided
+/// Chernoff potential is < 1), then WalkSAT-style repair. Throws if both
+/// fail. `is_red` is indexed by right node.
+struct TwoSidedSplitResult {
+  std::vector<bool> is_red;
+  double initial_potential = 0.0;
+  bool derandomized = true;
+};
+TwoSidedSplitResult two_sided_split_bipartite(const graph::BipartiteGraph& b,
+                                              double eps, Rng& rng,
+                                              local::CostMeter* meter = nullptr);
+
+/// True iff every left node's red-neighbor count is inside its
+/// (1/2 ± eps) window.
+bool is_two_sided_split(const graph::BipartiteGraph& b,
+                        const std::vector<bool>& is_red, double eps);
+
+}  // namespace ds::reductions

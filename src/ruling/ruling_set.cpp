@@ -1,0 +1,147 @@
+#include "ruling/ruling_set.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/properties.hpp"
+#include "mis/mis.hpp"
+#include "support/check.hpp"
+
+namespace ds::ruling {
+
+namespace {
+
+/// Multi-source BFS truncated at `max_depth`; SIZE_MAX marks unreached.
+std::vector<std::size_t> multi_source_distances(
+    const graph::Graph& g, const std::vector<bool>& sources,
+    std::size_t max_depth) {
+  std::vector<std::size_t> dist(g.num_nodes(), SIZE_MAX);
+  std::queue<graph::NodeId> frontier;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (sources[v]) {
+      dist[v] = 0;
+      frontier.push(v);
+    }
+  }
+  while (!frontier.empty()) {
+    const graph::NodeId v = frontier.front();
+    frontier.pop();
+    if (dist[v] >= max_depth) continue;
+    for (graph::NodeId w : g.neighbors(v)) {
+      if (dist[w] == SIZE_MAX) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+/// The bit-fixing recursion: candidates all share the UID bits above `bit`.
+/// Returns the ruling set of the candidate-induced subgraph.
+void rule_bitwise(const graph::Graph& g, const std::vector<std::uint64_t>& uids,
+                  const std::vector<graph::NodeId>& candidates, int bit,
+                  std::vector<bool>& in_set) {
+  if (candidates.empty()) return;
+  if (candidates.size() == 1 || bit < 0) {
+    // UIDs are unique, so exhausting the bits isolates single nodes.
+    DS_CHECK_MSG(candidates.size() == 1,
+                 "duplicate UIDs reached the bitwise ruling set base case");
+    in_set[candidates[0]] = true;
+    return;
+  }
+  std::vector<graph::NodeId> zeros;
+  std::vector<graph::NodeId> ones;
+  for (graph::NodeId v : candidates) {
+    ((uids[v] >> bit) & 1ull ? ones : zeros).push_back(v);
+  }
+  rule_bitwise(g, uids, zeros, bit - 1, in_set);
+  // Solve the ones independently, then drop members adjacent to the zeros'
+  // set — pushing their ruled nodes one hop further (beta grows by 1 per
+  // bit, the classic trade).
+  std::vector<bool> ones_set(g.num_nodes(), false);
+  rule_bitwise(g, uids, ones, bit - 1, ones_set);
+  for (graph::NodeId v : candidates) {
+    if (!ones_set[v]) continue;
+    const auto& nbrs = g.neighbors(v);
+    const bool blocked = std::any_of(
+        nbrs.begin(), nbrs.end(),
+        [&](graph::NodeId w) { return in_set[w]; });
+    if (!blocked) in_set[v] = true;
+  }
+}
+
+}  // namespace
+
+bool is_ruling_set(const graph::Graph& g, const std::vector<bool>& in_set,
+                   std::size_t alpha, std::size_t beta) {
+  DS_CHECK(in_set.size() == g.num_nodes());
+  DS_CHECK(alpha >= 1);
+  // Domination: every node within distance beta of the set.
+  const auto dist = multi_source_distances(g, in_set, beta);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] == SIZE_MAX) return false;
+  }
+  // Separation: no two members within distance alpha − 1 of each other.
+  for (graph::NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (!in_set[s]) continue;
+    const auto d = graph::bfs_distances(g, s, alpha - 1);
+    for (graph::NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (t != s && in_set[t] && d[t] != SIZE_MAX && d[t] < alpha) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+RulingSetResult ruling_set_via_power_mis(const graph::Graph& g,
+                                         std::size_t alpha,
+                                         std::uint64_t seed,
+                                         local::CostMeter* meter) {
+  DS_CHECK(alpha >= 2);
+  const graph::Graph gk = graph::power(g, alpha - 1);
+  local::CostMeter luby_meter;
+  const mis::MisOutcome outcome = mis::luby(gk, seed, &luby_meter);
+  if (meter != nullptr) {
+    // Each simulated round on G^{alpha−1} costs alpha−1 rounds on G.
+    meter->charge("power-mis",
+                  static_cast<double>(luby_meter.executed_rounds()) *
+                      static_cast<double>(alpha - 1));
+  }
+  RulingSetResult result;
+  result.in_set = outcome.in_mis;
+  result.alpha = alpha;
+  result.beta = alpha - 1;
+  DS_CHECK_MSG(is_ruling_set(g, result.in_set, result.alpha, result.beta),
+               "power-MIS ruling set failed verification");
+  return result;
+}
+
+RulingSetResult ruling_set_bitwise(const graph::Graph& g,
+                                   const std::vector<std::uint64_t>& uids,
+                                   local::CostMeter* meter) {
+  DS_CHECK(uids.size() == g.num_nodes());
+  std::uint64_t max_uid = 0;
+  for (std::uint64_t id : uids) max_uid = std::max(max_uid, id);
+  int bits = 0;
+  while (bits < 64 && (max_uid >> bits) != 0) ++bits;
+
+  RulingSetResult result;
+  result.in_set.assign(g.num_nodes(), false);
+  std::vector<graph::NodeId> all(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  rule_bitwise(g, uids, all, bits - 1, result.in_set);
+
+  result.alpha = 2;
+  result.beta = std::max<std::size_t>(1, static_cast<std::size_t>(bits));
+  if (meter != nullptr) {
+    // One merge phase per UID bit, each a constant-radius LOCAL step.
+    meter->charge("bitwise-ruling", static_cast<double>(bits));
+  }
+  DS_CHECK_MSG(is_ruling_set(g, result.in_set, result.alpha, result.beta),
+               "bitwise ruling set failed verification");
+  return result;
+}
+
+}  // namespace ds::ruling

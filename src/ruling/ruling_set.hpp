@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file ruling_set.hpp
+/// (α, β)-ruling sets.
+///
+/// An (α, β)-ruling set of G is a node set S such that any two nodes of S
+/// are at distance >= α and every node is within distance β of S. Ruling
+/// sets are the classic symmetry-breaking relaxation of MIS (an MIS is
+/// exactly a (2,1)-ruling set) and the workhorse of network decomposition
+/// constructions — the object the paper's completeness chain (weak
+/// splitting => network decomposition => derandomization, [GKM17]+[GHK16])
+/// manufactures along the way.
+///
+/// Two constructions are provided:
+///  * `ruling_set_via_power_mis` — S = MIS(G^{α−1}) is an (α, α−1)-ruling
+///    set; runs Luby on the power graph (each simulated power-round costs
+///    α−1 rounds of G, charged on the meter).
+///  * `ruling_set_bitwise` — the classic deterministic bit-fixing algorithm:
+///    processes UID bits from the highest, keeping locally-maximal prefix
+///    classes; yields a (2, O(log n))-ruling set in O(log n) executed
+///    rounds' worth of sequential bit phases.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+
+namespace ds::ruling {
+
+/// True iff `in_set` is an (alpha, beta)-ruling set of `g`: pairwise
+/// distances within the set are >= alpha and every node has a set node
+/// within distance beta. An empty set rules only an empty graph.
+bool is_ruling_set(const graph::Graph& g, const std::vector<bool>& in_set,
+                   std::size_t alpha, std::size_t beta);
+
+/// Result of a ruling set construction.
+struct RulingSetResult {
+  std::vector<bool> in_set;
+  std::size_t alpha = 2;
+  std::size_t beta = 1;
+};
+
+/// (alpha, alpha−1)-ruling set via MIS on G^{alpha−1} (Luby). Requires
+/// alpha >= 2. Verified before returning (throws on failure).
+RulingSetResult ruling_set_via_power_mis(const graph::Graph& g,
+                                         std::size_t alpha,
+                                         std::uint64_t seed,
+                                         local::CostMeter* meter = nullptr);
+
+/// Deterministic (2, beta)-ruling set with beta <= max(1, ceil(log2 of the
+/// UID space actually used)): bit-fixing over UIDs. Each bit phase keeps
+/// nodes whose current bit is 1 unless they are within distance 1 of a kept
+/// node ... concretely, the classic algorithm of [AwerbuchGLP89]-style
+/// prefix competition. Verified before returning.
+RulingSetResult ruling_set_bitwise(const graph::Graph& g,
+                                   const std::vector<std::uint64_t>& uids,
+                                   local::CostMeter* meter = nullptr);
+
+}  // namespace ds::ruling

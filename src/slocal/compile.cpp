@@ -1,0 +1,43 @@
+#include "slocal/compile.hpp"
+
+#include <algorithm>
+
+#include "graph/properties.hpp"
+#include "support/check.hpp"
+
+namespace ds::slocal {
+
+std::size_t run_with_coloring(const graph::Graph& g, std::size_t radius,
+                              const std::vector<std::uint32_t>& power_coloring,
+                              const Visit& visit, local::CostMeter* meter) {
+  DS_CHECK(power_coloring.size() == g.num_nodes());
+  // Validate the coloring is proper on G^radius: any two distinct same-color
+  // nodes must be at distance > radius.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (graph::NodeId w : graph::ball(g, v, radius)) {
+      DS_CHECK_MSG(power_coloring[v] != power_coloring[w],
+                   "power_coloring is not proper on G^radius");
+    }
+  }
+  const std::uint32_t num_colors =
+      g.num_nodes() == 0
+          ? 0
+          : 1 + *std::max_element(power_coloring.begin(), power_coloring.end());
+
+  // Process color classes in increasing color. Within a class the order is
+  // irrelevant (disjoint read/write sets); we go by index.
+  for (std::uint32_t c = 0; c < num_colors; ++c) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (power_coloring[v] == c) {
+        visit(v, graph::ball(g, v, radius));
+      }
+    }
+  }
+  if (meter != nullptr) {
+    meter->charge("slocal-compile",
+                  static_cast<double>(num_colors) * static_cast<double>(radius));
+  }
+  return num_colors;
+}
+
+}  // namespace ds::slocal

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file compile.hpp
+/// SLOCAL(t) → LOCAL compilation ([GHK17a, Proposition 3.2]): given a proper
+/// C-coloring of G^t, nodes are processed color class by color class. Two
+/// nodes of the same color are at distance > t, so neither reads state the
+/// other writes (writes are confined to the processed node), making
+/// simultaneous processing equivalent to any sequential order. The LOCAL
+/// round cost is O(C · t): each color class needs t rounds to collect its
+/// radius-t ball.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+#include "slocal/engine.hpp"
+
+namespace ds::slocal {
+
+/// Runs the SLOCAL(radius) algorithm `visit` scheduled by `power_coloring`,
+/// which must be a proper coloring of G^radius (validated; throws on an
+/// improper coloring). Charges C·radius rounds on `meter` under label
+/// "slocal-compile". Returns the number of color classes C.
+std::size_t run_with_coloring(const graph::Graph& g, std::size_t radius,
+                              const std::vector<std::uint32_t>& power_coloring,
+                              const Visit& visit, local::CostMeter* meter);
+
+}  // namespace ds::slocal

@@ -1,0 +1,64 @@
+#include "slocal/engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/properties.hpp"
+#include "support/check.hpp"
+
+namespace ds::slocal {
+
+std::vector<graph::NodeId> make_order(const graph::Graph& g, Order order,
+                                      Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  std::vector<graph::NodeId> out(n);
+  std::iota(out.begin(), out.end(), 0);
+  switch (order) {
+    case Order::kByIndex:
+      break;
+    case Order::kRandom: {
+      rng.shuffle(out);
+      break;
+    }
+    case Order::kDegreeDescending: {
+      const auto tie = rng.permutation(n);
+      std::stable_sort(out.begin(), out.end(),
+                       [&](graph::NodeId a, graph::NodeId b) {
+                         if (g.degree(a) != g.degree(b)) {
+                           return g.degree(a) > g.degree(b);
+                         }
+                         return tie[a] < tie[b];
+                       });
+      break;
+    }
+    case Order::kDegreeAscending: {
+      const auto tie = rng.permutation(n);
+      std::stable_sort(out.begin(), out.end(),
+                       [&](graph::NodeId a, graph::NodeId b) {
+                         if (g.degree(a) != g.degree(b)) {
+                           return g.degree(a) < g.degree(b);
+                         }
+                         return tie[a] < tie[b];
+                       });
+      break;
+    }
+  }
+  return out;
+}
+
+void run(const graph::Graph& g, std::size_t radius,
+         const std::vector<graph::NodeId>& order, const Visit& visit) {
+  DS_CHECK_MSG(order.size() == g.num_nodes(),
+               "order must be a permutation of the nodes");
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (graph::NodeId v : order) {
+    DS_CHECK(v < g.num_nodes());
+    DS_CHECK_MSG(!seen[v], "order contains a node twice");
+    seen[v] = true;
+  }
+  for (graph::NodeId v : order) {
+    visit(v, graph::ball(g, v, radius));
+  }
+}
+
+}  // namespace ds::slocal

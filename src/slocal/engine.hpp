@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file engine.hpp
+/// SLOCAL model ([GKM17]): nodes are processed in an arbitrary sequential
+/// order; when processed, a node reads the current state of its radius-t
+/// neighborhood and writes its own output / local memory. The completeness
+/// results of the paper and the derandomization of [GHK16] produce
+/// SLOCAL(t) algorithms, which are then compiled to LOCAL with a distance
+/// coloring (see compile.hpp).
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace ds::slocal {
+
+/// Processing-order strategies for SLOCAL executions. SLOCAL algorithms must
+/// be correct for *every* order; tests exercise all of these.
+enum class Order {
+  kByIndex,           ///< 0, 1, ..., n-1
+  kRandom,            ///< uniformly random permutation
+  kDegreeDescending,  ///< highest degree first (adversarial for greedy)
+  kDegreeAscending,   ///< lowest degree first
+};
+
+/// Materializes a processing order over the nodes of `g`.
+std::vector<graph::NodeId> make_order(const graph::Graph& g, Order order,
+                                      Rng& rng);
+
+/// Callback invoked when a node is processed. `ball` lists the nodes whose
+/// state the callback may read (the radius-t neighborhood, excluding v
+/// itself); writes must be confined to v's own state.
+using Visit =
+    std::function<void(graph::NodeId v, const std::vector<graph::NodeId>& ball)>;
+
+/// Runs an SLOCAL(radius) algorithm sequentially in the given order.
+/// Precomputes each node's radius-t ball and passes it to `visit`.
+void run(const graph::Graph& g, std::size_t radius,
+         const std::vector<graph::NodeId>& order, const Visit& visit);
+
+}  // namespace ds::slocal

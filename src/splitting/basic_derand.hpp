@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file basic_derand.hpp
+/// Lemma 2.1: deterministic weak splitting in O(Δr) rounds when
+/// δ >= 2 log n. The 0-round randomized algorithm is derandomized via the
+/// method of conditional expectations (derand/), scheduled in the LOCAL
+/// model by a proper coloring of B² with O(Δr) colors (coloring/), per
+/// [GHK16, Thm III.1] + [GHK17a, Prop 3.2].
+
+#include "graph/bipartite.hpp"
+#include "local/cost.hpp"
+#include "splitting/weak_splitting.hpp"
+#include "support/rng.hpp"
+
+namespace ds::splitting {
+
+/// Diagnostics of one basic-derand run.
+struct BasicDerandInfo {
+  double initial_potential = 0.0;  ///< Σ_u Pr[u monochromatic] before fixing
+  double final_potential = 0.0;    ///< after fixing (0 iff all satisfied)
+  std::uint32_t schedule_colors = 0;  ///< palette size of the B² coloring
+};
+
+/// Runs the Lemma 2.1 pipeline. The output is guaranteed to be a valid weak
+/// splitting whenever the initial potential is < 1 (in particular when
+/// δ >= 2 log n); otherwise the caller must verify. Charges the B²-coloring
+/// rounds and the O(C) scheduling rounds on `meter`.
+Coloring basic_derand_split(const graph::BipartiteGraph& b, Rng& rng,
+                            local::CostMeter* meter = nullptr,
+                            BasicDerandInfo* info = nullptr);
+
+}  // namespace ds::splitting

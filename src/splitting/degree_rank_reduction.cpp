@@ -1,0 +1,62 @@
+#include "splitting/degree_rank_reduction.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace ds::splitting {
+
+graph::BipartiteGraph drr1_iteration(const graph::BipartiteGraph& b,
+                                     const orient::SplitConfig& config,
+                                     Rng& rng, local::CostMeter* meter) {
+  // Build the edge multigraph over U ∪ V: one multigraph edge per bipartite
+  // edge, left node u at index u, right node v at index |U| + v. Edge ids
+  // coincide with the bipartite edge ids by construction order.
+  graph::Multigraph m(b.num_nodes());
+  for (graph::EdgeId e = 0; e < b.num_edges(); ++e) {
+    const auto [u, v] = b.endpoints(e);
+    m.add_edge(b.unified_left(u), b.unified_right(v));
+  }
+  const graph::Orientation orient = orient::degree_split(m, config, rng, meter);
+  // Keep exactly the edges oriented from U towards V (toward_v == true since
+  // the left endpoint was added first).
+  std::vector<bool> keep(b.num_edges());
+  for (graph::EdgeId e = 0; e < b.num_edges(); ++e) {
+    keep[e] = orient.toward_v[e];
+  }
+  return b.filter_edges(keep).first;
+}
+
+graph::BipartiteGraph degree_rank_reduction(const graph::BipartiteGraph& b,
+                                            std::size_t iterations,
+                                            const orient::SplitConfig& config,
+                                            Rng& rng, local::CostMeter* meter,
+                                            DrrTrace* trace) {
+  graph::BipartiteGraph current = b;
+  if (trace != nullptr) {
+    trace->min_left_degree.assign(1, current.min_left_degree());
+    trace->rank.assign(1, current.rank());
+  }
+  for (std::size_t k = 0; k < iterations; ++k) {
+    current = drr1_iteration(current, config, rng, meter);
+    if (trace != nullptr) {
+      trace->min_left_degree.push_back(current.min_left_degree());
+      trace->rank.push_back(current.rank());
+    }
+  }
+  return current;
+}
+
+double drr1_delta_bound(std::size_t delta, double eps, std::size_t k) {
+  return std::pow((1.0 - eps) / 2.0, static_cast<double>(k)) *
+             static_cast<double>(delta) -
+         2.0;
+}
+
+double drr1_rank_bound(std::size_t rank, double eps, std::size_t k) {
+  return std::pow((1.0 + eps) / 2.0, static_cast<double>(k)) *
+             static_cast<double>(rank) +
+         3.0;
+}
+
+}  // namespace ds::splitting

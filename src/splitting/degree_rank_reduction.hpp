@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file degree_rank_reduction.hpp
+/// Degree-Rank Reduction I (Section 2.2): iteratively compute a directed
+/// degree splitting of the bipartite graph and delete every edge oriented
+/// from V towards U. Lemma 2.4 bounds the trajectories after k iterations:
+///   δ_k > ((1−ε)/2)^k·δ − 2   and   r_k < ((1+ε)/2)^k·r + 3.
+/// Both the left degrees and the right "rank" shrink by roughly half per
+/// iteration, letting Theorem 2.5 reduce Δ to O(log n) while the rank drops
+/// by the same factor.
+
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "local/cost.hpp"
+#include "orient/degree_split.hpp"
+#include "support/rng.hpp"
+
+namespace ds::splitting {
+
+/// Per-iteration trajectory of (min left degree, rank), index 0 = input.
+struct DrrTrace {
+  std::vector<std::size_t> min_left_degree;
+  std::vector<std::size_t> rank;
+};
+
+/// One DRR-I iteration: degree-split the (bipartite) edge multigraph with
+/// accuracy `config.eps`, keep exactly the edges oriented U -> V.
+graph::BipartiteGraph drr1_iteration(const graph::BipartiteGraph& b,
+                                     const orient::SplitConfig& config,
+                                     Rng& rng, local::CostMeter* meter);
+
+/// `iterations` rounds of DRR-I. The optional trace records the trajectory
+/// (length iterations + 1) for the Lemma 2.4 experiment.
+graph::BipartiteGraph degree_rank_reduction(const graph::BipartiteGraph& b,
+                                            std::size_t iterations,
+                                            const orient::SplitConfig& config,
+                                            Rng& rng, local::CostMeter* meter,
+                                            DrrTrace* trace = nullptr);
+
+/// Lemma 2.4 lower bound on δ_k: ((1−ε)/2)^k·δ − 2.
+double drr1_delta_bound(std::size_t delta, double eps, std::size_t k);
+
+/// Lemma 2.4 upper bound on r_k: ((1+ε)/2)^k·r + 3.
+double drr1_rank_bound(std::size_t rank, double eps, std::size_t k);
+
+}  // namespace ds::splitting

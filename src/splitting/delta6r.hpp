@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file delta6r.hpp
+/// Theorem 2.7: if δ >= 6r, weak splitting is solvable in polylog n rounds
+/// deterministically and polyloglog n rounds randomized, with *no* lower
+/// bound requirement on δ itself. Pipeline:
+///   * δ >= 2 log n: Theorem 2.5 (deterministic) / the trivial 0-round
+///     algorithm (randomized) already applies.
+///   * otherwise: ⌈log r⌉ iterations of DRR-II with ε = 1/(10Δ) reduce the
+///     rank to exactly 1 while the minimum left degree stays >= 2
+///     (Lemma 2.6 + the δ >= 6r calculation); on the rank-1 instance every
+///     left node simply picks one remaining neighbor red and another blue —
+///     rank 1 means no right node serves two left nodes, so the picks never
+///     conflict.
+
+#include "graph/bipartite.hpp"
+#include "local/cost.hpp"
+#include "orient/degree_split.hpp"
+#include "splitting/weak_splitting.hpp"
+#include "support/rng.hpp"
+
+namespace ds::splitting {
+
+/// Diagnostics of a Theorem 2.7 run.
+struct Delta6rInfo {
+  std::size_t drr2_iterations = 0;
+  std::size_t final_rank = 0;
+  std::size_t final_min_degree = 0;
+  bool used_trivial_path = false;  ///< δ >= 2 log n shortcut taken
+};
+
+/// Theorem 2.7. Requires δ >= 6r and δ >= 2 (throws otherwise).
+/// `randomized` selects the randomized cost model (and the trivial-coin
+/// shortcut when δ >= 2 log n); determinism of the output is unaffected by
+/// the substrate choice since the Euler method is deterministic.
+Coloring delta6r_split(const graph::BipartiteGraph& b, bool randomized,
+                       Rng& rng, local::CostMeter* meter = nullptr,
+                       Delta6rInfo* info = nullptr,
+                       std::size_t n_override = 0);
+
+}  // namespace ds::splitting

@@ -1,0 +1,51 @@
+#include "splitting/deterministic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "splitting/degree_rank_reduction.hpp"
+#include "splitting/truncate.hpp"
+#include "support/check.hpp"
+
+namespace ds::splitting {
+
+Coloring deterministic_weak_split(const graph::BipartiteGraph& b, Rng& rng,
+                                  local::CostMeter* meter,
+                                  DeterministicInfo* info,
+                                  std::size_t n_override,
+                                  orient::SplitMethod method,
+                                  bool randomized_substrate) {
+  const std::size_t n =
+      n_override != 0 ? n_override : std::max<std::size_t>(4, b.num_nodes());
+  const double log_n = std::log2(static_cast<double>(std::max<std::size_t>(2, n)));
+  const std::size_t delta = b.min_left_degree();
+  DS_CHECK_MSG(static_cast<double>(delta) >= 2.0 * log_n,
+               "Theorem 2.5 requires min left degree >= 2 log n");
+
+  DeterministicInfo local_info;
+  graph::BipartiteGraph reduced = b;
+  if (static_cast<double>(delta) > 48.0 * log_n) {
+    // DRR-I phase: k = ⌊log(δ/(12 log n))⌋ iterations at ε = min{1/k, 1/3}.
+    const std::size_t k = static_cast<std::size_t>(
+        std::floor(std::log2(static_cast<double>(delta) / (12.0 * log_n))));
+    DS_CHECK(k >= 1);
+    orient::SplitConfig config;
+    config.eps = std::min(1.0 / static_cast<double>(k), 1.0 / 3.0);
+    config.method = method;
+    config.randomized = randomized_substrate;
+    reduced = degree_rank_reduction(b, k, config, rng, meter);
+    local_info.drr_iterations = k;
+    local_info.eps = config.eps;
+  }
+  local_info.reduced_rank = reduced.rank();
+  local_info.reduced_min_degree = reduced.min_left_degree();
+
+  // Lemma 2.2 on the reduced graph (with the *original* n in the degree
+  // target so the guarantee transfers to b).
+  Coloring colors =
+      truncated_split(reduced, rng, meter, &local_info.derand, n);
+  if (info != nullptr) *info = local_info;
+  return colors;
+}
+
+}  // namespace ds::splitting

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file deterministic.hpp
+/// Theorem 2.5 (precise form of Theorem 1.1), the paper's main deterministic
+/// algorithm: weak splitting in O(r/δ·log²n + log³n·(log log n)^1.1) rounds
+/// for δ >= 2 log n. Pipeline:
+///   * δ <= 48 log n: Lemma 2.2 directly (O(r·log n) = O(r/δ·log² n)).
+///   * otherwise: k = ⌊log(δ/(12 log n))⌋ iterations of DRR-I with accuracy
+///     ε = min{1/k, 1/3}, which drive the rank down to O(r/δ·log n) while
+///     keeping the minimum left degree >= 2 log n; then Lemma 2.2 on the
+///     reduced graph. A weak splitting of the reduced graph is one of the
+///     original graph (edges were only deleted on the U side's view).
+
+#include "graph/bipartite.hpp"
+#include "local/cost.hpp"
+#include "orient/degree_split.hpp"
+#include "splitting/basic_derand.hpp"
+#include "splitting/weak_splitting.hpp"
+#include "support/rng.hpp"
+
+namespace ds::splitting {
+
+/// Diagnostics of a Theorem 2.5 run.
+struct DeterministicInfo {
+  std::size_t drr_iterations = 0;     ///< k
+  double eps = 0.0;                   ///< DRR-I accuracy used
+  std::size_t reduced_rank = 0;       ///< r of the reduced graph
+  std::size_t reduced_min_degree = 0; ///< δ of the reduced graph
+  BasicDerandInfo derand;             ///< final Lemma 2.2 diagnostics
+};
+
+/// Theorem 2.5. Requires δ >= 2·log₂(n) with n = |U| + |V| (throws
+/// otherwise). `n_override` supports running on components of a larger
+/// graph. The orientation substrate defaults to the Euler method; the
+/// ablation experiment passes the random baseline.
+Coloring deterministic_weak_split(
+    const graph::BipartiteGraph& b, Rng& rng,
+    local::CostMeter* meter = nullptr, DeterministicInfo* info = nullptr,
+    std::size_t n_override = 0,
+    orient::SplitMethod method = orient::SplitMethod::kEuler,
+    bool randomized_substrate = false);
+
+}  // namespace ds::splitting

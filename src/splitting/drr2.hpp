@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file drr2.hpp
+/// Degree-Rank Reduction II (Section 2.3): each right node pairs up its
+/// neighbors; the pairs form a multigraph G on U (the "corresponding node"
+/// of a pair-edge is the right node that created it). A directed degree
+/// splitting of G then deletes, per pair, exactly the bipartite edge
+/// pointing at the pair-edge's head. Consequences (Lemma 2.6):
+///   * every right node keeps ⌈deg/2⌉ of its edges — the rank halves
+///     exactly and never drops below 1 (r_{⌈log r⌉} = 1);
+///   * left degrees shrink by at most (ε·d + 2)/2-ish per iteration, so for
+///     δ >= 6r the final rank-1 instance still has minimum degree >= 2
+///     (Theorem 2.7).
+
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "local/cost.hpp"
+#include "orient/degree_split.hpp"
+#include "splitting/degree_rank_reduction.hpp"
+#include "support/rng.hpp"
+
+namespace ds::splitting {
+
+/// One DRR-II iteration.
+graph::BipartiteGraph drr2_iteration(const graph::BipartiteGraph& b,
+                                     const orient::SplitConfig& config,
+                                     Rng& rng, local::CostMeter* meter);
+
+/// `iterations` rounds of DRR-II with trajectory recording.
+graph::BipartiteGraph drr2(const graph::BipartiteGraph& b,
+                           std::size_t iterations,
+                           const orient::SplitConfig& config, Rng& rng,
+                           local::CostMeter* meter, DrrTrace* trace = nullptr);
+
+/// Lemma 2.6 upper bound on the rank after k iterations: r/2^k + 1
+/// (strictly greater than r_k).
+double drr2_rank_bound(std::size_t rank, std::size_t k);
+
+}  // namespace ds::splitting

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file shattering.hpp
+/// The randomized weak splitting algorithm (Section 2.4, Theorem 1.2), built
+/// on graph shattering:
+///   * Coloring phase (1 round): each right node turns red w.p. 1/4, blue
+///     w.p. 1/4, stays uncolored w.p. 1/2.
+///   * Uncoloring phase (1 round): every left node with more than 3/4 of its
+///     neighbors colored uncolors *all* of its neighbors.
+/// Lemma 2.9: a left node is unsatisfied afterwards w.p. <= e^{-ηΔ}; by the
+/// shattering bound (Theorem 2.8, [GHK16, Thm V.1]) the residual graph of
+/// unsatisfied/uncolored nodes has components of size poly(r, log n), each
+/// solved by the deterministic algorithm in poly log log n time.
+///
+/// Degrees are normalized to δ > Δ/2 beforehand by virtual splitting
+/// (Section 2.4's reduction; graph/virtual_split.hpp).
+
+#include "graph/bipartite.hpp"
+#include "local/cost.hpp"
+#include "splitting/weak_splitting.hpp"
+#include "support/rng.hpp"
+
+namespace ds::splitting {
+
+/// Outcome of the two shattering rounds on an instance.
+struct ShatterOutcome {
+  /// Per right node: kRed / kBlue / kUncolored (after the uncoloring phase).
+  Coloring partial;
+  /// Per left node: true if it does not see both colors among its colored
+  /// neighbors.
+  std::vector<bool> unsatisfied;
+};
+
+/// Runs the two-round shattering algorithm. Adds 2 executed rounds to meter.
+ShatterOutcome shattering_phase(const graph::BipartiteGraph& b, Rng& rng,
+                                local::CostMeter* meter = nullptr);
+
+/// Statistics of one randomized run (filled for the E5/E6 experiments).
+struct ShatteringStats {
+  bool used_trivial = false;     ///< δ > 2 log n shortcut taken
+  bool normalized = false;       ///< virtual degree splitting applied
+  std::size_t num_unsatisfied = 0;
+  std::size_t num_uncolored = 0;
+  std::size_t num_components = 0;
+  std::size_t largest_component = 0;  ///< nodes (|U_H| + |V_H|)
+  std::size_t residual_rank = 0;      ///< max right degree over residual
+  std::size_t residual_min_degree = 0;  ///< min unsatisfied-left degree in H
+};
+
+/// Theorem 1.2: randomized weak splitting. Requires δ >= 8 (so unsatisfied
+/// nodes keep >= 2 uncolored neighbors); the theorem's guarantee regime is
+/// δ >= c·log(r·log n). Residual components are solved by Theorem 2.5 when
+/// its precondition holds and by the robust small-instance solver otherwise;
+/// component costs merge as a parallel maximum.
+Coloring randomized_weak_split(const graph::BipartiteGraph& b, Rng& rng,
+                               local::CostMeter* meter = nullptr,
+                               ShatteringStats* stats = nullptr);
+
+/// Lemma 2.9 failure-probability bound e^{-ηΔ} with the η from the paper's
+/// proof terms: 2·e^{-Δ/32}·Δr + 2·2^{-Δ/8} (the pre-simplification form).
+double shattering_unsatisfied_bound(std::size_t max_degree, std::size_t rank);
+
+}  // namespace ds::splitting

@@ -1,0 +1,27 @@
+#include "splitting/trivial_random.hpp"
+
+#include <cmath>
+
+namespace ds::splitting {
+
+Coloring trivial_random_split(const graph::BipartiteGraph& b, Rng& rng,
+                              local::CostMeter* meter) {
+  Coloring colors(b.num_right());
+  for (graph::RightId v = 0; v < b.num_right(); ++v) {
+    colors[v] = rng.next_bool() ? Color::kRed : Color::kBlue;
+  }
+  // 0 rounds: nothing to add to the meter, but keep the parameter so call
+  // sites read uniformly.
+  (void)meter;
+  return colors;
+}
+
+double trivial_failure_bound(const graph::BipartiteGraph& b) {
+  double total = 0.0;
+  for (graph::LeftId u = 0; u < b.num_left(); ++u) {
+    total += std::pow(2.0, 1.0 - static_cast<double>(b.left_degree(u)));
+  }
+  return total;
+}
+
+}  // namespace ds::splitting

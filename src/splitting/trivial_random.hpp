@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file trivial_random.hpp
+/// The 0-round randomized weak splitting algorithm (Section 2.1): every
+/// right node flips a fair coin. For δ >= 2 log n, a union bound shows the
+/// output is a weak splitting with probability at least 1 − 2/n.
+
+#include "graph/bipartite.hpp"
+#include "local/cost.hpp"
+#include "splitting/weak_splitting.hpp"
+#include "support/rng.hpp"
+
+namespace ds::splitting {
+
+/// One fair coin per right node; zero communication rounds.
+Coloring trivial_random_split(const graph::BipartiteGraph& b, Rng& rng,
+                              local::CostMeter* meter = nullptr);
+
+/// Union-bound failure probability of the trivial algorithm on `b`:
+/// Σ_u 2^{1−deg(u)} (the paper's 2/n bound when δ >= 2 log n).
+double trivial_failure_bound(const graph::BipartiteGraph& b);
+
+}  // namespace ds::splitting

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file truncate.hpp
+/// Lemma 2.2: deterministic weak splitting in O(r·log n) rounds when
+/// δ >= 2 log n. Each left node keeps an arbitrary ⌈2 log n⌉ of its edges;
+/// the basic derandomized algorithm (Lemma 2.1) runs on the truncated
+/// instance, whose Δ is only ⌈2 log n⌉. Weak splitting is preserved under
+/// adding edges back.
+
+#include "graph/bipartite.hpp"
+#include "local/cost.hpp"
+#include "splitting/basic_derand.hpp"
+#include "splitting/weak_splitting.hpp"
+#include "support/rng.hpp"
+
+namespace ds::splitting {
+
+/// The truncated instance: every left node keeps min(deg, target) of its
+/// edges (the first ones in adjacency order — "arbitrary" per the lemma).
+graph::BipartiteGraph truncate_left_degrees(const graph::BipartiteGraph& b,
+                                            std::size_t target);
+
+/// Lemma 2.2 pipeline. Guaranteed valid when δ >= 2·log₂(n) where
+/// n = |U| + |V| of the *original* instance. `n_override` lets callers
+/// embed this in a larger graph (components of a shattered instance use the
+/// component size; Theorem 2.5 passes the original n).
+Coloring truncated_split(const graph::BipartiteGraph& b, Rng& rng,
+                         local::CostMeter* meter = nullptr,
+                         BasicDerandInfo* info = nullptr,
+                         std::size_t n_override = 0);
+
+}  // namespace ds::splitting

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file weak_splitting.hpp
+/// The weak splitting problem (Definition 1.1): 2-color the right-hand nodes
+/// of a bipartite graph B = (U ∪ V, E) such that every node in U has at
+/// least one neighbor of each color. This file holds the output type, the
+/// verifier (ground truth for all tests and experiments), and a robust
+/// small-instance solver used on shattering residual components.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "support/rng.hpp"
+
+namespace ds::splitting {
+
+/// Color of a right-hand (variable) node.
+enum class Color : std::uint8_t {
+  kUncolored = 0,  ///< only valid mid-algorithm, never in final outputs
+  kRed = 1,
+  kBlue = 2,
+};
+
+/// One color per right node of the instance.
+using Coloring = std::vector<Color>;
+
+/// True iff every left node u with left_degree(u) >= min_degree sees at
+/// least one red and at least one blue neighbor. `min_degree = 0` is the
+/// strict Definition 1.1 (all of U constrained); the paper's relaxations
+/// constrain only nodes above a degree threshold.
+bool is_weak_splitting(const graph::BipartiteGraph& b, const Coloring& colors,
+                       std::size_t min_degree = 0);
+
+/// Left nodes (with degree >= min_degree) whose neighborhood misses a color.
+std::vector<graph::LeftId> unsatisfied_nodes(const graph::BipartiteGraph& b,
+                                             const Coloring& colors,
+                                             std::size_t min_degree = 0);
+
+/// Empty string if valid, otherwise a description of the first violation.
+std::string check_weak_splitting(const graph::BipartiteGraph& b,
+                                 const Coloring& colors,
+                                 std::size_t min_degree = 0);
+
+/// Robust solver for small instances (shattering residual components):
+/// tries the greedy conditional-expectation pass first, then Las Vegas
+/// random colorings. Requires every constrained left node to have degree
+/// >= 2 (otherwise no weak splitting exists and this throws).
+Coloring robust_component_solve(const graph::BipartiteGraph& b, Rng& rng,
+                                std::size_t min_degree = 0);
+
+}  // namespace ds::splitting

@@ -1,0 +1,17 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace ds::detail {
+
+void fail_check(const char* expr, const char* file, int line,
+                const std::string& msg) {
+  std::ostringstream os;
+  os << "DS_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace ds::detail

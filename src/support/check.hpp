@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file check.hpp
+/// Runtime checking utilities used throughout the library.
+///
+/// The library distinguishes two kinds of failures:
+///  * `DS_CHECK` — violated preconditions / invariants that indicate a bug in
+///    the caller or in the library itself. These throw `ds::CheckError` so
+///    tests can assert on them and long-running experiment sweeps can recover.
+///  * `DS_VERIFY_MSG` — used by problem verifiers; failures carry a
+///    human-readable description of the violated constraint (which node,
+///    which bound).
+
+#include <stdexcept>
+#include <string>
+
+namespace ds {
+
+/// Exception thrown when a `DS_CHECK` fails. Carries the failing expression,
+/// source location and an optional message.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+/// Builds the exception message and throws. Out-of-line so the macro stays
+/// cheap at the call site.
+[[noreturn]] void fail_check(const char* expr, const char* file, int line,
+                             const std::string& msg);
+}  // namespace detail
+
+}  // namespace ds
+
+/// Checks a precondition/invariant; throws ds::CheckError on failure.
+#define DS_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::ds::detail::fail_check(#expr, __FILE__, __LINE__, "");      \
+    }                                                               \
+  } while (0)
+
+/// Checks a precondition/invariant with an explanatory message.
+#define DS_CHECK_MSG(expr, msg)                                     \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::ds::detail::fail_check(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                               \
+  } while (0)

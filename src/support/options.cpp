@@ -1,0 +1,51 @@
+#include "support/options.hpp"
+
+#include <string>
+
+#include "support/check.hpp"
+
+namespace ds {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // google-benchmark binaries pass their own --benchmark_* flags through;
+    // accept anything that looks like --key or --key=value.
+    DS_CHECK_MSG(arg.rfind("--", 0) == 0, "unrecognized argument: " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "1";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::string Options::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long long Options::get_int(const std::string& key, long long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::uint64_t Options::seed() const {
+  return static_cast<std::uint64_t>(get_int("seed", 1));
+}
+
+}  // namespace ds

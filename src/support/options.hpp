@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file options.hpp
+/// Minimal command-line option parsing for experiment binaries.
+/// Supports `--key=value` and `--flag` forms; anything else is rejected so
+/// typos in sweep scripts fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ds {
+
+/// Parsed command-line options.
+class Options {
+ public:
+  /// Parses argv. Throws ds::CheckError on malformed arguments.
+  Options(int argc, const char* const* argv);
+
+  /// Returns the value of `--key=...` or `fallback` if absent.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+
+  /// Integer-valued option.
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+
+  /// Double-valued option.
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+
+  /// True if `--key` or `--key=...` was present.
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Seed convenience: `--seed=N`, default 1.
+  [[nodiscard]] std::uint64_t seed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ds

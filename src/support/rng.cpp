@@ -1,0 +1,49 @@
+#include "support/rng.hpp"
+
+#include "support/check.hpp"
+
+namespace ds {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed), engine_(splitmix64(seed)) {}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Mix the parent's seed with the stream id; double application keeps
+  // adjacent streams well separated.
+  return Rng(splitmix64(seed_ ^ splitmix64(stream + 0x5EEDull)));
+}
+
+std::uint64_t Rng::next_u64(std::uint64_t bound) {
+  DS_CHECK(bound > 0);
+  std::uniform_int_distribution<std::uint64_t> dist(0, bound - 1);
+  return dist(engine_);
+}
+
+std::uint64_t Rng::next_raw() { return engine_(); }
+
+double Rng::next_double() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+std::size_t Rng::next_index(std::size_t n) {
+  DS_CHECK(n > 0);
+  return static_cast<std::size_t>(next_u64(n));
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  shuffle(perm);
+  return perm;
+}
+
+}  // namespace ds

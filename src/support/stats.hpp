@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file stats.hpp
+/// Summary statistics for experiment harnesses: mean, stddev, min/max,
+/// percentiles over a stream of samples.
+
+#include <cstddef>
+#include <vector>
+
+namespace ds {
+
+/// Accumulates numeric samples and produces summary statistics.
+/// Stores all samples (experiments here are small) so exact percentiles are
+/// available.
+class Summary {
+ public:
+  /// Adds one sample.
+  void add(double x);
+
+  /// Number of samples seen so far.
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  /// Arithmetic mean; 0 if empty.
+  [[nodiscard]] double mean() const;
+
+  /// Sample standard deviation (n-1 denominator); 0 if fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+
+  /// Smallest sample; 0 if empty.
+  [[nodiscard]] double min() const;
+
+  /// Largest sample; 0 if empty.
+  [[nodiscard]] double max() const;
+
+  /// Exact percentile p in [0,100] by nearest-rank; 0 if empty.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Sum of all samples.
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+/// Least-squares fit of y = a + b*x. Used by experiments to estimate scaling
+/// exponents from (log x, log y) pairs.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination in [0,1].
+  double r_squared = 0.0;
+};
+
+/// Fits a line through (x[i], y[i]). Requires x.size() == y.size() >= 2.
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace ds

@@ -1,0 +1,79 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace ds {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  const double mag = std::abs(value);
+  if (value != 0.0 && (mag < 1e-3 || mag >= 1e7)) {
+    os << std::scientific << std::setprecision(precision) << value;
+  } else {
+    os << std::fixed << std::setprecision(precision) << value;
+  }
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DS_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  DS_CHECK_MSG(!rows_.empty(), "call row() before adding cells");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::num(long long value) { return cell(std::to_string(value)); }
+
+Table& Table::num(std::size_t value) { return cell(std::to_string(value)); }
+
+Table& Table::num(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_sep = [&] {
+    os << '+';
+    for (std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << v << std::string(widths[c] - v.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+}  // namespace ds

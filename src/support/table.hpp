@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file table.hpp
+/// Fixed-width ASCII table printer used by the experiment harnesses to emit
+/// "parameters | paper bound | measured" tables.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ds {
+
+/// Accumulates rows of string cells and renders them as an aligned ASCII
+/// table. Numeric helpers format with sensible precision.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Cells are appended with `cell` / `num`.
+  Table& row();
+
+  /// Appends a string cell to the current row.
+  Table& cell(std::string value);
+
+  /// Appends an integer cell.
+  Table& num(long long value);
+
+  /// Appends an unsigned integer cell.
+  Table& num(std::size_t value);
+
+  /// Appends a floating-point cell with `precision` significant decimals.
+  Table& num(double value, int precision = 3);
+
+  /// Renders the table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Number of data rows so far.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly (e.g. "1.23e-05" or "42.1").
+std::string format_double(double value, int precision = 3);
+
+}  // namespace ds

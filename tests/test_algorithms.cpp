@@ -1,0 +1,196 @@
+// Tests for the headline algorithms: Theorem 2.5 (deterministic), Theorem
+// 2.7 (δ >= 6r), and the solver facade.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "splitting/delta6r.hpp"
+#include "splitting/deterministic.hpp"
+#include "splitting/solver.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace ds::splitting {
+namespace {
+
+class Theorem25Sweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(Theorem25Sweep, ValidOnBiregularGrid) {
+  const auto [nu, nv, delta] = GetParam();
+  Rng rng(nu + 7 * delta);
+  const auto b = graph::gen::random_biregular(nu, nv, delta, rng);
+  ASSERT_GE(static_cast<double>(b.min_left_degree()),
+            2.0 * std::log2(static_cast<double>(b.num_nodes())));
+  local::CostMeter meter;
+  DeterministicInfo info;
+  const Coloring colors = deterministic_weak_split(b, rng, &meter, &info);
+  EXPECT_TRUE(is_weak_splitting(b, colors));
+  EXPECT_GT(meter.total_rounds(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Theorem25Sweep,
+    ::testing::Values(std::make_tuple(64, 128, 32),
+                      std::make_tuple(128, 64, 24),
+                      std::make_tuple(32, 512, 64),
+                      std::make_tuple(256, 256, 20)));
+
+TEST(Theorem25, HighDegreeTriggersDrrPhase) {
+  Rng rng(1);
+  // δ = 512 > 48·log2(n): the DRR-I phase must run and shrink the rank.
+  const auto b = graph::gen::random_biregular(32, 64, 512 / 16, rng);
+  // Build a denser instance explicitly: 64 left nodes, degree 512 needs
+  // nv >= 512.
+  const auto big = graph::gen::random_biregular(48, 512, 480, rng);
+  ASSERT_GT(static_cast<double>(big.min_left_degree()),
+            48.0 * std::log2(static_cast<double>(big.num_nodes())));
+  local::CostMeter meter;
+  DeterministicInfo info;
+  const Coloring colors = deterministic_weak_split(big, rng, &meter, &info);
+  EXPECT_TRUE(is_weak_splitting(big, colors));
+  EXPECT_GE(info.drr_iterations, 1u);
+  EXPECT_LT(info.reduced_rank, big.rank());
+  // The reduced instance must still satisfy Lemma 2.2's precondition.
+  EXPECT_GE(static_cast<double>(info.reduced_min_degree),
+            2.0 * std::log2(static_cast<double>(big.num_nodes())));
+  (void)b;
+}
+
+TEST(Theorem25, RejectsLowDegreeInstances) {
+  Rng rng(2);
+  const auto b = graph::gen::random_left_regular(64, 128, 4, rng);
+  EXPECT_THROW(deterministic_weak_split(b, rng), ds::CheckError);
+}
+
+class Theorem27Sweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool>> {};
+
+TEST_P(Theorem27Sweep, RankOneEndgameWorks) {
+  const auto [r_target, randomized] = GetParam();
+  Rng rng(5 * r_target + randomized);
+  // Build an instance with rank ~ r_target and δ >= 6r: nu left nodes of
+  // degree 6·r_target+4 into nv right nodes.
+  const std::size_t delta = 6 * r_target + 4;
+  const std::size_t nu = 24;
+  const std::size_t nv = nu * delta / r_target;
+  const auto b = graph::gen::random_biregular(nu, nv, delta, rng);
+  ASSERT_GE(b.min_left_degree(), 6 * b.rank());
+  local::CostMeter meter;
+  Delta6rInfo info;
+  const Coloring colors = delta6r_split(b, randomized, rng, &meter, &info);
+  EXPECT_TRUE(is_weak_splitting(b, colors));
+  if (!info.used_trivial_path) {
+    EXPECT_EQ(info.final_rank, 1u);
+    EXPECT_GE(info.final_min_degree, 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Theorem27Sweep,
+                         ::testing::Values(std::make_tuple(1, false),
+                                           std::make_tuple(2, false),
+                                           std::make_tuple(2, true),
+                                           std::make_tuple(4, false),
+                                           std::make_tuple(8, true)));
+
+TEST(Theorem27, RequiresDeltaSixR) {
+  Rng rng(3);
+  const auto b = graph::gen::random_biregular(32, 32, 8, rng);  // r = 8 = δ
+  EXPECT_THROW(delta6r_split(b, false, rng), ds::CheckError);
+}
+
+TEST(Theorem27, HighDegreeShortcut) {
+  Rng rng(4);
+  // δ = 40 >= 2 log2 n and rank small: the shortcut path runs.
+  const auto b = graph::gen::random_biregular(16, 320, 40, rng);
+  ASSERT_GE(b.min_left_degree(), 6 * b.rank());
+  Delta6rInfo info;
+  const Coloring colors = delta6r_split(b, false, rng, nullptr, &info);
+  EXPECT_TRUE(is_weak_splitting(b, colors));
+  EXPECT_TRUE(info.used_trivial_path);
+}
+
+TEST(Solver, PicksTrivialForRandomizedHighDegree) {
+  Rng rng(5);
+  const auto b = graph::gen::random_left_regular(32, 64, 30, rng);
+  SolverOptions options;
+  options.deterministic = false;
+  const SolveResult result = solve_weak_splitting(b, options, rng);
+  EXPECT_EQ(result.algorithm, Algorithm::kTrivialRandom);
+  EXPECT_TRUE(is_weak_splitting(b, result.colors));
+}
+
+TEST(Solver, PicksDelta6r) {
+  Rng rng(6);
+  const auto b = graph::gen::random_biregular(64, 600, 13, rng);
+  ASSERT_GE(b.min_left_degree(), 6 * b.rank());
+  SolverOptions options;
+  options.deterministic = true;
+  const SolveResult result = solve_weak_splitting(b, options, rng);
+  EXPECT_EQ(result.algorithm, Algorithm::kDelta6r);
+}
+
+TEST(Solver, PicksDeterministicTheorem25) {
+  Rng rng(7);
+  const auto b = graph::gen::random_biregular(64, 128, 32, rng);
+  SolverOptions options;
+  options.deterministic = true;
+  const SolveResult result = solve_weak_splitting(b, options, rng);
+  // δ = 32 < 6r here, δ >= 2 log n: Theorem 2.5 applies.
+  ASSERT_LT(b.min_left_degree(), 6 * b.rank());
+  EXPECT_EQ(result.algorithm, Algorithm::kDeterministic);
+}
+
+TEST(Solver, PicksShatteringForLowDegreeRandomized) {
+  Rng rng(8);
+  const auto b = graph::gen::random_biregular(512, 1024, 12, rng);
+  SolverOptions options;
+  options.deterministic = false;
+  const SolveResult result = solve_weak_splitting(b, options, rng);
+  EXPECT_EQ(result.algorithm, Algorithm::kShattering);
+  EXPECT_TRUE(is_weak_splitting(b, result.colors));
+}
+
+TEST(Solver, PicksHighGirthForHighGirthInstances) {
+  Rng rng(9);
+  // Incidence instances have rank 2, so delta must sit in [8, 12): at least
+  // 8 for the solver's high-girth regime, below 12 = 6r so the delta >= 6r
+  // branch does not fire first.
+  const auto base = graph::gen::high_girth_regular(700, 8, 5, rng);
+  const auto b = graph::gen::incidence_bipartite(base);
+  SolverOptions options;
+  options.deterministic = true;
+  options.girth_hint = 10;
+  const SolveResult result = solve_weak_splitting(b, options, rng);
+  EXPECT_EQ(result.algorithm, Algorithm::kHighGirthDet);
+  EXPECT_TRUE(is_weak_splitting(b, result.colors));
+}
+
+TEST(Solver, FallbackCanBeDisabled) {
+  Rng rng(10);
+  // δ = 3, rank moderate, deterministic: outside every regime.
+  const auto b = graph::gen::random_left_regular(16, 16, 3, rng);
+  SolverOptions options;
+  options.deterministic = true;
+  options.allow_fallback = false;
+  EXPECT_THROW(solve_weak_splitting(b, options, rng), ds::CheckError);
+  options.allow_fallback = true;
+  const SolveResult result = solve_weak_splitting(b, options, rng);
+  EXPECT_EQ(result.algorithm, Algorithm::kRobustFallback);
+  EXPECT_TRUE(is_weak_splitting(b, result.colors));
+}
+
+TEST(Solver, AlgorithmNamesAreDistinct) {
+  EXPECT_NE(algorithm_name(Algorithm::kTrivialRandom),
+            algorithm_name(Algorithm::kDelta6r));
+  EXPECT_NE(algorithm_name(Algorithm::kDeterministic),
+            algorithm_name(Algorithm::kShattering));
+}
+
+}  // namespace
+}  // namespace ds::splitting

@@ -1,0 +1,283 @@
+// Unit tests for the graph substrate: Graph, Multigraph, BipartiteGraph,
+// structural properties, IO, and the virtual-node transforms.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/bipartite.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/multigraph.hpp"
+#include "graph/properties.hpp"
+#include "graph/virtual_split.hpp"
+#include "support/check.hpp"
+
+namespace ds::graph {
+namespace {
+
+Graph triangle_with_tail() {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Graph, DegreesAndEdges) {
+  const Graph g = triangle_with_tail();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Graph, RejectsSelfLoopsAndParallelEdges) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 0), CheckError);
+  EXPECT_THROW(g.add_edge(1, 0), CheckError);
+}
+
+TEST(Graph, InducedSubgraphKeepsInternalEdges) {
+  const Graph g = triangle_with_tail();
+  const auto [sub, to_parent] = g.induced_subgraph({0, 2, 3});
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);  // {0,2} and {2,3}
+  EXPECT_EQ(to_parent.size(), 3u);
+  EXPECT_EQ(to_parent[0], 0u);
+  EXPECT_EQ(to_parent[1], 2u);
+}
+
+TEST(Graph, InducedSubgraphRejectsDuplicates) {
+  const Graph g = triangle_with_tail();
+  EXPECT_THROW(g.induced_subgraph({0, 0}), CheckError);
+}
+
+TEST(Multigraph, ParallelEdgesAndSelfLoops) {
+  Multigraph m(2);
+  const EdgeId e1 = m.add_edge(0, 1);
+  const EdgeId e2 = m.add_edge(0, 1);
+  const EdgeId loop = m.add_edge(1, 1);
+  EXPECT_NE(e1, e2);
+  EXPECT_EQ(m.degree(0), 2u);
+  EXPECT_EQ(m.degree(1), 4u);  // two parallel + self-loop counted twice
+  EXPECT_EQ(m.other_endpoint(e1, 0), 1u);
+  EXPECT_EQ(m.other_endpoint(loop, 1), 1u);
+}
+
+TEST(Multigraph, DiscrepancyCountsBalance) {
+  Multigraph m(3);
+  m.add_edge(0, 1);
+  m.add_edge(0, 2);
+  Orientation orient;
+  orient.toward_v = {true, true};  // both out of node 0
+  EXPECT_EQ(orientation_discrepancy(m, orient, 0), 2u);
+  EXPECT_EQ(orientation_discrepancy(m, orient, 1), 1u);
+  orient.toward_v = {true, false};  // one out, one in at node 0
+  EXPECT_EQ(orientation_discrepancy(m, orient, 0), 0u);
+}
+
+TEST(Multigraph, SelfLoopHasZeroDiscrepancy) {
+  Multigraph m(1);
+  m.add_edge(0, 0);
+  Orientation orient;
+  orient.toward_v = {true};
+  EXPECT_EQ(orientation_discrepancy(m, orient, 0), 0u);
+}
+
+BipartiteGraph small_instance() {
+  // U = {0,1}, V = {0,1,2}; u0 ~ {v0,v1}, u1 ~ {v1,v2}.
+  BipartiteGraph b(2, 3);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(1, 1);
+  b.add_edge(1, 2);
+  return b;
+}
+
+TEST(Bipartite, DegreesRankAndNeighbors) {
+  const BipartiteGraph b = small_instance();
+  EXPECT_EQ(b.num_left(), 2u);
+  EXPECT_EQ(b.num_right(), 3u);
+  EXPECT_EQ(b.num_nodes(), 5u);
+  EXPECT_EQ(b.num_edges(), 4u);
+  EXPECT_EQ(b.min_left_degree(), 2u);
+  EXPECT_EQ(b.max_left_degree(), 2u);
+  EXPECT_EQ(b.rank(), 2u);  // v1 has two constraints
+  EXPECT_EQ(b.min_right_degree(), 1u);
+  EXPECT_EQ(b.left_neighbors(0), (std::vector<RightId>{0, 1}));
+  EXPECT_EQ(b.right_neighbors(1), (std::vector<LeftId>{0, 1}));
+  EXPECT_TRUE(b.has_edge(0, 1));
+  EXPECT_FALSE(b.has_edge(0, 2));
+}
+
+TEST(Bipartite, RejectsParallelEdges) {
+  BipartiteGraph b(1, 1);
+  b.add_edge(0, 0);
+  EXPECT_THROW(b.add_edge(0, 0), CheckError);
+}
+
+TEST(Bipartite, FilterEdgesRenumbers) {
+  const BipartiteGraph b = small_instance();
+  const auto [filtered, new_to_old] =
+      b.filter_edges({true, false, false, true});
+  EXPECT_EQ(filtered.num_edges(), 2u);
+  EXPECT_EQ(filtered.num_left(), 2u);   // node sets preserved
+  EXPECT_EQ(filtered.num_right(), 3u);
+  EXPECT_EQ(new_to_old, (std::vector<EdgeId>{0, 3}));
+  EXPECT_EQ(filtered.left_degree(0), 1u);
+  EXPECT_EQ(filtered.right_degree(1), 0u);
+}
+
+TEST(Bipartite, UnifiedGraphLayout) {
+  const BipartiteGraph b = small_instance();
+  const Graph u = b.unified();
+  EXPECT_EQ(u.num_nodes(), 5u);
+  EXPECT_EQ(u.num_edges(), 4u);
+  EXPECT_TRUE(u.has_edge(b.unified_left(0), b.unified_right(0)));
+  EXPECT_TRUE(u.has_edge(b.unified_left(1), b.unified_right(2)));
+}
+
+TEST(Bipartite, ConnectedComponentsSplitAndMapBack) {
+  BipartiteGraph b(3, 3);
+  b.add_edge(0, 0);
+  b.add_edge(1, 1);
+  b.add_edge(2, 1);  // u1,u2,v1 one component; u0,v0 another; v2 isolated
+  const auto comps = connected_components(b);
+  EXPECT_EQ(comps.size(), 2u);
+  std::size_t total_edges = 0;
+  for (const auto& c : comps) {
+    total_edges += c.graph.num_edges();
+    // Mapping consistency: every component edge exists in the parent.
+    for (EdgeId e = 0; e < c.graph.num_edges(); ++e) {
+      const auto [lu, lv] = c.graph.endpoints(e);
+      EXPECT_TRUE(b.has_edge(c.left_to_parent[lu], c.right_to_parent[lv]));
+    }
+  }
+  EXPECT_EQ(total_edges, b.num_edges());
+}
+
+TEST(Bipartite, IsolatedNodesOptIn) {
+  BipartiteGraph b(1, 2);
+  b.add_edge(0, 0);
+  EXPECT_EQ(connected_components(b, false).size(), 1u);
+  EXPECT_EQ(connected_components(b, true).size(), 2u);
+}
+
+TEST(Properties, BfsDistances) {
+  const Graph g = triangle_with_tail();
+  const auto dist = bfs_distances(g, 3);
+  EXPECT_EQ(dist[3], 0u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[0], 2u);
+  const auto capped = bfs_distances(g, 3, 1);
+  EXPECT_EQ(capped[0], SIZE_MAX);
+}
+
+TEST(Properties, ComponentsAndConnectivity) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto labels = component_labels(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(is_connected(triangle_with_tail()));
+}
+
+TEST(Properties, GirthOfKnownGraphs) {
+  EXPECT_EQ(girth(triangle_with_tail()), 3u);
+  Graph c5(5);
+  for (NodeId v = 0; v < 5; ++v) c5.add_edge(v, (v + 1) % 5);
+  EXPECT_EQ(girth(c5), 5u);
+  Graph tree(4);
+  tree.add_edge(0, 1);
+  tree.add_edge(1, 2);
+  tree.add_edge(1, 3);
+  EXPECT_EQ(girth(tree), SIZE_MAX);
+  EXPECT_TRUE(shortest_cycle(tree).empty());
+}
+
+TEST(Properties, PowerGraphAndBall) {
+  Graph path(4);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  path.add_edge(2, 3);
+  const Graph p2 = power(path, 2);
+  EXPECT_TRUE(p2.has_edge(0, 2));
+  EXPECT_FALSE(p2.has_edge(0, 3));
+  EXPECT_EQ(ball(path, 0, 2), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Io, GraphRoundTrip) {
+  const Graph g = triangle_with_tail();
+  std::stringstream ss;
+  io::write_edge_list(ss, g);
+  const Graph h = io::read_edge_list(ss);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_TRUE(h.has_edge(0, 2));
+}
+
+TEST(Io, BipartiteRoundTripAndDot) {
+  const BipartiteGraph b = small_instance();
+  std::stringstream ss;
+  io::write_bipartite(ss, b);
+  const BipartiteGraph c = io::read_bipartite(ss);
+  EXPECT_EQ(c.num_left(), b.num_left());
+  EXPECT_EQ(c.num_edges(), b.num_edges());
+  EXPECT_TRUE(c.has_edge(1, 2));
+  const std::string dot = io::to_dot(b, {"red", "blue", "red"});
+  EXPECT_NE(dot.find("fillcolor=red"), std::string::npos);
+}
+
+TEST(Io, MalformedInputThrows) {
+  std::stringstream ss("not a header");
+  EXPECT_THROW(io::read_edge_list(ss), CheckError);
+}
+
+TEST(VirtualSplit, NormalizationBoundsDegrees) {
+  // One left node of degree 9 with delta = 2 must split into 4 copies.
+  BipartiteGraph b(1, 9);
+  for (RightId v = 0; v < 9; ++v) b.add_edge(0, v);
+  const auto norm = normalize_left_degrees(b, 2);
+  EXPECT_EQ(norm.graph.num_left(), 4u);
+  for (LeftId u = 0; u < norm.graph.num_left(); ++u) {
+    EXPECT_GE(norm.graph.left_degree(u), 2u);
+    EXPECT_LT(norm.graph.left_degree(u), 4u);
+    EXPECT_EQ(norm.left_to_original[u], 0u);
+  }
+  EXPECT_EQ(norm.graph.num_edges(), b.num_edges());
+}
+
+TEST(VirtualSplit, SmallDegreesKeptWhole) {
+  BipartiteGraph b(1, 4);
+  for (RightId v = 0; v < 4; ++v) b.add_edge(0, v);
+  const auto norm = normalize_left_degrees(b, 2);  // deg 4 = 2*delta: kept
+  EXPECT_EQ(norm.graph.num_left(), 1u);
+  EXPECT_EQ(norm.graph.left_degree(0), 4u);
+}
+
+TEST(VirtualSplit, PaddingRaisesMinDegree) {
+  Graph g(3);
+  g.add_edge(0, 1);  // degrees 1,1,0
+  const auto padded = pad_to_min_degree(g, 4);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_GE(padded.graph.degree(v), 4u);
+    EXPECT_FALSE(padded.is_virtual[v]);
+  }
+  for (NodeId v = 3; v < padded.graph.num_nodes(); ++v) {
+    EXPECT_TRUE(padded.is_virtual[v]);
+    EXPECT_LE(padded.graph.degree(v), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace ds::graph

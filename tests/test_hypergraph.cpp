@@ -1,0 +1,163 @@
+// Tests for the low-rank hypergraph substrate: structure, degree
+// splitting, and maximal matching.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace ds::hypergraph {
+namespace {
+
+Hypergraph triangle_of_triples() {
+  // 6 vertices, 3 hyperedges pairwise sharing one vertex.
+  Hypergraph h(6);
+  h.add_edge({0, 1, 2});
+  h.add_edge({2, 3, 4});
+  h.add_edge({4, 5, 0});
+  return h;
+}
+
+TEST(Structure, DegreesRankIncidence) {
+  const auto h = triangle_of_triples();
+  EXPECT_EQ(h.num_vertices(), 6u);
+  EXPECT_EQ(h.num_edges(), 3u);
+  EXPECT_EQ(h.rank(), 3u);
+  EXPECT_EQ(h.degree(0), 2u);
+  EXPECT_EQ(h.degree(1), 1u);
+  EXPECT_EQ(h.min_degree(), 1u);
+  EXPECT_EQ(h.max_degree(), 2u);
+  const auto b = h.incidence();
+  EXPECT_EQ(b.num_left(), 6u);
+  EXPECT_EQ(b.num_right(), 3u);
+  EXPECT_EQ(b.rank(), 3u);  // hyperedge size = right degree
+}
+
+TEST(Structure, RejectsMalformedHyperedges) {
+  Hypergraph h(3);
+  EXPECT_THROW(h.add_edge({}), ds::CheckError);
+  EXPECT_THROW(h.add_edge({0, 0}), ds::CheckError);
+  EXPECT_THROW(h.add_edge({0, 7}), ds::CheckError);
+}
+
+TEST(Structure, ConflictGraphSharesVertices) {
+  const auto h = triangle_of_triples();
+  const auto c = h.conflict_graph();
+  EXPECT_EQ(c.num_nodes(), 3u);
+  EXPECT_EQ(c.num_edges(), 3u);  // pairwise conflicts
+}
+
+TEST(Structure, FromGraphIsRankTwo) {
+  Rng rng(1);
+  const auto g = graph::gen::random_regular(40, 4, rng);
+  const auto h = from_graph(g);
+  EXPECT_EQ(h.rank(), 2u);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.max_degree(), 4u);
+}
+
+TEST(Generator, NearRegularLowRank) {
+  Rng rng(2);
+  const auto h = random_regular_hypergraph(120, 8, 4, rng);
+  EXPECT_LE(h.rank(), 4u);
+  EXPECT_GE(h.min_degree(), 6u);  // slot drops cost at most a couple
+  EXPECT_LE(h.max_degree(), 8u);
+}
+
+TEST(Split, VerifierBoundaries) {
+  const auto h = triangle_of_triples();
+  // The three degree-2 vertices pairwise share a hyperedge (an odd
+  // conflict triangle), so *no* eps=0 split exists: each coloring leaves
+  // some vertex monochromatic. {red, blue, blue} fails at vertex 4.
+  EXPECT_FALSE(is_hyperedge_split(h, {true, false, false}, 0.0));
+  EXPECT_FALSE(is_hyperedge_split(h, {true, true, true}, 0.0));
+  // eps = 0.5 raises the cap to the full degree: anything goes.
+  EXPECT_TRUE(is_hyperedge_split(h, {true, false, false}, 0.5));
+  // Degree threshold 3 unconstrains everything here.
+  EXPECT_TRUE(is_hyperedge_split(h, {true, true, true}, 0.0, 3));
+}
+
+class SplitSweep : public ::testing::TestWithParam<
+                       std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(SplitSweep, BalancedAtEveryVertex) {
+  const auto [nv, d, r] = GetParam();
+  Rng rng(nv * d + r);
+  const auto h = random_regular_hypergraph(nv, d, r, rng);
+  local::CostMeter meter;
+  const auto result = hyperedge_split(h, 0.2, 8, rng, &meter);
+  EXPECT_TRUE(is_hyperedge_split(h, result.is_red, 0.2, 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SplitSweep,
+    ::testing::Values(std::make_tuple(64, 16, 2), std::make_tuple(64, 16, 3),
+                      std::make_tuple(128, 32, 4), std::make_tuple(128, 24, 8),
+                      std::make_tuple(256, 64, 16)));
+
+TEST(Split, RankTwoMatchesGraphSemantics) {
+  // On a rank-2 hypergraph from a graph, hyperedge splitting is edge
+  // splitting: per-node red/blue incident edge counts are balanced.
+  Rng rng(3);
+  const auto g = graph::gen::random_regular(128, 32, rng);
+  const auto h = from_graph(g);
+  const auto result = hyperedge_split(h, 0.2, 8, rng);
+  EXPECT_TRUE(is_hyperedge_split(h, result.is_red, 0.2, 8));
+}
+
+TEST(Split, EdgelessAndUnconstrainedInstances) {
+  Hypergraph h(5);
+  Rng rng(4);
+  const auto result = hyperedge_split(h, 0.2, 0, rng);
+  EXPECT_TRUE(result.is_red.empty());
+  Hypergraph one(3);
+  one.add_edge({0, 1});
+  const auto r2 = hyperedge_split(one, 0.2, 5, rng);  // all below threshold
+  EXPECT_EQ(r2.is_red.size(), 1u);
+}
+
+TEST(Matching, VerifierCatchesOverlapsAndNonMaximality) {
+  const auto h = triangle_of_triples();
+  // Edges 0 and 1 share vertex 2: not disjoint.
+  EXPECT_FALSE(is_maximal_matching(h, {true, true, false}));
+  // Empty set is not maximal (edge 0 is free).
+  EXPECT_FALSE(is_maximal_matching(h, {false, false, false}));
+  // Any single edge blocks the other two here.
+  EXPECT_TRUE(is_maximal_matching(h, {true, false, false}));
+}
+
+TEST(Matching, GreedyAndRandomizedAreValid) {
+  Rng rng(5);
+  for (std::size_t r : {2, 3, 5}) {
+    const auto h = random_regular_hypergraph(90, 6, r, rng);
+    EXPECT_TRUE(is_maximal_matching(h, greedy_maximal_matching(h)));
+    std::size_t rounds = 0;
+    local::CostMeter meter;
+    const auto rand = randomized_maximal_matching(h, 7, &rounds, &meter);
+    EXPECT_TRUE(is_maximal_matching(h, rand));
+    EXPECT_GT(rounds, 0u);
+    EXPECT_GT(meter.charged_rounds(), 0.0);
+  }
+}
+
+TEST(Matching, GraphRankTwoMatchingIsGraphMatching) {
+  Rng rng(6);
+  const auto g = graph::gen::random_regular(60, 6, rng);
+  const auto h = from_graph(g);
+  const auto m = greedy_maximal_matching(h);
+  // No two matched hyperedges (= graph edges) share an endpoint.
+  std::vector<int> cover(g.num_nodes(), 0);
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    if (!m[e]) continue;
+    ++cover[g.edges()[e].u];
+    ++cover[g.edges()[e].v];
+  }
+  for (int c : cover) EXPECT_LE(c, 1);
+}
+
+}  // namespace
+}  // namespace ds::hypergraph

@@ -1,0 +1,232 @@
+// Tests for the LOCAL-model simulator: cost accounting, ID assignment,
+// synchronous message passing semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "local/cost.hpp"
+#include "local/ids.hpp"
+#include "local/network.hpp"
+#include "support/check.hpp"
+
+namespace ds::local {
+namespace {
+
+TEST(CostMeter, AccumulatesAndMerges) {
+  CostMeter a;
+  a.add_executed(3);
+  a.charge("x", 10.0);
+  CostMeter b;
+  b.add_executed(5);
+  b.charge("x", 2.0);
+  b.charge("y", 7.0);
+
+  CostMeter seq = a;
+  seq.merge_sequential(b);
+  EXPECT_EQ(seq.executed_rounds(), 8u);
+  EXPECT_DOUBLE_EQ(seq.charged_rounds(), 19.0);
+  EXPECT_DOUBLE_EQ(seq.breakdown().at("x"), 12.0);
+
+  CostMeter par = a;
+  par.merge_parallel_max(b);
+  EXPECT_EQ(par.executed_rounds(), 5u);
+  // Totals take the max of the meters: max(10, 2+7) = 10.
+  EXPECT_DOUBLE_EQ(par.charged_rounds(), 10.0);
+  EXPECT_DOUBLE_EQ(par.breakdown().at("x"), 10.0);
+  EXPECT_DOUBLE_EQ(par.total_rounds(), 15.0);
+}
+
+TEST(CostMeter, NegativeChargeRejected) {
+  CostMeter m;
+  EXPECT_THROW(m.charge("bad", -1.0), ds::CheckError);
+}
+
+TEST(Cost, DegreeSplittingCostShapes) {
+  // Deterministic cost grows with log n; randomized with log log n.
+  const double det_small = degree_splitting_cost_det(0.1, 1 << 10);
+  const double det_big = degree_splitting_cost_det(0.1, 1 << 20);
+  EXPECT_NEAR(det_big / det_small, 2.0, 0.01);
+  const double rand_small = degree_splitting_cost_rand(0.1, 1 << 10);
+  const double rand_big = degree_splitting_cost_rand(0.1, 1 << 20);
+  EXPECT_LT(rand_big / rand_small, 1.5);
+  // Smaller eps costs more.
+  EXPECT_GT(degree_splitting_cost_det(0.01, 1024),
+            degree_splitting_cost_det(0.1, 1024));
+}
+
+TEST(Cost, LogStar) {
+  EXPECT_DOUBLE_EQ(log_star(1), 0.0);
+  EXPECT_DOUBLE_EQ(log_star(2), 1.0);
+  EXPECT_DOUBLE_EQ(log_star(4), 2.0);
+  EXPECT_DOUBLE_EQ(log_star(65536), 4.0);
+}
+
+TEST(Ids, AllStrategiesArePermutations) {
+  Rng rng(4);
+  const graph::Graph g = graph::gen::gnp(30, 0.2, rng);
+  for (IdStrategy s : {IdStrategy::kSequential, IdStrategy::kRandomPermutation,
+                       IdStrategy::kDegreeDescending}) {
+    const auto ids = assign_ids(g, s, rng);
+    std::set<std::uint64_t> unique(ids.begin(), ids.end());
+    EXPECT_EQ(unique.size(), g.num_nodes());
+    EXPECT_EQ(*unique.rbegin(), g.num_nodes() - 1);
+  }
+}
+
+TEST(Ids, DegreeDescendingOrdersByDegree) {
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);  // node 0 has max degree
+  Rng rng(5);
+  const auto ids = assign_ids(g, IdStrategy::kDegreeDescending, rng);
+  EXPECT_EQ(ids[0], 3u);  // highest id goes to the highest-degree node
+}
+
+/// A program that floods the maximum UID seen so far; converges in
+/// diameter-many rounds. Exercises send/receive plumbing and ports.
+class MaxFlood : public NodeProgram {
+ public:
+  explicit MaxFlood(const NodeEnv& env) : env_(env), best_(env.uid) {}
+
+  std::vector<Message> send(std::size_t) override {
+    return std::vector<Message>(env_.degree, Message{best_});
+  }
+
+  void receive(std::size_t round, const std::vector<Message>& inbox) override {
+    for (const Message& m : inbox) {
+      if (!m.empty()) best_ = std::max(best_, m[0]);
+    }
+    // A value being momentarily stable proves nothing in LOCAL (the true
+    // max may still be several hops away); flood for n >= diameter rounds.
+    if (round + 1 >= env_.n) stable_ = true;
+  }
+
+  [[nodiscard]] bool done() const override { return stable_; }
+
+  std::uint64_t best() const { return best_; }
+
+ private:
+  NodeEnv env_;
+  std::uint64_t best_;
+  bool stable_ = false;
+};
+
+TEST(Network, FloodsMaximumUid) {
+  Rng rng(6);
+  const graph::Graph g = graph::gen::cycle(12);
+  Network net(g, IdStrategy::kRandomPermutation, 99);
+  std::vector<MaxFlood*> programs(g.num_nodes(), nullptr);
+  CostMeter meter;
+  const std::size_t rounds = net.run(
+      [&](const NodeEnv& env) {
+        auto p = std::make_unique<MaxFlood>(env);
+        programs[env.node] = p.get();
+        return p;
+      },
+      100, &meter);
+  EXPECT_GT(rounds, 0u);
+  EXPECT_EQ(meter.executed_rounds(), rounds);
+  const std::uint64_t expected = g.num_nodes() - 1;
+  for (MaxFlood* p : programs) {
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->best(), expected);
+  }
+}
+
+/// Program that verifies the port mapping: every node sends its UID on each
+/// port and checks that what it receives on port p matches neighbor_uids[p].
+class PortChecker : public NodeProgram {
+ public:
+  explicit PortChecker(const NodeEnv& env) : env_(env) {}
+
+  std::vector<Message> send(std::size_t) override {
+    return std::vector<Message>(env_.degree, Message{env_.uid});
+  }
+
+  void receive(std::size_t, const std::vector<Message>& inbox) override {
+    for (std::size_t p = 0; p < inbox.size(); ++p) {
+      ASSERT_EQ(inbox[p].size(), 1u);
+      EXPECT_EQ(inbox[p][0], env_.neighbor_uids[p]);
+    }
+    done_ = true;
+  }
+
+  [[nodiscard]] bool done() const override { return done_; }
+
+ private:
+  NodeEnv env_;
+  bool done_ = false;
+};
+
+TEST(Network, PortsMatchNeighborUids) {
+  Rng rng(7);
+  const graph::Graph g = graph::gen::gnp(25, 0.3, rng);
+  Network net(g, IdStrategy::kRandomPermutation, 5);
+  net.run([](const NodeEnv& env) { return std::make_unique<PortChecker>(env); },
+          4);
+}
+
+TEST(Network, ThrowsOnRoundLimit) {
+  /// A program that never halts.
+  class Forever : public NodeProgram {
+   public:
+    explicit Forever(std::size_t degree) : degree_(degree) {}
+    std::vector<Message> send(std::size_t) override {
+      return std::vector<Message>(degree_);
+    }
+    void receive(std::size_t, const std::vector<Message>&) override {}
+    [[nodiscard]] bool done() const override { return false; }
+
+   private:
+    std::size_t degree_;
+  };
+  const graph::Graph g = graph::gen::cycle(4);
+  Network net(g, IdStrategy::kSequential, 1);
+  EXPECT_THROW(net.run(
+                   [](const NodeEnv& env) {
+                     return std::make_unique<Forever>(env.degree);
+                   },
+                   3),
+               ds::CheckError);
+}
+
+TEST(Network, PerNodeRandomnessIsStable) {
+  const graph::Graph g = graph::gen::cycle(6);
+  // Two networks with the same seed must hand nodes identical RNG streams.
+  std::vector<std::uint64_t> draws_a;
+  std::vector<std::uint64_t> draws_b;
+  for (auto* out : {&draws_a, &draws_b}) {
+    Network net(g, IdStrategy::kSequential, 1234);
+    net.run(
+        [out](const NodeEnv& env) {
+          class OneShot : public NodeProgram {
+           public:
+            OneShot(NodeEnv env, std::vector<std::uint64_t>* sink)
+                : env_(std::move(env)), sink_(sink) {}
+            std::vector<Message> send(std::size_t) override {
+              return std::vector<Message>(env_.degree);
+            }
+            void receive(std::size_t, const std::vector<Message>&) override {
+              sink_->push_back(env_.rng.next_raw());
+              done_ = true;
+            }
+            [[nodiscard]] bool done() const override { return done_; }
+
+           private:
+            NodeEnv env_;
+            std::vector<std::uint64_t>* sink_;
+            bool done_ = false;
+          };
+          return std::make_unique<OneShot>(env, out);
+        },
+        2);
+  }
+  EXPECT_EQ(draws_a, draws_b);
+}
+
+}  // namespace
+}  // namespace ds::local

@@ -1,0 +1,84 @@
+// Tests for the randomized trial coloring (Johansson) on the LOCAL
+// simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "coloring/randcolor.hpp"
+#include "coloring/verify.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace ds::coloring {
+namespace {
+
+TEST(RandColor, EmptyAndSingletonGraphs) {
+  graph::Graph empty(0);
+  EXPECT_EQ(randomized_coloring(empty, 1).num_colors, 0u);
+  graph::Graph one(1);
+  const auto outcome = randomized_coloring(one, 1);
+  EXPECT_EQ(outcome.num_colors, 1u);
+  EXPECT_EQ(outcome.colors[0], 0u);
+}
+
+TEST(RandColor, CompleteGraphUsesExactlyDeltaPlusOne) {
+  const auto g = graph::gen::complete(12);
+  const auto outcome = randomized_coloring(g, 3);
+  EXPECT_TRUE(is_proper_coloring(g, outcome.colors));
+  EXPECT_EQ(outcome.num_colors, 12u);  // K_12 needs all Δ+1 = 12 colors
+}
+
+class RandColorSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(RandColorSweep, ProperWithinDeltaPlusOne) {
+  const auto [n, d] = GetParam();
+  Rng rng(n * 7 + d);
+  const auto g = graph::gen::random_regular(n, d, rng);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    local::CostMeter meter;
+    const auto outcome = randomized_coloring(g, seed, &meter);
+    EXPECT_TRUE(is_proper_coloring(g, outcome.colors));
+    EXPECT_LE(outcome.num_colors, static_cast<std::uint32_t>(d + 1));
+    EXPECT_EQ(meter.executed_rounds(), outcome.executed_rounds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RandColorSweep,
+                         ::testing::Values(std::make_tuple(64, 4),
+                                           std::make_tuple(128, 8),
+                                           std::make_tuple(256, 16),
+                                           std::make_tuple(256, 3)));
+
+TEST(RandColor, RoundsAreLogarithmicInPractice) {
+  for (std::size_t n : {64, 256, 1024}) {
+    Rng rng(n + 3);
+    const auto g = graph::gen::random_regular(n, 6, rng);
+    const auto outcome = randomized_coloring(g, 11);
+    EXPECT_LE(outcome.executed_rounds,
+              8 * static_cast<std::size_t>(std::log2(n)) + 8)
+        << "n=" << n;
+  }
+}
+
+TEST(RandColor, BipartiteDoubleCoverStaysProper) {
+  // Cycle of even length — a 2-colorable graph; trial coloring must still
+  // produce a proper (not necessarily 2-)coloring with at most 3 colors.
+  const auto g = graph::gen::cycle(32);
+  const auto outcome = randomized_coloring(g, 5);
+  EXPECT_TRUE(is_proper_coloring(g, outcome.colors));
+  EXPECT_LE(outcome.num_colors, 3u);
+}
+
+TEST(RandColor, SeedsProduceDifferentColorings) {
+  Rng rng(9);
+  const auto g = graph::gen::random_regular(128, 8, rng);
+  const auto a = randomized_coloring(g, 1).colors;
+  const auto b = randomized_coloring(g, 2).colors;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace ds::coloring

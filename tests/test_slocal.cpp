@@ -1,0 +1,123 @@
+// Tests for the SLOCAL engine and its LOCAL compilation via power colorings.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coloring/distance_coloring.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "local/ids.hpp"
+#include "slocal/compile.hpp"
+#include "slocal/engine.hpp"
+#include "support/check.hpp"
+
+namespace ds::slocal {
+namespace {
+
+TEST(Order, AllStrategiesArePermutations) {
+  Rng rng(1);
+  const graph::Graph g = graph::gen::gnp(40, 0.15, rng);
+  for (Order o : {Order::kByIndex, Order::kRandom, Order::kDegreeDescending,
+                  Order::kDegreeAscending}) {
+    const auto order = make_order(g, o, rng);
+    std::set<graph::NodeId> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), g.num_nodes());
+  }
+}
+
+TEST(Order, DegreeOrderingsAreSorted) {
+  Rng rng(2);
+  const graph::Graph g = graph::gen::gnp(40, 0.2, rng);
+  const auto desc = make_order(g, Order::kDegreeDescending, rng);
+  for (std::size_t i = 1; i < desc.size(); ++i) {
+    EXPECT_GE(g.degree(desc[i - 1]), g.degree(desc[i]));
+  }
+  const auto asc = make_order(g, Order::kDegreeAscending, rng);
+  for (std::size_t i = 1; i < asc.size(); ++i) {
+    EXPECT_LE(g.degree(asc[i - 1]), g.degree(asc[i]));
+  }
+}
+
+TEST(Engine, VisitsEveryNodeOnceWithItsBall) {
+  Rng rng(3);
+  const graph::Graph g = graph::gen::cycle(9);
+  const auto order = make_order(g, Order::kRandom, rng);
+  std::vector<int> visits(g.num_nodes(), 0);
+  run(g, 2, order, [&](graph::NodeId v, const std::vector<graph::NodeId>& ball) {
+    ++visits[v];
+    EXPECT_EQ(ball.size(), 4u);  // radius-2 ball on a long cycle
+    for (graph::NodeId w : ball) EXPECT_NE(w, v);
+  });
+  for (int count : visits) EXPECT_EQ(count, 1);
+}
+
+TEST(Engine, RejectsBadOrders) {
+  const graph::Graph g = graph::gen::cycle(5);
+  EXPECT_THROW(run(g, 1, {0, 1, 2}, [](auto, const auto&) {}),
+               ds::CheckError);
+  EXPECT_THROW(run(g, 1, {0, 1, 2, 3, 3}, [](auto, const auto&) {}),
+               ds::CheckError);
+}
+
+TEST(Compile, GreedyColoringViaScheduleIsProper) {
+  // Classic SLOCAL(1) greedy coloring compiled by a G¹ coloring: the result
+  // must be a proper (Δ+1)-coloring regardless of the schedule's classes.
+  Rng rng(4);
+  const graph::Graph g = graph::gen::gnp(50, 0.15, rng);
+  Rng id_rng(5);
+  const auto ids =
+      local::assign_ids(g, local::IdStrategy::kRandomPermutation, id_rng);
+  local::CostMeter meter;
+  const auto schedule = coloring::color_power(g, 1, ids, &meter);
+
+  std::vector<std::uint32_t> colors(g.num_nodes(), UINT32_MAX);
+  const std::size_t classes = run_with_coloring(
+      g, 1, schedule.colors,
+      [&](graph::NodeId v, const std::vector<graph::NodeId>& ball) {
+        std::set<std::uint32_t> used;
+        for (graph::NodeId w : ball) {
+          if (colors[w] != UINT32_MAX) used.insert(colors[w]);
+        }
+        std::uint32_t c = 0;
+        while (used.count(c) > 0) ++c;
+        colors[v] = c;
+      },
+      &meter);
+  // num_colors is the declared palette bound; the schedule runs one class
+  // per *used* color, which can be fewer.
+  EXPECT_LE(classes, schedule.num_colors);
+  EXPECT_GE(classes, 1u);
+  for (const graph::Edge& e : g.edges()) {
+    EXPECT_NE(colors[e.u], colors[e.v]);
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(colors[v], g.max_degree());
+  }
+  EXPECT_GT(meter.breakdown().at("slocal-compile"), 0.0);
+}
+
+TEST(Compile, RejectsImproperPowerColoring) {
+  const graph::Graph g = graph::gen::cycle(6);
+  // All-zero coloring is not proper on G².
+  std::vector<std::uint32_t> bad(g.num_nodes(), 0);
+  EXPECT_THROW(
+      run_with_coloring(g, 2, bad, [](auto, const auto&) {}, nullptr),
+      ds::CheckError);
+}
+
+TEST(Compile, ChargesCtRounds) {
+  const graph::Graph g = graph::gen::cycle(8);
+  Rng id_rng(6);
+  const auto ids =
+      local::assign_ids(g, local::IdStrategy::kSequential, id_rng);
+  local::CostMeter inner;
+  const auto schedule = coloring::color_power(g, 2, ids, &inner);
+  local::CostMeter meter;
+  run_with_coloring(g, 2, schedule.colors, [](auto, const auto&) {}, &meter);
+  EXPECT_DOUBLE_EQ(meter.breakdown().at("slocal-compile"),
+                   2.0 * schedule.num_colors);
+}
+
+}  // namespace
+}  // namespace ds::slocal

@@ -1,0 +1,167 @@
+// Unit tests for the support substrate: checks, RNG, statistics, tables,
+// option parsing.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/options.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace ds {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) { DS_CHECK(1 + 1 == 2); }
+
+TEST(Check, FailingCheckThrowsWithLocation) {
+  try {
+    DS_CHECK_MSG(false, "context message");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("context message"), std::string::npos);
+    EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_raw(), b.next_raw());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(7);
+  Rng b(8);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_raw() == b.next_raw()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ForkIsStableAndIndependentOfCallOrder) {
+  Rng parent(99);
+  Rng c1 = parent.fork(5);
+  Rng c2 = parent.fork(6);
+  // Forking again with the same stream id reproduces the same child.
+  Rng c1_again = parent.fork(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(c1.next_raw(), c1_again.next_raw());
+  }
+  // Distinct streams diverge.
+  Rng c2_again = parent.fork(6);
+  EXPECT_EQ(c2.next_raw(), c2_again.next_raw());
+}
+
+TEST(Rng, BoundedDrawsStayInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_u64(17), 17u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(11);
+  const auto perm = rng.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (std::size_t x : perm) {
+    ASSERT_LT(x, 50u);
+    EXPECT_FALSE(seen[x]);
+    seen[x] = true;
+  }
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng rng(123);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.next_bool()) ++heads;
+  }
+  EXPECT_NEAR(heads, 5000, 300);
+}
+
+TEST(Summary, BasicStatistics) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.29099, 1e-4);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 4.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(LinearFit, RecoversLine) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(LinearFit, DegenerateXGivesZeroSlope) {
+  std::vector<double> x{2, 2, 2};
+  std::vector<double> y{1, 2, 3};
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").num(static_cast<long long>(42));
+  t.row().cell("b").num(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string rendered = os.str();
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("42"), std::string::npos);
+  EXPECT_NE(rendered.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CellWithoutRowThrows) {
+  Table t({"x"});
+  EXPECT_THROW(t.cell("oops"), CheckError);
+}
+
+TEST(FormatDouble, SwitchesToScientificForExtremes) {
+  EXPECT_NE(format_double(1.5e-9).find("e"), std::string::npos);
+  EXPECT_EQ(format_double(12.5).find("e"), std::string::npos);
+}
+
+TEST(Options, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--n=128", "--verbose", "--eps=0.25"};
+  Options opts(4, argv);
+  EXPECT_EQ(opts.get_int("n", 0), 128);
+  EXPECT_TRUE(opts.has("verbose"));
+  EXPECT_DOUBLE_EQ(opts.get_double("eps", 0.0), 0.25);
+  EXPECT_EQ(opts.get_int("missing", 7), 7);
+  EXPECT_EQ(opts.seed(), 1u);
+}
+
+TEST(Options, RejectsMalformedArguments) {
+  const char* argv[] = {"prog", "n=128"};
+  EXPECT_THROW(Options(2, argv), CheckError);
+}
+
+}  // namespace
+}  // namespace ds

@@ -1,0 +1,187 @@
+// Tests for the weak splitting problem definition, verifier, trivial
+// randomized algorithm, basic derandomization (Lemma 2.1), and truncation
+// (Lemma 2.2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "splitting/basic_derand.hpp"
+#include "splitting/trivial_random.hpp"
+#include "splitting/truncate.hpp"
+#include "splitting/weak_splitting.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace ds::splitting {
+namespace {
+
+graph::BipartiteGraph two_constraints() {
+  // u0 ~ {v0, v1}, u1 ~ {v1, v2}.
+  graph::BipartiteGraph b(2, 3);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(1, 1);
+  b.add_edge(1, 2);
+  return b;
+}
+
+TEST(Verifier, AcceptsAndRejects) {
+  const auto b = two_constraints();
+  EXPECT_TRUE(is_weak_splitting(
+      b, {Color::kRed, Color::kBlue, Color::kRed}));
+  EXPECT_FALSE(is_weak_splitting(
+      b, {Color::kRed, Color::kRed, Color::kBlue}));  // u0 all red
+  EXPECT_FALSE(is_weak_splitting(
+      b, {Color::kBlue, Color::kBlue, Color::kBlue}));
+}
+
+TEST(Verifier, DegreeThresholdRelaxes) {
+  const auto b = two_constraints();
+  // All red violates both constraints, but with min_degree = 3 nothing is
+  // constrained.
+  const Coloring all_red(3, Color::kRed);
+  EXPECT_FALSE(is_weak_splitting(b, all_red, 0));
+  EXPECT_TRUE(is_weak_splitting(b, all_red, 3));
+}
+
+TEST(Verifier, ReportsUnsatisfiedNodes) {
+  const auto b = two_constraints();
+  const auto bad =
+      unsatisfied_nodes(b, {Color::kRed, Color::kRed, Color::kBlue});
+  EXPECT_EQ(bad, (std::vector<graph::LeftId>{0}));
+}
+
+TEST(Verifier, CheckMessagesAreSpecific) {
+  const auto b = two_constraints();
+  EXPECT_NE(check_weak_splitting(b, {Color::kRed, Color::kRed, Color::kRed})
+                .find("does not see both colors"),
+            std::string::npos);
+  EXPECT_NE(
+      check_weak_splitting(b, {Color::kUncolored, Color::kRed, Color::kBlue})
+          .find("uncolored"),
+      std::string::npos);
+  EXPECT_EQ(check_weak_splitting(b, {Color::kRed, Color::kBlue, Color::kRed}),
+            "");
+}
+
+TEST(TrivialRandom, SucceedsAtHighDegreeWhp) {
+  Rng rng(1);
+  // δ = 24 >= 2 log2(n) for n = 72+: failure bound 72·2^{-23} tiny.
+  const auto b = graph::gen::random_left_regular(24, 48, 24, rng);
+  EXPECT_LT(trivial_failure_bound(b), 0.01);
+  int failures = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Coloring colors = trivial_random_split(b, rng);
+    if (!is_weak_splitting(b, colors)) ++failures;
+  }
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(TrivialRandom, FailureBoundFormula) {
+  const auto b = two_constraints();  // two constraints of degree 2
+  EXPECT_DOUBLE_EQ(trivial_failure_bound(b), 2.0 * std::pow(2.0, -1.0));
+}
+
+TEST(BasicDerand, Lemma21ProducesValidSplitting) {
+  Rng rng(2);
+  // n = 192, 2 log2 n ≈ 15.2; δ = 16 qualifies.
+  const auto b = graph::gen::random_left_regular(64, 128, 16, rng);
+  local::CostMeter meter;
+  BasicDerandInfo info;
+  const Coloring colors = basic_derand_split(b, rng, &meter, &info);
+  EXPECT_TRUE(is_weak_splitting(b, colors));
+  EXPECT_LT(info.initial_potential, 1.0);
+  EXPECT_DOUBLE_EQ(info.final_potential, 0.0);
+  EXPECT_GT(info.schedule_colors, 0u);
+  // Costs include the B² coloring and the O(C) schedule.
+  EXPECT_GT(meter.breakdown().at("distance-coloring"), 0.0);
+  EXPECT_GT(meter.breakdown().at("slocal-compile"), 0.0);
+}
+
+TEST(BasicDerand, WorksOnRankTwoInstances) {
+  Rng rng(3);
+  const auto base = graph::gen::random_regular(64, 16, rng);
+  const auto b = graph::gen::incidence_bipartite(base);
+  local::CostMeter meter;
+  const Coloring colors = basic_derand_split(b, rng, &meter);
+  EXPECT_TRUE(is_weak_splitting(b, colors));
+}
+
+TEST(Truncate, KeepsExactlyTargetEdges) {
+  Rng rng(4);
+  const auto b = graph::gen::random_left_regular(16, 64, 32, rng);
+  const auto t = truncate_left_degrees(b, 10);
+  for (graph::LeftId u = 0; u < t.num_left(); ++u) {
+    EXPECT_EQ(t.left_degree(u), 10u);
+  }
+  EXPECT_LE(t.rank(), b.rank());
+}
+
+TEST(Truncate, ShortDegreesUntouched) {
+  const auto b = two_constraints();
+  const auto t = truncate_left_degrees(b, 5);
+  EXPECT_EQ(t.num_edges(), b.num_edges());
+}
+
+TEST(Truncate, Lemma22EndToEnd) {
+  Rng rng(5);
+  // Large degree: truncation must still give a valid splitting of the
+  // *original* graph.
+  const auto b = graph::gen::random_left_regular(32, 256, 128, rng);
+  local::CostMeter meter;
+  BasicDerandInfo info;
+  const Coloring colors = truncated_split(b, rng, &meter, &info);
+  EXPECT_TRUE(is_weak_splitting(b, colors));
+  EXPECT_LT(info.initial_potential, 1.0);
+}
+
+TEST(RobustSolve, HandlesTinyInstances) {
+  Rng rng(6);
+  const auto b = two_constraints();
+  const Coloring colors = robust_component_solve(b, rng);
+  EXPECT_TRUE(is_weak_splitting(b, colors));
+}
+
+TEST(RobustSolve, ThrowsOnUnsolvableDegreeOne) {
+  graph::BipartiteGraph b(1, 1);
+  b.add_edge(0, 0);  // a constrained left node of degree 1
+  Rng rng(7);
+  EXPECT_THROW(robust_component_solve(b, rng), ds::CheckError);
+}
+
+TEST(RobustSolve, RespectsDegreeThreshold) {
+  graph::BipartiteGraph b(2, 3);
+  b.add_edge(0, 0);  // u0 has degree 1 -> unconstrained at threshold 2
+  b.add_edge(1, 1);
+  b.add_edge(1, 2);
+  Rng rng(8);
+  const Coloring colors = robust_component_solve(b, rng, 2);
+  EXPECT_TRUE(is_weak_splitting(b, colors, 2));
+}
+
+class TrivialSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TrivialSweep, FailureRateTracksUnionBound) {
+  // Property sweep: empirical failure rate of the 0-round algorithm is
+  // bounded by (and of the same order as) Σ_u 2^{1-deg}.
+  const std::size_t delta = GetParam();
+  Rng rng(100 + delta);
+  const auto b = graph::gen::random_left_regular(32, 64, delta, rng);
+  const double bound = trivial_failure_bound(b);
+  int failures = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    if (!is_weak_splitting(b, trivial_random_split(b, rng))) ++failures;
+  }
+  const double rate = static_cast<double>(failures) / trials;
+  // Empirical rate must not exceed the union bound by more than noise.
+  EXPECT_LE(rate, std::min(1.0, bound) + 0.08) << "delta=" << delta;
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreeGrid, TrivialSweep,
+                         ::testing::Values(2, 4, 8, 16, 24));
+
+}  // namespace
+}  // namespace ds::splitting
