@@ -23,6 +23,7 @@
 #include "mis/mis.hpp"
 #include "netdecomp/decomposition.hpp"
 #include "netdecomp/derandomize.hpp"
+#include "runtime/select.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 
@@ -31,9 +32,15 @@ using namespace ds;
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const auto degree = static_cast<std::size_t>(opts.get_int("degree", 8));
+  // --runtime=parallel [--threads=N] runs the message-passing executions
+  // (Luby, trial coloring) on the sharded runtime; outputs are bit-identical.
+  const auto runtime = runtime::runtime_from_options(opts);
+  const auto executor = runtime::make_executor_factory(runtime);
   bool ok = true;
 
-  std::cout << "E15 — Network decomposition and the [GHK16] derandomizer\n\n";
+  std::cout << "E15 — Network decomposition and the [GHK16] derandomizer\n"
+            << "LOCAL executor: " << runtime::runtime_description(runtime)
+            << "\n\n";
 
   std::cout << "(a) decomposition quality (paper shape: c, d = O(log n))\n";
   Table quality({"n", "log2 n", "LS blocks", "LS diam", "BC blocks",
@@ -65,7 +72,8 @@ int main(int argc, char** argv) {
     Rng rng(opts.seed() + 17 * n);
     const auto g = graph::gen::random_regular(n, degree, rng);
     local::CostMeter luby_meter;
-    const auto luby = mis::luby(g, opts.seed() + n, &luby_meter);
+    const auto luby = mis::luby(g, opts.seed() + n, &luby_meter, 10000,
+                                local::IdStrategy::kSequential, executor);
     const auto bc = netdecomp::ball_carving(g);
     local::CostMeter sweep_meter;
     const auto sweep = netdecomp::mis_via_decomposition(g, bc, &sweep_meter);
@@ -96,7 +104,9 @@ int main(int argc, char** argv) {
   for (std::size_t n : {128, 512, 2048}) {
     Rng rng(opts.seed() + 31 * n);
     const auto g = graph::gen::random_regular(n, degree, rng);
-    const auto rand_outcome = coloring::randomized_coloring(g, opts.seed() + n);
+    const auto rand_outcome = coloring::randomized_coloring(
+        g, opts.seed() + n, nullptr, 10000, local::IdStrategy::kSequential,
+        executor);
     const auto bc = netdecomp::ball_carving(g);
     std::uint32_t palette = 0;
     local::CostMeter meter;

@@ -13,6 +13,7 @@
 #include "graph/generators.hpp"
 #include "orient/sinkless.hpp"
 #include "reductions/sinkless.hpp"
+#include "runtime/select.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 
@@ -22,10 +23,16 @@ int main(int argc, char** argv) {
   const Options opts(argc, argv);
   Rng rng(opts.seed());
   const std::size_t n = static_cast<std::size_t>(opts.get_int("n", 240));
+  // --runtime=parallel [--threads=N] runs the message-passing trials on the
+  // sharded runtime; outputs are bit-identical to the sequential executor.
+  const auto runtime = runtime::runtime_from_options(opts);
+  const auto executor = runtime::make_executor_factory(runtime);
   bool ok = true;
 
   std::cout << "E7 — Figure 1 / Theorem 2.10: sinkless orientation via weak "
-               "splitting\n";
+               "splitting\n"
+            << "LOCAL executor: " << runtime::runtime_description(runtime)
+            << "\n";
   Table table({"d", "delta_B", "rank_B", "solver path", "sinkless",
                "baseline rounds", "msg-passing rounds (trials)"});
   for (std::size_t d : {5, 6, 8, 12, 16, 32}) {
@@ -48,7 +55,8 @@ int main(int argc, char** argv) {
 
     // The same protocol as a genuine message-passing program (fixed
     // O(log n) budget per Las Vegas trial).
-    const auto program = orient::sinkless_program(g, opts.seed() + d, 1);
+    const auto program =
+        orient::sinkless_program(g, opts.seed() + d, 1, nullptr, 30, executor);
     ok = ok && orient::is_sinkless(g, program.toward_v, 1);
 
     table.row()

@@ -1,6 +1,7 @@
 // Micro-benchmarks (google-benchmark) of the hot substrate operations:
 // Euler partition, power-graph coloring, derandomization throughput,
-// verifier throughput, and instance generation.
+// verifier throughput, instance generation, and LOCAL-executor round
+// throughput (sequential Network vs sharded ParallelNetwork).
 
 #include <benchmark/benchmark.h>
 
@@ -15,7 +16,9 @@
 #include "orient/euler.hpp"
 #include "graph/properties.hpp"
 #include "local/ids.hpp"
+#include "local/network.hpp"
 #include "orient/euler.hpp"
+#include "runtime/parallel_network.hpp"
 #include "splitting/trivial_random.hpp"
 #include "splitting/weak_splitting.hpp"
 #include "support/rng.hpp"
@@ -147,5 +150,82 @@ void BM_BallCarving(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BallCarving)->Arg(256)->Arg(1024);
+
+// ---- LOCAL-executor round throughput ------------------------------------
+// A fixed-round gossip program (each node forwards the running XOR of its
+// inbox) on a torus: pure executor overhead — message routing, barriers,
+// scheduling — with negligible per-node compute. Items processed = node
+// rounds, so items/s is directly comparable between executors and thread
+// counts.
+
+class GossipProgram final : public local::NodeProgram {
+ public:
+  GossipProgram(const local::NodeEnv& env, std::size_t rounds)
+      : env_(env), rounds_(rounds), acc_(env.uid) {}
+
+  std::vector<local::Message> send(std::size_t) override {
+    return std::vector<local::Message>(env_.degree, local::Message{acc_});
+  }
+
+  void receive(std::size_t round, const std::vector<local::Message>& inbox)
+      override {
+    for (const local::Message& msg : inbox) {
+      if (!msg.empty()) acc_ ^= msg[0] * 0x9E3779B97F4A7C15ull;
+    }
+    done_ = round + 1 >= rounds_;
+  }
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] std::uint64_t acc() const { return acc_; }
+
+ private:
+  local::NodeEnv env_;
+  std::size_t rounds_;
+  std::uint64_t acc_;
+  bool done_ = false;
+};
+
+constexpr std::size_t kGossipRounds = 8;
+
+local::ProgramFactory gossip_factory() {
+  return [](const local::NodeEnv& env) {
+    return std::make_unique<GossipProgram>(env, kGossipRounds);
+  };
+}
+
+// Side of the torus: n = side^2 nodes. 1024 -> the 1M-node instance of the
+// runtime acceptance target.
+void BM_SequentialRounds(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::gen::torus(side, side);
+  local::Network net(g, local::IdStrategy::kSequential, 42);
+  for (auto _ : state) {
+    net.run(gossip_factory(), kGossipRounds + 1);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(g.num_nodes() * kGossipRounds));
+}
+BENCHMARK(BM_SequentialRounds)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// Arg pair: torus side, thread count.
+void BM_ParallelRounds(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto g = graph::gen::torus(side, side);
+  runtime::ParallelNetwork net(g, local::IdStrategy::kSequential, 42, threads);
+  for (auto _ : state) {
+    net.run(gossip_factory(), kGossipRounds + 1);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(g.num_nodes() * kGossipRounds));
+}
+BENCHMARK(BM_ParallelRounds)
+    ->Args({64, 1})->Args({64, 8})
+    ->Args({256, 1})->Args({256, 8})
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})->Args({1024, 8})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

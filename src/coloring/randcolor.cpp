@@ -92,10 +92,11 @@ RandColorOutcome randomized_coloring(const graph::Graph& g,
                                      std::uint64_t seed,
                                      local::CostMeter* meter,
                                      std::size_t max_rounds,
-                                     local::IdStrategy ids) {
-  local::Network net(g, ids, seed);
+                                     local::IdStrategy ids,
+                                     const local::ExecutorFactory& executor) {
+  const auto net = local::make_executor(executor, g, ids, seed);
   std::vector<const TrialProgram*> programs(g.num_nodes(), nullptr);
-  const std::size_t rounds = net.run(
+  const std::size_t rounds = net->run(
       [&](const local::NodeEnv& env) {
         auto p = std::make_unique<TrialProgram>(env);
         programs[env.node] = p.get();

@@ -18,6 +18,7 @@
 
 #include "graph/graph.hpp"
 #include "local/cost.hpp"
+#include "local/executor.hpp"
 #include "local/ids.hpp"
 
 namespace ds::coloring {
@@ -31,10 +32,12 @@ struct RandColorOutcome {
 
 /// Runs trial coloring with palette size Δ+1 on the LOCAL simulator.
 /// The output is verified proper (throws otherwise, or if `max_rounds` is
-/// exhausted).
+/// exhausted). `executor` selects the LOCAL executor (empty = sequential
+/// `Network`); the outcome is bit-identical for every executor.
 RandColorOutcome randomized_coloring(
     const graph::Graph& g, std::uint64_t seed,
     local::CostMeter* meter = nullptr, std::size_t max_rounds = 10000,
-    local::IdStrategy ids = local::IdStrategy::kSequential);
+    local::IdStrategy ids = local::IdStrategy::kSequential,
+    const local::ExecutorFactory& executor = {});
 
 }  // namespace ds::coloring

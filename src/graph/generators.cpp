@@ -1,6 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <set>
 #include <utility>
@@ -402,6 +403,114 @@ Graph chung_lu_power_law(std::size_t n, double gamma, double average_degree,
       const double p =
           std::min(1.0, weight[u] * weight[v] / std::max(weight_sum, 1e-12));
       if (rng.next_bool(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m, Rng& rng) {
+  DS_CHECK_MSG(m >= 1 && m < n, "barabasi_albert requires 1 <= m < n");
+  Graph g(n);
+  // Flat endpoint array: every edge contributes both endpoints, so a uniform
+  // draw is a degree-proportional node sample (the KaGen/BA trick).
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * m * n);
+  for (NodeId u = 0; u < m + 1; ++u) {
+    for (NodeId v = u + 1; v < m + 1; ++v) {
+      g.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<NodeId> targets;
+  targets.reserve(m);
+  for (NodeId v = static_cast<NodeId>(m + 1); v < n; ++v) {
+    targets.clear();
+    // Sample m distinct preferential targets; duplicates are resampled, and
+    // after a generous attempt budget the remaining slots fall back to
+    // uniform fresh nodes so adversarial streams cannot loop forever.
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 20 * m + 100;
+    while (targets.size() < m) {
+      NodeId t;
+      if (attempts++ < max_attempts) {
+        t = endpoints[rng.next_index(endpoints.size())];
+      } else {
+        t = static_cast<NodeId>(rng.next_index(v));
+      }
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeId t : targets) {
+      g.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph random_geometric_2d(std::size_t n, double radius, Rng& rng) {
+  DS_CHECK_MSG(radius > 0.0, "random_geometric_2d requires radius > 0");
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    x[v] = rng.next_double();
+    y[v] = rng.next_double();
+  }
+  // Grid bucketing with cell side >= radius: all neighbors of a point lie in
+  // its cell or the 8 surrounding ones.
+  const std::size_t cells_per_side = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(1.0 / radius)));
+  const double cell_size = 1.0 / static_cast<double>(cells_per_side);
+  auto cell_of = [&](std::size_t v) {
+    const auto cx = std::min(cells_per_side - 1,
+                             static_cast<std::size_t>(x[v] / cell_size));
+    const auto cy = std::min(cells_per_side - 1,
+                             static_cast<std::size_t>(y[v] / cell_size));
+    return cy * cells_per_side + cx;
+  };
+  std::vector<std::vector<NodeId>> buckets(cells_per_side * cells_per_side);
+  for (std::size_t v = 0; v < n; ++v) {
+    buckets[cell_of(v)].push_back(static_cast<NodeId>(v));
+  }
+  const double r2 = radius * radius;
+  auto close = [&](NodeId a, NodeId b) {
+    const double dx = x[a] - x[b];
+    const double dy = y[a] - y[b];
+    return dx * dx + dy * dy <= r2;
+  };
+  Graph g(n);
+  // Visit each unordered cell pair once: within-cell, plus the 4 forward
+  // neighbor cells (E, SW, S, SE).
+  const std::array<std::pair<int, int>, 4> forward = {
+      {{1, 0}, {-1, 1}, {0, 1}, {1, 1}}};
+  for (std::size_t cy = 0; cy < cells_per_side; ++cy) {
+    for (std::size_t cx = 0; cx < cells_per_side; ++cx) {
+      const auto& bucket = buckets[cy * cells_per_side + cx];
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        for (std::size_t j = i + 1; j < bucket.size(); ++j) {
+          if (close(bucket[i], bucket[j])) g.add_edge(bucket[i], bucket[j]);
+        }
+      }
+      for (const auto& [dx, dy] : forward) {
+        const long long nx = static_cast<long long>(cx) + dx;
+        const long long ny = static_cast<long long>(cy) + dy;
+        if (nx < 0 || ny < 0 ||
+            nx >= static_cast<long long>(cells_per_side) ||
+            ny >= static_cast<long long>(cells_per_side)) {
+          continue;
+        }
+        const auto& other =
+            buckets[static_cast<std::size_t>(ny) * cells_per_side +
+                    static_cast<std::size_t>(nx)];
+        for (NodeId a : bucket) {
+          for (NodeId b : other) {
+            if (close(a, b)) g.add_edge(a, b);
+          }
+        }
+      }
     }
   }
   return g;

@@ -73,4 +73,20 @@ Graph torus(std::size_t w, std::size_t h);
 Graph chung_lu_power_law(std::size_t n, double gamma, double average_degree,
                          Rng& rng);
 
+/// Barabási–Albert preferential attachment (KaGen-style): a clique on the
+/// first m+1 nodes, then every new node attaches to `m` distinct existing
+/// nodes sampled degree-proportionally (uniform draws from the flat
+/// edge-endpoint array, duplicates resampled). Scale-free degree tail —
+/// like chung_lu_power_law an irregular stress family, but grown
+/// incrementally so min degree is m. Requires 1 <= m < n.
+Graph barabasi_albert(std::size_t n, std::size_t m, Rng& rng);
+
+/// 2D random geometric graph: n points uniform in the unit square, an edge
+/// between every pair at Euclidean distance <= radius. Built with grid
+/// bucketing (cell side = radius), so expected O(n + m) time at constant
+/// expected degree n·π·radius². Spatial locality makes it a natural
+/// sharding-friendly topology for the parallel runtime. Requires
+/// radius > 0.
+Graph random_geometric_2d(std::size_t n, double radius, Rng& rng);
+
 }  // namespace ds::graph::gen

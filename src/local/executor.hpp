@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file executor.hpp
+/// Abstract interface over LOCAL-model executors, so algorithms that run
+/// genuine message-passing programs (Luby MIS, trial coloring, sinkless
+/// orientation, ...) can be pointed at either the sequential `Network` or
+/// the sharded `runtime::ParallelNetwork` at runtime.
+///
+/// Determinism contract: for a fixed (graph, IdStrategy, seed), every
+/// executor must produce bit-identical per-node program outputs and the same
+/// round count — regardless of executor kind or thread count. This holds
+/// because node programs only interact through port-indexed messages, every
+/// node's randomness is the pure fork(seed, uid), and executors separate the
+/// send and receive phases of each round with a barrier.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+#include "local/program.hpp"
+#include "local/topology.hpp"
+
+namespace ds::local {
+
+/// A synchronous executor bound to one communication graph.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Runs one program instance per node for at most `max_rounds` rounds.
+  /// Returns the number of executed rounds (also added to `meter` if given).
+  /// Throws if the round limit is hit with unhalted nodes. The program
+  /// instances stay alive inside the executor until the next run (or its
+  /// destruction) so callers can read their outputs via `program`.
+  virtual std::size_t run(const ProgramFactory& factory,
+                          std::size_t max_rounds,
+                          CostMeter* meter = nullptr) = 0;
+
+  /// The program instance of node `v` from the most recent `run`.
+  [[nodiscard]] virtual const NodeProgram& program(graph::NodeId v) const = 0;
+
+  /// The shared topology (graph, UIDs, ports) this executor runs on.
+  [[nodiscard]] virtual const NetworkTopology& topology() const = 0;
+
+  [[nodiscard]] const graph::Graph& graph() const {
+    return topology().graph();
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& uids() const {
+    return topology().uids();
+  }
+};
+
+/// Factory producing an executor for a concrete (graph, strategy, seed).
+/// Algorithms accept one of these (empty = sequential `Network`) so the
+/// executor kind is selectable per invocation without touching program code.
+using ExecutorFactory = std::function<std::unique_ptr<Executor>(
+    const graph::Graph&, IdStrategy, std::uint64_t)>;
+
+/// Instantiates `factory` if non-empty, else the sequential `Network`.
+std::unique_ptr<Executor> make_executor(const ExecutorFactory& factory,
+                                        const graph::Graph& g,
+                                        IdStrategy strategy,
+                                        std::uint64_t seed);
+
+}  // namespace ds::local

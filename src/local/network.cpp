@@ -8,55 +8,17 @@ namespace ds::local {
 
 Network::Network(const graph::Graph& g, IdStrategy strategy,
                  std::uint64_t seed)
-    : graph_(g), seed_(seed) {
-  Rng rng(seed ^ 0x1D5ull);
-  uids_ = assign_ids(g, strategy, rng);
-  reverse_ports_.resize(g.num_nodes());
-  // For each node w, record where each neighbor v sits in w's adjacency so a
-  // message sent on v's port p can be delivered into w's inbox slot.
-  std::vector<std::size_t> cursor(g.num_nodes(), 0);
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    reverse_ports_[v].resize(g.degree(v));
-  }
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    const auto& nbrs = g.neighbors(v);
-    for (std::size_t p = 0; p < nbrs.size(); ++p) {
-      const graph::NodeId w = nbrs[p];
-      const auto& wn = g.neighbors(w);
-      // Find v in w's list starting from a per-pair scan; adjacency lists are
-      // short in our instances so a linear scan is fine.
-      const auto it = std::find(wn.begin(), wn.end(), v);
-      DS_CHECK(it != wn.end());
-      reverse_ports_[v][p] = static_cast<std::size_t>(it - wn.begin());
-    }
-  }
-}
-
-std::size_t Network::reverse_port(graph::NodeId v, std::size_t p) const {
-  DS_CHECK(v < reverse_ports_.size());
-  DS_CHECK(p < reverse_ports_[v].size());
-  return reverse_ports_[v][p];
-}
+    : topology_(g, strategy, seed) {}
 
 std::size_t Network::run(const ProgramFactory& factory, std::size_t max_rounds,
                          CostMeter* meter) {
-  const std::size_t n = graph_.num_nodes();
+  const graph::Graph& g = topology_.graph();
+  const std::size_t n = g.num_nodes();
   auto& programs = programs_;
   programs.clear();
   programs.resize(n);
-  Rng master(seed_);
   for (graph::NodeId v = 0; v < n; ++v) {
-    NodeEnv env;
-    env.node = v;
-    env.uid = uids_[v];
-    env.n = n;
-    env.degree = graph_.degree(v);
-    env.neighbor_uids.reserve(env.degree);
-    for (graph::NodeId w : graph_.neighbors(v)) {
-      env.neighbor_uids.push_back(uids_[w]);
-    }
-    env.rng = master.fork(uids_[v]);
-    programs[v] = factory(env);
+    programs[v] = factory(topology_.make_env(v));
     DS_CHECK(programs[v] != nullptr);
   }
 
@@ -67,7 +29,7 @@ std::size_t Network::run(const ProgramFactory& factory, std::size_t max_rounds,
   };
   std::vector<std::vector<Message>> inboxes(n);
   for (graph::NodeId v = 0; v < n; ++v) {
-    inboxes[v].resize(graph_.degree(v));
+    inboxes[v].resize(g.degree(v));
   }
   while (!all_done()) {
     DS_CHECK_MSG(round < max_rounds, "Network::run exceeded max_rounds");
@@ -76,11 +38,11 @@ std::size_t Network::run(const ProgramFactory& factory, std::size_t max_rounds,
     for (graph::NodeId v = 0; v < n; ++v) {
       if (programs[v]->done()) continue;
       std::vector<Message> out = programs[v]->send(round);
-      DS_CHECK_MSG(out.size() == graph_.degree(v),
+      DS_CHECK_MSG(out.size() == g.degree(v),
                    "send() must produce one (possibly empty) message per port");
       for (std::size_t p = 0; p < out.size(); ++p) {
-        const graph::NodeId w = graph_.neighbors(v)[p];
-        inboxes[w][reverse_ports_[v][p]] = std::move(out[p]);
+        const graph::NodeId w = g.neighbors(v)[p];
+        inboxes[w][topology_.reverse_port(v, p)] = std::move(out[p]);
       }
     }
     // Receive phase.
@@ -102,6 +64,14 @@ const NodeProgram& Network::program(graph::NodeId v) const {
   DS_CHECK(v < programs_.size());
   DS_CHECK(programs_[v] != nullptr);
   return *programs_[v];
+}
+
+std::unique_ptr<Executor> make_executor(const ExecutorFactory& factory,
+                                        const graph::Graph& g,
+                                        IdStrategy strategy,
+                                        std::uint64_t seed) {
+  if (factory) return factory(g, strategy, seed);
+  return std::make_unique<Network>(g, strategy, seed);
 }
 
 }  // namespace ds::local

@@ -1,7 +1,7 @@
 #pragma once
 
 /// \file network.hpp
-/// Synchronous LOCAL-model simulator.
+/// Synchronous LOCAL-model simulator (sequential reference executor).
 ///
 /// The LOCAL model [Lin92, Pel00]: a synchronous message-passing network on a
 /// graph where, in every round, each node may send an arbitrarily large
@@ -10,93 +10,55 @@
 /// randomness stream derived from (seed, node), so executions are
 /// reproducible and independent of scheduling order.
 ///
-/// Algorithms are written as per-node `NodeProgram`s; `Network::run` executes
-/// them round-synchronously and reports the number of rounds until all nodes
-/// halt. Higher-level algorithms that the paper treats as black boxes are not
-/// run through this interface; they account *charged* rounds on a
-/// `CostMeter` instead (see cost.hpp).
+/// Algorithms are written as per-node `NodeProgram`s (local/program.hpp);
+/// `Network::run` executes them round-synchronously and reports the number
+/// of rounds until all nodes halt. Higher-level algorithms that the paper
+/// treats as black boxes are not run through this interface; they account
+/// *charged* rounds on a `CostMeter` instead (see cost.hpp).
+///
+/// For multi-core execution of the same programs see
+/// runtime/parallel_network.hpp; both executors share `NetworkTopology` and
+/// are bit-identical in output (the `Executor` determinism contract).
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "local/cost.hpp"
+#include "local/executor.hpp"
 #include "local/ids.hpp"
-#include "support/rng.hpp"
+#include "local/program.hpp"
+#include "local/topology.hpp"
 
 namespace ds::local {
 
-/// A message: arbitrary-length word vector (the LOCAL model does not bound
-/// message size).
-using Message = std::vector<std::uint64_t>;
-
-/// Read-only environment a node program is constructed with.
-struct NodeEnv {
-  graph::NodeId node = 0;        ///< dense index of this node
-  std::uint64_t uid = 0;         ///< unique LOCAL-model identifier
-  std::size_t n = 0;             ///< number of nodes (global knowledge)
-  std::size_t degree = 0;        ///< this node's degree
-  /// UIDs of the neighbors, indexed by port (position in adjacency list).
-  std::vector<std::uint64_t> neighbor_uids;
-  /// Private randomness stream of this node.
-  Rng rng{0};
-};
-
-/// Per-node program. One round = send() at every node, message delivery,
-/// then receive() at every node. A node that returns true from done() stops
-/// being scheduled; the run ends when all nodes are done.
-class NodeProgram {
- public:
-  virtual ~NodeProgram() = default;
-
-  /// Produces the outgoing message for each port (size must equal degree;
-  /// empty messages allowed). Called once per round until done.
-  virtual std::vector<Message> send(std::size_t round) = 0;
-
-  /// Receives the messages that arrived this round, indexed by port.
-  virtual void receive(std::size_t round, const std::vector<Message>& inbox) = 0;
-
-  /// True when this node has halted (its output is final).
-  [[nodiscard]] virtual bool done() const = 0;
-};
-
-/// Factory producing the program for one node given its environment.
-using ProgramFactory =
-    std::function<std::unique_ptr<NodeProgram>(const NodeEnv&)>;
-
-/// Synchronous executor on a fixed communication graph.
-class Network {
+/// Sequential synchronous executor on a fixed communication graph. The
+/// reference implementation every other executor is validated against.
+class Network final : public Executor {
  public:
   /// Builds a network over `g` with IDs per `strategy` and per-node
   /// randomness derived from `seed`.
   Network(const graph::Graph& g, IdStrategy strategy, std::uint64_t seed);
 
-  /// Runs one program instance per node for at most `max_rounds` rounds.
-  /// Returns the number of executed rounds (also added to `meter` if given).
-  /// Throws if the round limit is hit with unhalted nodes. The program
-  /// instances stay alive inside the Network until the next run (or its
-  /// destruction) so callers can read their outputs via `program`.
   std::size_t run(const ProgramFactory& factory, std::size_t max_rounds,
-                  CostMeter* meter = nullptr);
+                  CostMeter* meter = nullptr) override;
 
-  /// The program instance of node `v` from the most recent `run`.
-  [[nodiscard]] const NodeProgram& program(graph::NodeId v) const;
+  [[nodiscard]] const NodeProgram& program(graph::NodeId v) const override;
 
-  [[nodiscard]] const graph::Graph& graph() const { return graph_; }
-  [[nodiscard]] const std::vector<std::uint64_t>& uids() const { return uids_; }
+  [[nodiscard]] const NetworkTopology& topology() const override {
+    return topology_;
+  }
 
   /// Port of node `v` on the neighbor at `v`'s port `p` (i.e. the index of v
   /// in that neighbor's adjacency list). Precomputed for message delivery.
-  [[nodiscard]] std::size_t reverse_port(graph::NodeId v, std::size_t p) const;
+  [[nodiscard]] std::size_t reverse_port(graph::NodeId v,
+                                         std::size_t p) const {
+    return topology_.reverse_port(v, p);
+  }
 
  private:
-  const graph::Graph& graph_;
-  std::vector<std::uint64_t> uids_;
-  std::uint64_t seed_;
-  /// reverse_ports_[v][p] = index of v in adjacency list of neighbors(v)[p].
-  std::vector<std::vector<std::size_t>> reverse_ports_;
+  NetworkTopology topology_;
   /// Programs of the most recent run, kept alive for output extraction.
   std::vector<std::unique_ptr<NodeProgram>> programs_;
 };

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file program.hpp
+/// The node-program abstraction of the LOCAL-model simulator: messages, the
+/// per-node environment, and the `NodeProgram` interface that algorithms
+/// implement. Split out of network.hpp so that every executor (the sequential
+/// `local::Network` and the sharded `runtime::ParallelNetwork`) runs the same
+/// program API.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace ds::local {
+
+/// A message: arbitrary-length word vector (the LOCAL model does not bound
+/// message size).
+using Message = std::vector<std::uint64_t>;
+
+/// Read-only environment a node program is constructed with.
+struct NodeEnv {
+  graph::NodeId node = 0;        ///< dense index of this node
+  std::uint64_t uid = 0;         ///< unique LOCAL-model identifier
+  std::size_t n = 0;             ///< number of nodes (global knowledge)
+  std::size_t degree = 0;        ///< this node's degree
+  /// UIDs of the neighbors, indexed by port (position in adjacency list).
+  std::vector<std::uint64_t> neighbor_uids;
+  /// Private randomness stream of this node.
+  Rng rng{0};
+};
+
+/// Per-node program. One round = send() at every node, message delivery,
+/// then receive() at every node. A node that returns true from done() stops
+/// being scheduled; the run ends when all nodes are done.
+///
+/// Executor contract (holds for every executor in the library): within one
+/// round, all send() calls complete before any receive() observes a message,
+/// and distinct nodes' programs may be invoked concurrently. A program must
+/// therefore only touch its own state — which the LOCAL model demands
+/// anyway — and all executors then produce bit-identical per-node outputs
+/// for the same (graph, IdStrategy, seed).
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Produces the outgoing message for each port (size must equal degree;
+  /// empty messages allowed). Called once per round until done.
+  virtual std::vector<Message> send(std::size_t round) = 0;
+
+  /// Receives the messages that arrived this round, indexed by port.
+  virtual void receive(std::size_t round, const std::vector<Message>& inbox) = 0;
+
+  /// True when this node has halted (its output is final).
+  [[nodiscard]] virtual bool done() const = 0;
+};
+
+/// Factory producing the program for one node given its environment.
+/// Executors invoke the factory sequentially in node order (never
+/// concurrently), so factories may capture mutable per-run state.
+using ProgramFactory =
+    std::function<std::unique_ptr<NodeProgram>(const NodeEnv&)>;
+
+}  // namespace ds::local

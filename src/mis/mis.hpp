@@ -23,6 +23,7 @@
 
 #include "graph/graph.hpp"
 #include "local/cost.hpp"
+#include "local/executor.hpp"
 #include "local/ids.hpp"
 
 namespace ds::mis {
@@ -38,10 +39,13 @@ struct MisOutcome {
 /// priority per active node; strict local maxima join, dominated nodes
 /// leave. Terminates in O(log n) phases w.h.p. The output is verified
 /// (throws on a non-MIS result or if `max_rounds` is exceeded).
+/// `executor` selects the LOCAL executor (empty = sequential `Network`);
+/// the outcome is bit-identical for every executor.
 MisOutcome luby(const graph::Graph& g, std::uint64_t seed,
                 local::CostMeter* meter = nullptr,
                 std::size_t max_rounds = 10000,
-                local::IdStrategy ids = local::IdStrategy::kSequential);
+                local::IdStrategy ids = local::IdStrategy::kSequential,
+                const local::ExecutorFactory& executor = {});
 
 /// Sequential greedy MIS: processes `order` (a permutation of the nodes)
 /// and adds each node unless a neighbor was already added.

@@ -151,7 +151,8 @@ class SinkFixProgram final : public local::NodeProgram {
 SinklessOutcome sinkless_program(const graph::Graph& g, std::uint64_t seed,
                                  std::size_t min_degree,
                                  local::CostMeter* meter,
-                                 std::size_t max_trials) {
+                                 std::size_t max_trials,
+                                 const local::ExecutorFactory& executor) {
   // Port of each edge at its lower endpoint, for output extraction: the
   // adjacency lists grow in edge-insertion order, so walk the edges once.
   std::vector<std::size_t> port_at_u(g.num_edges());
@@ -169,9 +170,10 @@ SinklessOutcome sinkless_program(const graph::Graph& g, std::uint64_t seed,
       16;
   SinklessOutcome outcome;
   for (std::size_t trial = 0; trial < max_trials; ++trial) {
-    local::Network net(g, local::IdStrategy::kSequential, seed + trial);
+    const auto net = local::make_executor(
+        executor, g, local::IdStrategy::kSequential, seed + trial);
     std::vector<const SinkFixProgram*> programs(g.num_nodes(), nullptr);
-    outcome.executed_rounds += net.run(
+    outcome.executed_rounds += net->run(
         [&](const local::NodeEnv& env) {
           auto p = std::make_unique<SinkFixProgram>(env, min_degree, budget);
           programs[env.node] = p.get();

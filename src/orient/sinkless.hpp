@@ -15,6 +15,7 @@
 
 #include "graph/graph.hpp"
 #include "local/cost.hpp"
+#include "local/executor.hpp"
 #include "support/rng.hpp"
 
 namespace ds::orient {
@@ -48,10 +49,12 @@ struct SinklessOutcome {
 /// (global termination is not locally detectable); the driver verifies and
 /// retries with a fresh seed — a Las Vegas wrapper. Throws after
 /// `max_trials` failed trials. Requires min degree >= `min_degree` checks
-/// only at verification.
+/// only at verification. `executor` selects the LOCAL executor (empty =
+/// sequential `Network`); the outcome is bit-identical for every executor.
 SinklessOutcome sinkless_program(const graph::Graph& g, std::uint64_t seed,
                                  std::size_t min_degree,
                                  local::CostMeter* meter = nullptr,
-                                 std::size_t max_trials = 30);
+                                 std::size_t max_trials = 30,
+                                 const local::ExecutorFactory& executor = {});
 
 }  // namespace ds::orient

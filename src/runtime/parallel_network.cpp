@@ -1,0 +1,164 @@
+#include "runtime/parallel_network.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace ds::runtime {
+
+std::size_t ParallelNetwork::resolve_threads(std::size_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ParallelNetwork::ParallelNetwork(const graph::Graph& g,
+                                 local::IdStrategy strategy,
+                                 std::uint64_t seed, std::size_t num_threads)
+    : topology_(g, strategy, seed), pool_(resolve_threads(num_threads)) {
+  const std::size_t n = g.num_nodes();
+  // Contiguous shards, a few per thread so the dynamic chunk claiming in the
+  // pool evens out degree imbalance without giving up cache locality.
+  const std::size_t num_shards =
+      n == 0 ? 0 : std::min(n, pool_.num_threads() * 4);
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back({static_cast<graph::NodeId>(n * s / num_shards),
+                       static_cast<graph::NodeId>(n * (s + 1) / num_shards)});
+  }
+  counters_.resize(num_shards);
+  for (auto& arena : arenas_) arena.resize(topology_.total_ports());
+}
+
+std::size_t ParallelNetwork::run(const local::ProgramFactory& factory,
+                                 std::size_t max_rounds,
+                                 local::CostMeter* meter) {
+  const graph::Graph& g = topology_.graph();
+  const std::size_t n = g.num_nodes();
+  programs_.clear();
+  programs_.resize(n);
+  // Program construction is sequential in node order — identical to the
+  // sequential executor, and factories may capture mutable state.
+  for (graph::NodeId v = 0; v < n; ++v) {
+    programs_[v] = factory(topology_.make_env(v));
+    DS_CHECK(programs_[v] != nullptr);
+  }
+  // Reset payload slots from any previous run, keeping their capacity.
+  for (auto& arena : arenas_) {
+    for (auto& msg : arena) msg.clear();
+  }
+
+  const std::size_t num_shards = shards_.size();
+  auto count_not_done = [&] {
+    pool_.parallel_for(num_shards, [&](std::size_t s) {
+      std::size_t c = 0;
+      for (graph::NodeId v = shards_[s].first; v < shards_[s].last; ++v) {
+        if (!programs_[v]->done()) ++c;
+      }
+      counters_[s].not_done = c;
+    });
+    std::size_t total = 0;
+    for (const ShardCounters& c : counters_) total += c.not_done;
+    return total;
+  };
+
+  std::size_t round = 0;
+  std::size_t alive = count_not_done();
+  while (alive > 0) {
+    DS_CHECK_MSG(round < max_rounds,
+                 "ParallelNetwork::run exceeded max_rounds");
+    const auto t0 = std::chrono::steady_clock::now();
+    counters_.assign(num_shards, ShardCounters{});
+    std::vector<local::Message>& arena = arenas_[round & 1];
+
+    // Send epoch: every live node produces its messages; slot (w, q) has
+    // exactly one writer (the neighbor of w on q), so shards write disjoint
+    // slots and no synchronization beyond the epoch barrier is needed.
+    pool_.parallel_for(num_shards, [&](std::size_t s) {
+      ShardCounters c;
+      for (graph::NodeId v = shards_[s].first; v < shards_[s].last; ++v) {
+        local::NodeProgram& prog = *programs_[v];
+        if (prog.done()) continue;
+        ++c.live;
+        std::vector<local::Message> out = prog.send(round);
+        DS_CHECK_MSG(
+            out.size() == g.degree(v),
+            "send() must produce one (possibly empty) message per port");
+        for (std::size_t p = 0; p < out.size(); ++p) {
+          if (!out[p].empty()) {
+            ++c.messages;
+            c.payload_words += out[p].size();
+          }
+          arena[topology_.delivery_slot(v, p)] = std::move(out[p]);
+        }
+      }
+      counters_[s].live = c.live;
+      counters_[s].messages = c.messages;
+      counters_[s].payload_words = c.payload_words;
+    });
+
+    // Epoch barrier: parallel_for returned, so all round-`round` messages
+    // are in place before any receive() below can observe them.
+
+    // Receive epoch: each node reads its contiguous slot range through a
+    // thread-local inbox (moved in and out — pointer swaps, no copies), and
+    // returns the payload buffers to the arena cleared so the next round
+    // that writes this arena starts from empty slots.
+    pool_.parallel_for(num_shards, [&](std::size_t s) {
+      std::vector<local::Message> inbox;
+      std::size_t not_done = 0;
+      for (graph::NodeId v = shards_[s].first; v < shards_[s].last; ++v) {
+        local::NodeProgram& prog = *programs_[v];
+        if (prog.done()) continue;
+        const std::size_t deg = g.degree(v);
+        const std::size_t base = topology_.port_offset(v);
+        inbox.resize(deg);
+        for (std::size_t p = 0; p < deg; ++p) {
+          inbox[p] = std::move(arena[base + p]);
+        }
+        prog.receive(round, inbox);
+        for (std::size_t p = 0; p < deg; ++p) {
+          arena[base + p] = std::move(inbox[p]);
+          arena[base + p].clear();
+        }
+        if (!prog.done()) ++not_done;
+      }
+      counters_[s].not_done = not_done;
+    });
+
+    std::size_t live = 0;
+    std::size_t messages = 0;
+    std::size_t payload_words = 0;
+    std::size_t not_done = 0;
+    for (const ShardCounters& c : counters_) {
+      live += c.live;
+      messages += c.messages;
+      payload_words += c.payload_words;
+      not_done += c.not_done;
+    }
+    alive = not_done;
+    if (sink_) {
+      RoundStats stats;
+      stats.round = round;
+      stats.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      stats.live_nodes = live;
+      stats.messages = messages;
+      stats.payload_words = payload_words;
+      sink_(stats);
+    }
+    ++round;
+  }
+  if (meter != nullptr) meter->add_executed(round);
+  return round;
+}
+
+const local::NodeProgram& ParallelNetwork::program(graph::NodeId v) const {
+  DS_CHECK(v < programs_.size());
+  DS_CHECK(programs_[v] != nullptr);
+  return *programs_[v];
+}
+
+}  // namespace ds::runtime

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file parallel_network.hpp
+/// Sharded multi-threaded LOCAL-model executor.
+///
+/// `ParallelNetwork` runs the same `NodeProgram`/`ProgramFactory` API as the
+/// sequential `local::Network`, but partitions the nodes into contiguous
+/// shards executed on a fixed thread pool. Each round is two parallel
+/// epochs separated by a barrier:
+///
+///   send epoch     every live node's send() runs (sharded); message p of
+///                  node v is moved into the flat arena slot
+///                  `topology.delivery_slot(v, p)` — each slot has exactly
+///                  one writer, so shards write disjoint memory;
+///   epoch barrier  all sends complete before any receive observes them
+///                  (the LOCAL model's synchrony);
+///   receive epoch  every live node's receive() runs (sharded) against its
+///                  contiguous slot range [port_offset(v), +degree).
+///
+/// Message slots are double-buffered: round r uses arena r mod 2, so a
+/// receive epoch returns cleared-but-capacitated payload buffers to the
+/// arena the *next* round's senders will overwrite, and a node that halts
+/// can never leak a stale message into a later round (its neighbors' slots
+/// were cleared when last read, and nobody writes them again).
+///
+/// # Determinism contract
+///
+/// For a fixed (graph, IdStrategy, seed), ParallelNetwork produces
+/// **bit-identical** per-node program outputs and round counts to
+/// `local::Network`, at every thread count. This is by construction:
+///  * topology, UIDs and reverse ports come from the same shared
+///    `NetworkTopology`;
+///  * each node's randomness is the pure `fork(seed, uid)` — independent of
+///    scheduling;
+///  * programs are constructed by the factory sequentially in node order
+///    (factories may capture mutable state);
+///  * message delivery is port-indexed into single-writer slots, and the
+///    epoch barrier forbids same-round read/write races;
+///  * node programs only touch their own state (the LOCAL model).
+/// tests/test_runtime.cpp asserts the contract at 1/2/8 threads on gnp,
+/// torus and biregular instances.
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+#include "local/executor.hpp"
+#include "local/ids.hpp"
+#include "local/program.hpp"
+#include "local/topology.hpp"
+#include "runtime/round_stats.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace ds::runtime {
+
+/// Multi-threaded synchronous executor on a fixed communication graph.
+class ParallelNetwork final : public local::Executor {
+ public:
+  /// Builds the executor over `g` with IDs per `strategy` and per-node
+  /// randomness derived from `seed`, running on `num_threads` threads
+  /// (0 = hardware concurrency). The calling thread participates, so
+  /// `num_threads == 1` uses no extra threads.
+  ParallelNetwork(const graph::Graph& g, local::IdStrategy strategy,
+                  std::uint64_t seed, std::size_t num_threads = 0);
+
+  std::size_t run(const local::ProgramFactory& factory,
+                  std::size_t max_rounds,
+                  local::CostMeter* meter = nullptr) override;
+
+  [[nodiscard]] const local::NodeProgram& program(
+      graph::NodeId v) const override;
+
+  [[nodiscard]] const local::NetworkTopology& topology() const override {
+    return topology_;
+  }
+
+  [[nodiscard]] std::size_t num_threads() const {
+    return pool_.num_threads();
+  }
+
+  /// Thread count a `num_threads` constructor argument resolves to
+  /// (0 -> hardware concurrency, minimum 1). Shared with the runtime
+  /// selection layer so reported and actual parallelism always agree.
+  [[nodiscard]] static std::size_t resolve_threads(std::size_t num_threads);
+
+  /// Installs (or clears, with {}) the per-round stats hook for future runs.
+  void set_stats_sink(RoundStatsSink sink) { sink_ = std::move(sink); }
+
+ private:
+  /// Contiguous node range of one shard: [first, last).
+  struct Shard {
+    graph::NodeId first = 0;
+    graph::NodeId last = 0;
+  };
+  /// Per-shard accumulators, merged on the run() thread at the barrier.
+  struct ShardCounters {
+    std::size_t live = 0;
+    std::size_t messages = 0;
+    std::size_t payload_words = 0;
+    std::size_t not_done = 0;
+  };
+
+  local::NetworkTopology topology_;
+  ThreadPool pool_;
+  std::vector<Shard> shards_;
+  /// Double-buffered flat message slots, each arena sized total_ports().
+  std::vector<local::Message> arenas_[2];
+  std::vector<ShardCounters> counters_;
+  std::vector<std::unique_ptr<local::NodeProgram>> programs_;
+  RoundStatsSink sink_;
+};
+
+}  // namespace ds::runtime

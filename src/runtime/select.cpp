@@ -1,0 +1,38 @@
+#include "runtime/select.hpp"
+
+#include "runtime/parallel_network.hpp"
+#include "support/check.hpp"
+
+namespace ds::runtime {
+
+RuntimeConfig runtime_from_options(const Options& opts) {
+  RuntimeConfig config;
+  const std::string name = opts.get("runtime", "sequential");
+  if (name == "parallel") {
+    config.parallel = true;
+  } else {
+    DS_CHECK_MSG(name == "sequential",
+                 "--runtime must be 'sequential' or 'parallel'");
+  }
+  const long long threads = opts.get_int("threads", 0);
+  DS_CHECK_MSG(threads >= 0, "--threads must be >= 0");
+  config.threads = static_cast<std::size_t>(threads);
+  return config;
+}
+
+local::ExecutorFactory make_executor_factory(const RuntimeConfig& config) {
+  if (!config.parallel) return {};
+  const std::size_t threads = config.threads;
+  return [threads](const graph::Graph& g, local::IdStrategy strategy,
+                   std::uint64_t seed) -> std::unique_ptr<local::Executor> {
+    return std::make_unique<ParallelNetwork>(g, strategy, seed, threads);
+  };
+}
+
+std::string runtime_description(const RuntimeConfig& config) {
+  if (!config.parallel) return "sequential";
+  const std::size_t threads = ParallelNetwork::resolve_threads(config.threads);
+  return "parallel(" + std::to_string(threads) + " threads)";
+}
+
+}  // namespace ds::runtime

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file select.hpp
+/// Runtime selection of the LOCAL-model executor for experiment binaries:
+/// `--runtime=sequential|parallel` and `--threads=N` map to an
+/// `local::ExecutorFactory` that algorithm entry points accept.
+
+#include <cstddef>
+
+#include "local/executor.hpp"
+#include "support/options.hpp"
+
+namespace ds::runtime {
+
+/// Executor choice of one binary invocation.
+struct RuntimeConfig {
+  bool parallel = false;    ///< false = sequential local::Network
+  std::size_t threads = 0;  ///< 0 = hardware concurrency (parallel only)
+};
+
+/// Parses `--runtime=sequential|parallel` (default sequential) and
+/// `--threads=N`. Throws ds::CheckError on an unknown runtime name.
+RuntimeConfig runtime_from_options(const Options& opts);
+
+/// Factory honoring `config`: an empty factory for the sequential runtime
+/// (algorithms then default to `local::Network`), a `ParallelNetwork`
+/// factory otherwise.
+local::ExecutorFactory make_executor_factory(const RuntimeConfig& config);
+
+/// Human-readable description, e.g. "sequential" or "parallel(8 threads)".
+std::string runtime_description(const RuntimeConfig& config);
+
+}  // namespace ds::runtime

@@ -1,0 +1,99 @@
+#include "runtime/thread_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace ds::runtime {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  DS_CHECK_MSG(num_threads >= 1, "ThreadPool needs total parallelism >= 1");
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::drain() {
+  for (;;) {
+    if (poisoned_.load(std::memory_order_relaxed)) return;
+    const std::size_t chunk =
+        next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= num_chunks_) return;
+    try {
+      (*job_)(chunk);
+    } catch (...) {
+      poisoned_.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t num_chunks,
+                              const std::function<void(std::size_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (workers_.empty()) {
+    // Single-threaded pool: run inline, still honoring the epoch semantics.
+    job_ = &fn;
+    num_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    poisoned_.store(false, std::memory_order_relaxed);
+    drain();
+    job_ = nullptr;
+    if (error_) {
+      std::exception_ptr err = error_;
+      error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    num_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    poisoned_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = workers_.size();
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  drain();  // the calling thread works too
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    job_ = nullptr;
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace ds::runtime

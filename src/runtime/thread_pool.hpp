@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool executing "epochs": `parallel_for` hands the chunks
+/// of one parallel phase to the workers plus the calling thread and returns
+/// only once every chunk has finished — the epoch barrier that
+/// `ParallelNetwork` places between the send and receive phases of a round.
+///
+/// Chunks are claimed dynamically off a shared atomic counter, so scheduling
+/// is non-deterministic — executors must make chunk *effects* commutative
+/// (disjoint writes), which is what keeps ParallelNetwork bit-identical
+/// across thread counts.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ds::runtime {
+
+/// Worker pool of a fixed total parallelism (workers + the calling thread).
+class ThreadPool {
+ public:
+  /// Creates a pool of total parallelism `num_threads` (>= 1): the calling
+  /// thread participates in every epoch, so `num_threads - 1` workers are
+  /// spawned. `num_threads == 1` spawns no threads and runs chunks inline.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(chunk) for every chunk in [0, num_chunks), distributing chunks
+  /// dynamically over all threads, and returns when every chunk completed.
+  /// If any chunk throws, the first exception is rethrown here after the
+  /// barrier (remaining chunks of the epoch are abandoned). Only callable
+  /// from the thread that owns the pool; not reentrant.
+  void parallel_for(std::size_t num_chunks,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  /// Claims and runs chunks until the epoch is exhausted or poisoned.
+  void drain();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;       ///< bumped per parallel_for; guarded by mutex_
+  bool stop_ = false;             ///< guarded by mutex_
+  std::size_t active_ = 0;        ///< workers still in the epoch; guarded by mutex_
+  std::exception_ptr error_;      ///< first failure of the epoch; guarded by mutex_
+
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t num_chunks_ = 0;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::atomic<bool> poisoned_{false};  ///< a chunk threw; stop claiming
+};
+
+}  // namespace ds::runtime

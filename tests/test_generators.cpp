@@ -235,5 +235,66 @@ TEST(Generators, DenseBiregularComplementRegime) {
   EXPECT_LE(b.rank(), 46u);
 }
 
+TEST(Generators, BarabasiAlbertShape) {
+  Rng rng(11);
+  const std::size_t n = 400;
+  const std::size_t m = 3;
+  const Graph g = gen::barabasi_albert(n, m, rng);
+  EXPECT_EQ(g.num_nodes(), n);
+  // Clique on m+1 nodes plus m edges per later node.
+  EXPECT_EQ(g.num_edges(), m * (m + 1) / 2 + (n - m - 1) * m);
+  EXPECT_GE(g.min_degree(), m);
+  // Preferential attachment concentrates degree on early nodes: the hub must
+  // far exceed the attachment parameter.
+  EXPECT_GT(g.max_degree(), 4 * m);
+  // Simple graph: no duplicate edges.
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_TRUE(seen.emplace(std::min(e.u, e.v), std::max(e.u, e.v)).second);
+  }
+}
+
+TEST(Generators, BarabasiAlbertRejectsBadParams) {
+  Rng rng(12);
+  EXPECT_THROW(gen::barabasi_albert(10, 0, rng), ds::CheckError);
+  EXPECT_THROW(gen::barabasi_albert(5, 5, rng), ds::CheckError);
+}
+
+TEST(Generators, RandomGeometricMatchesBruteForce) {
+  Rng rng(13);
+  const double radius = 0.15;
+  const Graph g = gen::random_geometric_2d(150, radius, rng);
+  EXPECT_EQ(g.num_nodes(), 150u);
+  // Regenerate the identical points from an identical stream and check the
+  // edge set against the O(n^2) definition — validates the grid bucketing.
+  Rng replay(13);
+  std::vector<double> x(150);
+  std::vector<double> y(150);
+  for (std::size_t v = 0; v < 150; ++v) {
+    x[v] = replay.next_double();
+    y[v] = replay.next_double();
+  }
+  std::size_t expected_edges = 0;
+  for (NodeId u = 0; u + 1 < 150u; ++u) {
+    for (NodeId v = u + 1; v < 150u; ++v) {
+      const double dx = x[u] - x[v];
+      const double dy = y[u] - y[v];
+      if (dx * dx + dy * dy <= radius * radius) {
+        ++expected_edges;
+        EXPECT_TRUE(g.has_edge(u, v)) << u << "," << v;
+      }
+    }
+  }
+  EXPECT_EQ(g.num_edges(), expected_edges);
+}
+
+TEST(Generators, RandomGeometricExtremes) {
+  Rng rng(14);
+  // Radius covering the whole square yields the complete graph.
+  EXPECT_EQ(gen::random_geometric_2d(25, 1.5, rng).num_edges(), 300u);
+  EXPECT_THROW(gen::random_geometric_2d(10, 0.0, rng), ds::CheckError);
+}
+
 }  // namespace
 }  // namespace ds::graph

@@ -1,0 +1,259 @@
+// Tests for the parallel execution runtime: the ThreadPool epoch barrier,
+// RoundStats accounting, and above all the determinism contract — for a
+// fixed (graph, IdStrategy, seed), ParallelNetwork must produce bit-identical
+// per-node outputs and round counts to the sequential Network at every
+// thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "coloring/randcolor.hpp"
+#include "graph/generators.hpp"
+#include "local/network.hpp"
+#include "mis/mis.hpp"
+#include "runtime/parallel_network.hpp"
+#include "runtime/select.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/check.hpp"
+
+namespace ds::runtime {
+namespace {
+
+// ---- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  for (std::size_t threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossEpochs) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    pool.parallel_for(10, [&](std::size_t i) { total.fetch_add(i); });
+  }
+  EXPECT_EQ(total.load(), 50u * 45u);
+}
+
+TEST(ThreadPool, PropagatesChunkExceptions) {
+  for (std::size_t threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](std::size_t i) {
+                                     DS_CHECK_MSG(i != 13, "boom");
+                                   }),
+                 ds::CheckError);
+    // The pool must stay usable after a poisoned epoch.
+    std::atomic<int> count{0};
+    pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 8);
+  }
+}
+
+// ---- Determinism suite ---------------------------------------------------
+
+// A program with staggered halting, per-node randomness, and a mix of empty
+// and non-empty messages — sensitive to any delivery, ordering, or
+// stale-slot bug in an executor. The digest is the full per-node history.
+class ProbeProgram final : public local::NodeProgram {
+ public:
+  explicit ProbeProgram(const local::NodeEnv& env)
+      : env_(env), limit_(2 + env.uid % 5), state_(env.uid) {}
+
+  std::vector<local::Message> send(std::size_t round) override {
+    std::vector<local::Message> out(env_.degree);
+    for (std::size_t p = 0; p < env_.degree; ++p) {
+      // Some ports deliberately stay silent some rounds.
+      if ((env_.uid + round + p) % 3 == 0) continue;
+      out[p] = {state_, env_.uid ^ (round * 0x9E37ull), p};
+    }
+    return out;
+  }
+
+  void receive(std::size_t round,
+               const std::vector<local::Message>& inbox) override {
+    for (std::size_t p = 0; p < inbox.size(); ++p) {
+      for (std::uint64_t word : inbox[p]) {
+        state_ = splitmix64(state_ ^ word ^ (p * 31));
+      }
+    }
+    state_ ^= env_.rng.next_raw();
+    digest_ = splitmix64(digest_ ^ state_ ^ round);
+    if (round + 1 >= limit_) halted_ = true;
+  }
+
+  [[nodiscard]] bool done() const override { return halted_; }
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+
+ private:
+  local::NodeEnv env_;
+  std::size_t limit_;
+  std::uint64_t state_;
+  std::uint64_t digest_ = 0x1234u;
+  bool halted_ = false;
+};
+
+local::ProgramFactory probe_factory() {
+  return [](const local::NodeEnv& env) {
+    return std::make_unique<ProbeProgram>(env);
+  };
+}
+
+std::vector<std::uint64_t> probe_digests(local::Executor& exec,
+                                         std::size_t* rounds = nullptr) {
+  const std::size_t r = exec.run(probe_factory(), 100);
+  if (rounds != nullptr) *rounds = r;
+  std::vector<std::uint64_t> digests(exec.graph().num_nodes());
+  for (graph::NodeId v = 0; v < digests.size(); ++v) {
+    digests[v] =
+        static_cast<const ProbeProgram&>(exec.program(v)).digest();
+  }
+  return digests;
+}
+
+void expect_bit_identical(const graph::Graph& g, local::IdStrategy strategy,
+                          std::uint64_t seed) {
+  local::Network sequential(g, strategy, seed);
+  std::size_t seq_rounds = 0;
+  const auto expected = probe_digests(sequential, &seq_rounds);
+  for (std::size_t threads : {1, 2, 8}) {
+    ParallelNetwork parallel(g, strategy, seed, threads);
+    EXPECT_EQ(parallel.uids(), sequential.uids());
+    std::size_t par_rounds = 0;
+    const auto got = probe_digests(parallel, &par_rounds);
+    EXPECT_EQ(par_rounds, seq_rounds) << "threads=" << threads;
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelNetworkDeterminism, Gnp) {
+  Rng rng(7);
+  const auto g = graph::gen::gnp(400, 0.02, rng);
+  expect_bit_identical(g, local::IdStrategy::kRandomPermutation, 11);
+}
+
+TEST(ParallelNetworkDeterminism, Torus) {
+  const auto g = graph::gen::torus(24, 24);
+  expect_bit_identical(g, local::IdStrategy::kSequential, 3);
+}
+
+TEST(ParallelNetworkDeterminism, RandomBiregular) {
+  Rng rng(5);
+  const auto b = graph::gen::random_biregular(150, 300, 6, rng);
+  expect_bit_identical(b.unified(), local::IdStrategy::kDegreeDescending, 9);
+}
+
+TEST(ParallelNetworkDeterminism, StressHundredThousandNodes) {
+  // >= 100k nodes: torus 370x370 = 136,900.
+  const auto g = graph::gen::torus(370, 370);
+  local::Network sequential(g, local::IdStrategy::kSequential, 123);
+  const auto expected = probe_digests(sequential);
+  ParallelNetwork parallel(g, local::IdStrategy::kSequential, 123, 8);
+  EXPECT_EQ(probe_digests(parallel), expected);
+}
+
+// Algorithm-level equality through the ExecutorFactory plumbing.
+TEST(ParallelNetworkDeterminism, LubyAndTrialColoring) {
+  Rng rng(2);
+  const auto g = graph::gen::random_regular(512, 8, rng);
+  RuntimeConfig config;
+  config.parallel = true;
+  config.threads = 4;
+  const auto executor = make_executor_factory(config);
+
+  const auto seq_mis = mis::luby(g, 77);
+  const auto par_mis = mis::luby(g, 77, nullptr, 10000,
+                                 local::IdStrategy::kSequential, executor);
+  EXPECT_EQ(par_mis.in_mis, seq_mis.in_mis);
+  EXPECT_EQ(par_mis.executed_rounds, seq_mis.executed_rounds);
+
+  const auto seq_col = coloring::randomized_coloring(g, 78);
+  const auto par_col = coloring::randomized_coloring(
+      g, 78, nullptr, 10000, local::IdStrategy::kSequential, executor);
+  EXPECT_EQ(par_col.colors, seq_col.colors);
+  EXPECT_EQ(par_col.num_colors, seq_col.num_colors);
+  EXPECT_EQ(par_col.executed_rounds, seq_col.executed_rounds);
+}
+
+// ---- Executor behavior ---------------------------------------------------
+
+TEST(ParallelNetwork, ThrowsWhenRoundLimitHit) {
+  const auto g = graph::gen::cycle(16);
+  ParallelNetwork net(g, local::IdStrategy::kSequential, 1, 2);
+  EXPECT_THROW(net.run(probe_factory(), 2), ds::CheckError);
+}
+
+TEST(ParallelNetwork, CostMeterAndReuse) {
+  const auto g = graph::gen::torus(8, 8);
+  ParallelNetwork net(g, local::IdStrategy::kSequential, 4, 2);
+  local::CostMeter meter;
+  const std::size_t r1 = net.run(probe_factory(), 100, &meter);
+  EXPECT_EQ(meter.executed_rounds(), r1);
+  // Re-running on the same executor must be deterministic too.
+  const auto first = probe_digests(net);
+  const auto second = probe_digests(net);
+  EXPECT_EQ(first, second);
+}
+
+TEST(ParallelNetwork, RoundStatsAreExact) {
+  // Small 4-regular torus: counts are bounded and predictable modulo the
+  // probe's silent-port rule.
+  const auto g = graph::gen::torus(6, 6);
+  ParallelNetwork net(g, local::IdStrategy::kSequential, 21, 3);
+  std::vector<RoundStats> stats;
+  net.set_stats_sink([&](const RoundStats& s) { stats.push_back(s); });
+  const std::size_t rounds = net.run(probe_factory(), 100);
+  ASSERT_EQ(stats.size(), rounds);
+  for (std::size_t r = 0; r < stats.size(); ++r) {
+    EXPECT_EQ(stats[r].round, r);
+    EXPECT_GE(stats[r].wall_seconds, 0.0);
+    EXPECT_LE(stats[r].live_nodes, g.num_nodes());
+    // Every message of the probe carries exactly 3 words.
+    EXPECT_EQ(stats[r].payload_words, 3 * stats[r].messages);
+    EXPECT_LE(stats[r].messages, 2 * g.num_edges());
+  }
+  EXPECT_EQ(stats[0].live_nodes, g.num_nodes());
+
+  // Cross-check message totals against the sequential reference by
+  // re-deriving them from a sequential run's deliveries... the probe is
+  // deterministic, so totals must match a second parallel run exactly.
+  std::vector<RoundStats> again;
+  net.set_stats_sink([&](const RoundStats& s) { again.push_back(s); });
+  net.run(probe_factory(), 100);
+  ASSERT_EQ(again.size(), stats.size());
+  for (std::size_t r = 0; r < stats.size(); ++r) {
+    EXPECT_EQ(again[r].messages, stats[r].messages);
+    EXPECT_EQ(again[r].payload_words, stats[r].payload_words);
+    EXPECT_EQ(again[r].live_nodes, stats[r].live_nodes);
+  }
+}
+
+TEST(RuntimeSelect, ParsesOptions) {
+  const char* argv_seq[] = {"x"};
+  EXPECT_FALSE(runtime_from_options(Options(1, argv_seq)).parallel);
+
+  const char* argv_par[] = {"x", "--runtime=parallel", "--threads=3"};
+  const auto config = runtime_from_options(Options(3, argv_par));
+  EXPECT_TRUE(config.parallel);
+  EXPECT_EQ(config.threads, 3u);
+  EXPECT_EQ(runtime_description(config), "parallel(3 threads)");
+  EXPECT_TRUE(static_cast<bool>(make_executor_factory(config)));
+  EXPECT_FALSE(static_cast<bool>(make_executor_factory(RuntimeConfig{})));
+
+  const char* argv_bad[] = {"x", "--runtime=warp"};
+  EXPECT_THROW(runtime_from_options(Options(2, argv_bad)), ds::CheckError);
+}
+
+}  // namespace
+}  // namespace ds::runtime

@@ -11,9 +11,11 @@
 ///   solve    --input=FILE [--rand] [--seed=S] [--dot=OUT.dot]
 ///            Solve weak splitting; print the selected algorithm, validity,
 ///            and the executed/charged round costs.
-///   mis      --input=FILE [--seed=S]
-///            Treat FILE as a general-graph edge list; run Luby and the
-///            deterministic decomposition sweep; print both sizes.
+///   mis      --input=FILE [--seed=S] [--runtime=sequential|parallel]
+///            [--threads=N]
+///            Treat FILE as a general-graph edge list; run Luby (on the
+///            selected LOCAL executor) and the deterministic decomposition
+///            sweep; print both sizes.
 ///   color    --input=FILE
 ///            Deterministic (Δ+1)-coloring via ball-carving decomposition.
 ///
@@ -33,6 +35,7 @@
 #include "mis/mis.hpp"
 #include "netdecomp/decomposition.hpp"
 #include "netdecomp/derandomize.hpp"
+#include "runtime/select.hpp"
 #include "splitting/solver.hpp"
 #include "splitting/weak_splitting.hpp"
 #include "support/check.hpp"
@@ -48,7 +51,8 @@ int usage() {
          "  gen    --nu=N --nv=N --delta=D [--seed=S]\n"
          "  stats  --input=FILE\n"
          "  solve  --input=FILE [--rand] [--seed=S] [--dot=OUT.dot]\n"
-         "  mis    --input=FILE [--seed=S]\n"
+         "  mis    --input=FILE [--seed=S] [--runtime=sequential|parallel]\n"
+         "         [--threads=N]\n"
          "  color  --input=FILE\n";
   return 1;
 }
@@ -132,8 +136,16 @@ int cmd_solve(const Options& opts) {
 
 int cmd_mis(const Options& opts) {
   const auto g = load_graph(opts);
+  // --runtime=parallel [--threads=N] executes Luby on the sharded runtime;
+  // the MIS and round count are bit-identical to the sequential executor.
+  const auto runtime = runtime::runtime_from_options(opts);
   local::CostMeter luby_meter;
-  const auto rand_outcome = mis::luby(g, opts.seed(), &luby_meter);
+  const auto rand_outcome =
+      mis::luby(g, opts.seed(), &luby_meter, 10000,
+                local::IdStrategy::kSequential,
+                runtime::make_executor_factory(runtime));
+  std::cout << "executor:      " << runtime::runtime_description(runtime)
+            << "\n";
   const auto decomp = netdecomp::ball_carving(g);
   local::CostMeter det_meter;
   const auto det_mis = netdecomp::mis_via_decomposition(g, decomp, &det_meter);
