@@ -23,6 +23,7 @@
 #include "mis/mis.hpp"
 #include "netdecomp/decomposition.hpp"
 #include "netdecomp/derandomize.hpp"
+#include "runtime/round_stats.hpp"
 #include "runtime/select.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
@@ -125,6 +126,43 @@ int main(int argc, char** argv) {
         .cell(proper ? "yes" : "NO");
   }
   color_table.print(std::cout);
+
+  // Per-round executor trace (runtime::RoundStats) of the two randomized
+  // message-passing executions at the largest instance: how traffic decays
+  // as nodes halt is the shape the runtime's sharding and arena sizing are
+  // tuned against.
+  std::cout << "\n(d) per-round message/byte trace (n = 2048, "
+            << runtime::runtime_description(runtime) << ")\n";
+  {
+    const std::size_t n = 2048;
+    Rng rng(opts.seed() + 97);
+    const auto g = graph::gen::random_regular(n, degree, rng);
+    std::vector<runtime::RoundStats> trace;
+    const auto traced = runtime::make_executor_factory(
+        runtime,
+        [&trace](const runtime::RoundStats& s) { trace.push_back(s); });
+    const auto luby = mis::luby(g, opts.seed() + n, nullptr, 10000,
+                                local::IdStrategy::kSequential, traced);
+    const std::size_t luby_rounds = trace.size();
+    const auto rand_col = coloring::randomized_coloring(
+        g, opts.seed() + n, nullptr, 10000, local::IdStrategy::kSequential,
+        traced);
+    ok = ok && coloring::is_mis(g, luby.in_mis) &&
+         coloring::is_proper_coloring(g, rand_col.colors);
+    Table trace_table({"algo", "round", "live", "messages", "words",
+                       "bytes"});
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const runtime::RoundStats& s = trace[i];
+      trace_table.row()
+          .cell(i < luby_rounds ? "luby" : "trial-color")
+          .num(s.round)
+          .num(s.live_nodes)
+          .num(s.messages)
+          .num(s.payload_words)
+          .num(8 * s.payload_words);
+    }
+    trace_table.print(std::cout);
+  }
 
   std::cout << "\nE15 " << (ok ? "PASS" : "FAIL")
             << " — decomposition shapes are logarithmic and both sweeps "

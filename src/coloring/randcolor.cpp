@@ -25,24 +25,22 @@ class TrialProgram final : public local::NodeProgram {
   explicit TrialProgram(const local::NodeEnv& env)
       : env_(env), available_(env.degree + 2, true) {}
 
-  std::vector<local::Message> send(std::size_t /*round*/) override {
-    std::vector<local::Message> out(env_.degree);
+  void send(std::size_t /*round*/, local::Outbox& out) override {
     if (fixed_) {
       // One farewell broadcast of the final color, then halt.
-      for (auto& msg : out) msg = {1ull, color_, env_.uid};
+      out.broadcast({1ull, color_, env_.uid});
       announced_final_ = true;
-      return out;
+      return;
     }
     pick_ = draw();
-    for (auto& msg : out) msg = {0ull, pick_, env_.uid};
-    return out;
+    out.broadcast({0ull, pick_, env_.uid});
   }
 
-  void receive(std::size_t /*round*/, const std::vector<local::Message>& inbox)
-      override {
+  void receive(std::size_t /*round*/, const local::Inbox& inbox) override {
     if (fixed_) return;  // waiting out the farewell round
     bool keep = true;
-    for (const local::Message& msg : inbox) {
+    for (std::size_t p = 0; p < inbox.size(); ++p) {
+      const local::MessageView msg = inbox[p];
       if (msg.empty()) continue;
       const bool neighbor_final = msg[0] == 1;
       const std::uint64_t color = msg[1];

@@ -20,6 +20,7 @@
 #include "graph/graph.hpp"
 #include "local/cost.hpp"
 #include "local/program.hpp"
+#include "local/round_stats.hpp"
 #include "local/topology.hpp"
 
 namespace ds::local {
@@ -43,6 +44,9 @@ class Executor {
 
   /// The shared topology (graph, UIDs, ports) this executor runs on.
   [[nodiscard]] virtual const NetworkTopology& topology() const = 0;
+
+  /// Installs (or clears, with {}) the per-round stats hook for future runs.
+  virtual void set_stats_sink(RoundStatsSink sink) = 0;
 
   [[nodiscard]] const graph::Graph& graph() const {
     return topology().graph();

@@ -1,6 +1,7 @@
 #include "local/network.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "support/check.hpp"
 
@@ -8,7 +9,9 @@ namespace ds::local {
 
 Network::Network(const graph::Graph& g, IdStrategy strategy,
                  std::uint64_t seed)
-    : topology_(g, strategy, seed) {}
+    : topology_(g, strategy, seed) {
+  spans_.resize(topology_.total_ports());
+}
 
 std::size_t Network::run(const ProgramFactory& factory, std::size_t max_rounds,
                          CostMeter* meter) {
@@ -27,32 +30,46 @@ std::size_t Network::run(const ProgramFactory& factory, std::size_t max_rounds,
     return std::all_of(programs.begin(), programs.end(),
                        [](const auto& p) { return p->done(); });
   };
-  std::vector<std::vector<Message>> inboxes(n);
-  for (graph::NodeId v = 0; v < n; ++v) {
-    inboxes[v].resize(g.degree(v));
-  }
   while (!all_done()) {
     DS_CHECK_MSG(round < max_rounds, "Network::run exceeded max_rounds");
-    // Send phase: collect all outgoing messages first so that no node can
-    // observe same-round messages while producing its own (synchrony).
+    const auto t0 = std::chrono::steady_clock::now();
+    // Send phase: every live node serializes into the shared bank; slots
+    // are tagged with this round's epoch, so no node can observe same-round
+    // messages while producing its own (synchrony) and stale slots of
+    // halted neighbors are ignored without clearing.
+    ++epoch_;
+    bank_.clear();
+    std::size_t live = 0;
+    std::size_t messages = 0;
+    std::size_t payload_words = 0;
     for (graph::NodeId v = 0; v < n; ++v) {
       if (programs[v]->done()) continue;
-      std::vector<Message> out = programs[v]->send(round);
-      DS_CHECK_MSG(out.size() == g.degree(v),
-                   "send() must produce one (possibly empty) message per port");
-      for (std::size_t p = 0; p < out.size(); ++p) {
-        const graph::NodeId w = g.neighbors(v)[p];
-        inboxes[w][topology_.reverse_port(v, p)] = std::move(out[p]);
-      }
+      ++live;
+      Outbox out(&bank_, 0, spans_.data(), topology_.delivery_row(v),
+                 g.degree(v), epoch_);
+      programs[v]->send(round, out);
+      messages += out.messages();
+      payload_words += out.payload_words();
     }
-    // Receive phase.
+    // Receive phase. The bank stops growing once sends are done, so the
+    // base pointer is stable for every borrowed view.
+    const std::uint64_t* bases[1] = {bank_.data()};
     for (graph::NodeId v = 0; v < n; ++v) {
       if (programs[v]->done()) continue;
-      programs[v]->receive(round, inboxes[v]);
+      Inbox inbox(spans_.data() + topology_.port_offset(v), g.degree(v),
+                  bases, epoch_);
+      programs[v]->receive(round, inbox);
     }
-    // Clear inboxes for the next round.
-    for (auto& inbox : inboxes) {
-      for (auto& msg : inbox) msg.clear();
+    if (sink_) {
+      RoundStats stats;
+      stats.round = round;
+      stats.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      stats.live_nodes = live;
+      stats.messages = messages;
+      stats.payload_words = payload_words;
+      sink_(stats);
     }
     ++round;
   }

@@ -12,9 +12,12 @@
 ///
 /// Algorithms are written as per-node `NodeProgram`s (local/program.hpp);
 /// `Network::run` executes them round-synchronously and reports the number
-/// of rounds until all nodes halt. Higher-level algorithms that the paper
-/// treats as black boxes are not run through this interface; they account
-/// *charged* rounds on a `CostMeter` instead (see cost.hpp).
+/// of rounds until all nodes halt. Messages travel through the writer-style
+/// arena of local/message_arena.hpp: one word bank plus a span per directed
+/// port, so steady-state rounds allocate nothing on the message path.
+/// Higher-level algorithms that the paper treats as black boxes are not run
+/// through this interface; they account *charged* rounds on a `CostMeter`
+/// instead (see cost.hpp).
 ///
 /// For multi-core execution of the same programs see
 /// runtime/parallel_network.hpp; both executors share `NetworkTopology` and
@@ -28,7 +31,9 @@
 #include "local/cost.hpp"
 #include "local/executor.hpp"
 #include "local/ids.hpp"
+#include "local/message_arena.hpp"
 #include "local/program.hpp"
+#include "local/round_stats.hpp"
 #include "local/topology.hpp"
 
 namespace ds::local {
@@ -50,6 +55,10 @@ class Network final : public Executor {
     return topology_;
   }
 
+  void set_stats_sink(RoundStatsSink sink) override {
+    sink_ = std::move(sink);
+  }
+
   /// Port of node `v` on the neighbor at `v`'s port `p` (i.e. the index of v
   /// in that neighbor's adjacency list). Precomputed for message delivery.
   [[nodiscard]] std::size_t reverse_port(graph::NodeId v,
@@ -61,6 +70,13 @@ class Network final : public Executor {
   NetworkTopology topology_;
   /// Programs of the most recent run, kept alive for output extraction.
   std::vector<std::unique_ptr<NodeProgram>> programs_;
+  /// Single word bank (the whole network is one "shard") + span per port.
+  WordBank bank_;
+  std::vector<MessageSpan> spans_;
+  /// Monotone round tag; never reset, so executor reuse needs no arena
+  /// clearing (stale spans can never alias a later round).
+  std::uint64_t epoch_ = 0;
+  RoundStatsSink sink_;
 };
 
 }  // namespace ds::local

@@ -1,0 +1,44 @@
+#include "local/program.hpp"
+
+#include "support/check.hpp"
+
+namespace ds::local {
+
+void NodeProgram::send(std::size_t round, Outbox& out) {
+  // Adapter: run the legacy vector send and serialize its result. Programs
+  // migrated to the writer API override send() and never reach this.
+  std::vector<Message> msgs = send_messages(round);
+  DS_CHECK_MSG(msgs.size() == out.degree(),
+               "send_messages() must produce one (possibly empty) message "
+               "per port");
+  for (std::size_t p = 0; p < msgs.size(); ++p) {
+    if (!msgs[p].empty()) out.write(p, msgs[p].data(), msgs[p].size());
+  }
+}
+
+void NodeProgram::receive(std::size_t round, const Inbox& inbox) {
+  // Adapter: materialize the borrowed views into owned vectors for the
+  // legacy receive. This is the only message path that still allocates.
+  std::vector<Message> msgs(inbox.size());
+  for (std::size_t p = 0; p < msgs.size(); ++p) {
+    const MessageView view = inbox[p];
+    msgs[p].assign(view.begin(), view.end());
+  }
+  receive_messages(round, msgs);
+}
+
+std::vector<Message> NodeProgram::send_messages(std::size_t /*round*/) {
+  DS_CHECK_MSG(false,
+               "NodeProgram must override send(round, Outbox&) or "
+               "send_messages(round)");
+  return {};
+}
+
+void NodeProgram::receive_messages(std::size_t /*round*/,
+                                   const std::vector<Message>& /*inbox*/) {
+  DS_CHECK_MSG(false,
+               "NodeProgram must override receive(round, Inbox&) or "
+               "receive_messages(round, inbox)");
+}
+
+}  // namespace ds::local

@@ -13,12 +13,14 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "local/message_arena.hpp"
 #include "support/rng.hpp"
 
 namespace ds::local {
 
 /// A message: arbitrary-length word vector (the LOCAL model does not bound
-/// message size).
+/// message size). Used by the legacy vector-based program API; the writer
+/// API serializes words directly through an `Outbox` instead.
 using Message = std::vector<std::uint64_t>;
 
 /// Read-only environment a node program is constructed with.
@@ -37,6 +39,13 @@ struct NodeEnv {
 /// then receive() at every node. A node that returns true from done() stops
 /// being scheduled; the run ends when all nodes are done.
 ///
+/// Programs override the writer-style `send(round, Outbox&)` /
+/// `receive(round, Inbox&)` pair, which serializes straight into the
+/// executor's message arenas (zero heap allocation per round). Legacy
+/// vector-based programs override `send_messages` / `receive_messages`
+/// instead; the base-class defaults adapt between the two, so either style
+/// runs on every executor (the vector style pays the adapter's copies).
+///
 /// Executor contract (holds for every executor in the library): within one
 /// round, all send() calls complete before any receive() observes a message,
 /// and distinct nodes' programs may be invoked concurrently. A program must
@@ -47,12 +56,24 @@ class NodeProgram {
  public:
   virtual ~NodeProgram() = default;
 
-  /// Produces the outgoing message for each port (size must equal degree;
-  /// empty messages allowed). Called once per round until done.
-  virtual std::vector<Message> send(std::size_t round) = 0;
+  /// Serializes the outgoing message of each port into `out` (ports in
+  /// increasing order, unwritten ports send the empty message). Called once
+  /// per round until done. Default: adapts `send_messages`.
+  virtual void send(std::size_t round, Outbox& out);
 
-  /// Receives the messages that arrived this round, indexed by port.
-  virtual void receive(std::size_t round, const std::vector<Message>& inbox) = 0;
+  /// Receives the messages that arrived this round, indexed by port. The
+  /// views borrow executor memory and are valid only during the call.
+  /// Default: materializes the inbox and adapts `receive_messages`.
+  virtual void receive(std::size_t round, const Inbox& inbox);
+
+  /// Legacy vector-returning send: one (possibly empty) message per port
+  /// (size must equal degree). Only invoked through the default `send`.
+  virtual std::vector<Message> send_messages(std::size_t round);
+
+  /// Legacy vector-based receive. Only invoked through the default
+  /// `receive`.
+  virtual void receive_messages(std::size_t round,
+                                const std::vector<Message>& inbox);
 
   /// True when this node has halted (its output is final).
   [[nodiscard]] virtual bool done() const = 0;

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file round_stats.hpp
+/// Per-round observability hook of the LOCAL-model executors. Both the
+/// sequential `Network` and the sharded `runtime::ParallelNetwork` aggregate
+/// these counters during the send phase and invoke the sink once per
+/// executed round — the hook costs nothing when no sink is installed.
+
+#include <cstddef>
+#include <functional>
+
+namespace ds::local {
+
+/// Counters for one executed synchronous round.
+struct RoundStats {
+  std::size_t round = 0;          ///< round index (0-based)
+  double wall_seconds = 0.0;      ///< wall time of the round's epoch
+  std::size_t live_nodes = 0;     ///< nodes scheduled (not done) this round
+  std::size_t messages = 0;       ///< non-empty messages delivered
+  std::size_t payload_words = 0;  ///< total 64-bit words across all messages
+};
+
+/// Invoked once per executed round, on the run() thread.
+using RoundStatsSink = std::function<void(const RoundStats&)>;
+
+}  // namespace ds::local

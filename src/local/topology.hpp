@@ -41,6 +41,11 @@ class NetworkTopology {
   [[nodiscard]] std::size_t port_offset(graph::NodeId v) const {
     return offsets_[v];
   }
+  /// The full CSR port-offset table (size n + 1); port_offsets()[v] is the
+  /// first flat slot of node v. Used for degree-balanced shard splitting.
+  [[nodiscard]] const std::vector<std::size_t>& port_offsets() const {
+    return offsets_;
+  }
   /// Total number of directed ports (= sum of degrees = 2m).
   [[nodiscard]] std::size_t total_ports() const { return offsets_.back(); }
 
@@ -53,6 +58,12 @@ class NetworkTopology {
   [[nodiscard]] std::size_t delivery_slot(graph::NodeId v,
                                           std::size_t p) const {
     return delivery_slots_[offsets_[v] + p];
+  }
+  /// Node v's row of delivery slots (degree(v) entries), the table an
+  /// `Outbox` routes through. Valid as a one-past-the-end pointer for
+  /// degree-0 nodes.
+  [[nodiscard]] const std::size_t* delivery_row(graph::NodeId v) const {
+    return delivery_slots_.data() + offsets_[v];
   }
 
   /// Builds the construction environment of node v, including its private

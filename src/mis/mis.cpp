@@ -22,23 +22,21 @@ class LubyProgram final : public local::NodeProgram {
  public:
   explicit LubyProgram(const local::NodeEnv& env) : env_(env) {}
 
-  std::vector<local::Message> send(std::size_t round) override {
-    std::vector<local::Message> out(env_.degree);
+  void send(std::size_t round, local::Outbox& out) override {
     if (round % 2 == 0) {
       priority_ = env_.rng.next_raw();
-      for (auto& msg : out) msg = {priority_, env_.uid};
+      out.broadcast({priority_, env_.uid});
     } else {
-      for (auto& msg : out) msg = {joining_ ? 1ull : 0ull};
+      out.broadcast({joining_ ? 1ull : 0ull});
     }
-    return out;
   }
 
-  void receive(std::size_t round, const std::vector<local::Message>& inbox)
-      override {
+  void receive(std::size_t round, const local::Inbox& inbox) override {
     if (round % 2 == 0) {
       // Strict lexicographic (priority, uid) maximum among active neighbors.
       joining_ = true;
-      for (const local::Message& msg : inbox) {
+      for (std::size_t p = 0; p < inbox.size(); ++p) {
+        const local::MessageView msg = inbox[p];
         if (msg.empty()) continue;  // done neighbor
         if (std::make_pair(msg[0], msg[1]) >
             std::make_pair(priority_, env_.uid)) {
@@ -52,7 +50,8 @@ class LubyProgram final : public local::NodeProgram {
         done_ = true;
         return;
       }
-      for (const local::Message& msg : inbox) {
+      for (std::size_t p = 0; p < inbox.size(); ++p) {
+        const local::MessageView msg = inbox[p];
         if (!msg.empty() && msg[0] == 1) {
           done_ = true;  // dominated by a joining neighbor
           return;

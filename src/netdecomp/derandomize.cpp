@@ -29,7 +29,7 @@ std::vector<std::vector<graph::NodeId>> block_schedule(
   return by_block;
 }
 
-void charge_sweeps(const graph::Graph& g, const Decomposition& decomp,
+void charge_sweeps(const graph::Graph& /*g*/, const Decomposition& decomp,
                    local::CostMeter* meter) {
   if (meter != nullptr) {
     meter->charge("decomposition-sweep",

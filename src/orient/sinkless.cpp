@@ -93,34 +93,34 @@ class SinkFixProgram final : public local::NodeProgram {
         out_(env.degree, false),
         draws_(env.degree, 0) {}
 
-  std::vector<local::Message> send(std::size_t round) override {
-    std::vector<local::Message> msgs(env_.degree);
+  void send(std::size_t round, local::Outbox& out) override {
     if (round == 0) {
+      // Per-port messages of different content: written port by port.
       for (std::size_t p = 0; p < env_.degree; ++p) {
         draws_[p] = env_.rng.next_raw();
-        msgs[p] = {draws_[p], env_.uid};
+        out.write(p, {draws_[p], env_.uid});
       }
-      return msgs;
+      return;
     }
     if (constrained_ && is_sink()) {
       const std::size_t p = env_.rng.next_index(env_.degree);
       out_[p] = true;
-      msgs[p] = {1ull};
+      out.write(p, {1ull});  // single-port write; all other ports silent
     }
-    return msgs;
   }
 
-  void receive(std::size_t round, const std::vector<local::Message>& inbox)
-      override {
+  void receive(std::size_t round, const local::Inbox& inbox) override {
     if (round == 0) {
       for (std::size_t p = 0; p < env_.degree; ++p) {
-        DS_CHECK(inbox[p].size() == 2);
+        const local::MessageView msg = inbox[p];
+        DS_CHECK(msg.size() == 2);
         out_[p] = std::make_pair(draws_[p], env_.uid) >
-                  std::make_pair(inbox[p][0], inbox[p][1]);
+                  std::make_pair(msg[0], msg[1]);
       }
     } else {
       for (std::size_t p = 0; p < env_.degree; ++p) {
-        if (!inbox[p].empty() && inbox[p][0] == 1) {
+        const local::MessageView msg = inbox[p];
+        if (!msg.empty() && msg[0] == 1) {
           out_[p] = false;  // the neighbor flipped this edge outward
         }
       }

@@ -1,11 +1,48 @@
 #include "runtime/parallel_network.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <functional>
 #include <thread>
 
 #include "support/check.hpp"
 
 namespace ds::runtime {
+
+std::vector<graph::NodeId> degree_balanced_boundaries(
+    const std::vector<std::size_t>& port_offsets, std::size_t num_shards) {
+  DS_CHECK_MSG(!port_offsets.empty(),
+               "port_offsets must have n + 1 entries (>= 1)");
+  const std::size_t n = port_offsets.size() - 1;
+  std::vector<graph::NodeId> bounds;
+  if (num_shards == 0) {
+    DS_CHECK_MSG(n == 0, "zero shards are only valid for an empty node set");
+    bounds.push_back(0);
+    return bounds;
+  }
+  bounds.reserve(num_shards + 1);
+  bounds.push_back(0);
+  const std::size_t total = port_offsets.back();
+  for (std::size_t s = 1; s < num_shards; ++s) {
+    std::size_t b;
+    if (total == 0) {
+      // No edges: fall back to node-balanced splitting.
+      b = n * s / num_shards;
+    } else {
+      // Smallest node whose CSR offset reaches the s-th equal port quota;
+      // targets and offsets are both non-decreasing, so boundaries are too.
+      const std::size_t target = total * s / num_shards;
+      b = static_cast<std::size_t>(
+          std::lower_bound(port_offsets.begin(), port_offsets.end(), target) -
+          port_offsets.begin());
+    }
+    b = std::max<std::size_t>(b, bounds.back());
+    b = std::min(b, n);
+    bounds.push_back(static_cast<graph::NodeId>(b));
+  }
+  bounds.push_back(static_cast<graph::NodeId>(n));
+  return bounds;
+}
 
 std::size_t ParallelNetwork::resolve_threads(std::size_t num_threads) {
   if (num_threads != 0) return num_threads;
@@ -19,23 +56,60 @@ ParallelNetwork::ParallelNetwork(const graph::Graph& g,
     : topology_(g, strategy, seed), pool_(resolve_threads(num_threads)) {
   const std::size_t n = g.num_nodes();
   // Contiguous shards, a few per thread so the dynamic chunk claiming in the
-  // pool evens out degree imbalance without giving up cache locality.
+  // pool evens out residual imbalance without giving up cache locality;
+  // boundaries split by port count so skewed-degree graphs don't put all of
+  // the message work into one shard.
   const std::size_t num_shards =
-      n == 0 ? 0 : std::min(n, pool_.num_threads() * 4);
-  shards_.reserve(num_shards);
-  for (std::size_t s = 0; s < num_shards; ++s) {
-    shards_.push_back({static_cast<graph::NodeId>(n * s / num_shards),
-                       static_cast<graph::NodeId>(n * (s + 1) / num_shards)});
-  }
+      n == 0 ? 0 : std::min<std::size_t>(n, pool_.num_threads() * 4);
+  bounds_ = degree_balanced_boundaries(topology_.port_offsets(), num_shards);
+  for (auto& banks : banks_) banks.resize(num_shards);
+  for (auto& arena : span_arenas_) arena.resize(topology_.total_ports());
+  read_bases_.resize(num_shards);
   counters_.resize(num_shards);
-  for (auto& arena : arenas_) arena.resize(topology_.total_ports());
+}
+
+void ParallelNetwork::run_epoch_shard(std::size_t s) {
+  const graph::Graph& g = topology_.graph();
+  const EpochPlan plan = plan_;
+  const graph::NodeId first = bounds_[s];
+  const graph::NodeId last = bounds_[s + 1];
+  ShardCounters c;
+  local::WordBank* bank = nullptr;
+  if (plan.send) {
+    // Bump-reset this shard's write bank; capacity is kept, so rounds past
+    // the high-water mark allocate nothing.
+    bank = &banks_[plan.write_buffer][s];
+    bank->clear();
+  }
+  const std::uint64_t* const* bases = read_bases_.data();
+  for (graph::NodeId v = first; v < last; ++v) {
+    local::NodeProgram& prog = *programs_[v];
+    // Per node, receive(r-1) strictly precedes send(r) — the same call
+    // sequence the sequential executor produces (done() is re-checked in
+    // between, exactly like its two phase loops do).
+    if (plan.recv && !prog.done()) {
+      local::Inbox inbox(plan.read_spans + topology_.port_offset(v),
+                         g.degree(v), bases, plan.recv_epoch);
+      prog.receive(plan.round - 1, inbox);
+    }
+    if (plan.send && !prog.done()) {
+      ++c.senders;
+      local::Outbox out(bank, static_cast<std::uint32_t>(s),
+                        plan.write_spans, topology_.delivery_row(v),
+                        g.degree(v), plan.send_epoch);
+      prog.send(plan.round, out);
+      c.messages += out.messages();
+      c.payload_words += out.payload_words();
+    }
+    if (!prog.done()) ++c.not_done;
+  }
+  counters_[s] = c;
 }
 
 std::size_t ParallelNetwork::run(const local::ProgramFactory& factory,
                                  std::size_t max_rounds,
                                  local::CostMeter* meter) {
-  const graph::Graph& g = topology_.graph();
-  const std::size_t n = g.num_nodes();
+  const std::size_t n = topology_.graph().num_nodes();
   programs_.clear();
   programs_.resize(n);
   // Program construction is sequential in node order — identical to the
@@ -44,115 +118,94 @@ std::size_t ParallelNetwork::run(const local::ProgramFactory& factory,
     programs_[v] = factory(topology_.make_env(v));
     DS_CHECK(programs_[v] != nullptr);
   }
-  // Reset payload slots from any previous run, keeping their capacity.
-  for (auto& arena : arenas_) {
-    for (auto& msg : arena) msg.clear();
-  }
+  const std::size_t num_shards = bounds_.size() - 1;
 
-  const std::size_t num_shards = shards_.size();
-  auto count_not_done = [&] {
-    pool_.parallel_for(num_shards, [&](std::size_t s) {
-      std::size_t c = 0;
-      for (graph::NodeId v = shards_[s].first; v < shards_[s].last; ++v) {
-        if (!programs_[v]->done()) ++c;
-      }
-      counters_[s].not_done = c;
-    });
-    std::size_t total = 0;
-    for (const ShardCounters& c : counters_) total += c.not_done;
-    return total;
+  // Both run-scoped callables are constructed once; the per-round hot loop
+  // performs no allocation.
+  const std::function<void(std::size_t)> count_fn = [this](std::size_t s) {
+    std::size_t c = 0;
+    for (graph::NodeId v = bounds_[s]; v < bounds_[s + 1]; ++v) {
+      if (!programs_[v]->done()) ++c;
+    }
+    counters_[s].not_done = c;
+  };
+  const std::function<void(std::size_t)> epoch_fn = [this](std::size_t s) {
+    run_epoch_shard(s);
   };
 
-  std::size_t round = 0;
-  std::size_t alive = count_not_done();
-  while (alive > 0) {
-    DS_CHECK_MSG(round < max_rounds,
-                 "ParallelNetwork::run exceeded max_rounds");
+  pool_.parallel_for(num_shards, count_fn);
+  std::size_t alive = 0;
+  for (const ShardCounters& c : counters_) alive += c.not_done;
+  if (alive == 0) {
+    if (meter != nullptr) meter->add_executed(0);
+    return 0;
+  }
+  DS_CHECK_MSG(max_rounds > 0, "ParallelNetwork::run exceeded max_rounds");
+
+  const auto emit_stats = [&](std::size_t round, double wall,
+                              std::size_t senders, std::size_t messages,
+                              std::size_t payload_words) {
+    local::RoundStats stats;
+    stats.round = round;
+    stats.wall_seconds = wall;
+    stats.live_nodes = senders;
+    stats.messages = messages;
+    stats.payload_words = payload_words;
+    sink_(stats);
+  };
+
+  // Fused rounds: epoch r = receive(r-1) against the previous arena (epoch
+  // 0 is the degenerate case with nothing to receive), then send(r) into
+  // the current one — one barrier per round.
+  plan_ = EpochPlan{};
+  for (std::size_t r = 0;; ++r) {
+    const bool sending = r < max_rounds;
+    plan_.recv = r > 0;
+    plan_.recv_epoch = epoch_;  // the tag round r-1's sends used
+    plan_.send = sending;
+    plan_.round = r;
+    if (sending) {
+      plan_.send_epoch = ++epoch_;
+      plan_.write_spans = span_arenas_[r & 1].data();
+      plan_.write_buffer = r & 1;
+    }
+    if (r > 0) {
+      plan_.read_spans = span_arenas_[(r - 1) & 1].data();
+      const std::vector<local::WordBank>& read_banks = banks_[(r - 1) & 1];
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        read_bases_[s] = read_banks[s].data();
+      }
+    }
     const auto t0 = std::chrono::steady_clock::now();
-    counters_.assign(num_shards, ShardCounters{});
-    std::vector<local::Message>& arena = arenas_[round & 1];
+    pool_.parallel_for(num_shards, epoch_fn);
 
-    // Send epoch: every live node produces its messages; slot (w, q) has
-    // exactly one writer (the neighbor of w on q), so shards write disjoint
-    // slots and no synchronization beyond the epoch barrier is needed.
-    pool_.parallel_for(num_shards, [&](std::size_t s) {
-      ShardCounters c;
-      for (graph::NodeId v = shards_[s].first; v < shards_[s].last; ++v) {
-        local::NodeProgram& prog = *programs_[v];
-        if (prog.done()) continue;
-        ++c.live;
-        std::vector<local::Message> out = prog.send(round);
-        DS_CHECK_MSG(
-            out.size() == g.degree(v),
-            "send() must produce one (possibly empty) message per port");
-        for (std::size_t p = 0; p < out.size(); ++p) {
-          if (!out[p].empty()) {
-            ++c.messages;
-            c.payload_words += out[p].size();
-          }
-          arena[topology_.delivery_slot(v, p)] = std::move(out[p]);
-        }
-      }
-      counters_[s].live = c.live;
-      counters_[s].messages = c.messages;
-      counters_[s].payload_words = c.payload_words;
-    });
-
-    // Epoch barrier: parallel_for returned, so all round-`round` messages
-    // are in place before any receive() below can observe them.
-
-    // Receive epoch: each node reads its contiguous slot range through a
-    // thread-local inbox (moved in and out — pointer swaps, no copies), and
-    // returns the payload buffers to the arena cleared so the next round
-    // that writes this arena starts from empty slots.
-    pool_.parallel_for(num_shards, [&](std::size_t s) {
-      std::vector<local::Message> inbox;
-      std::size_t not_done = 0;
-      for (graph::NodeId v = shards_[s].first; v < shards_[s].last; ++v) {
-        local::NodeProgram& prog = *programs_[v];
-        if (prog.done()) continue;
-        const std::size_t deg = g.degree(v);
-        const std::size_t base = topology_.port_offset(v);
-        inbox.resize(deg);
-        for (std::size_t p = 0; p < deg; ++p) {
-          inbox[p] = std::move(arena[base + p]);
-        }
-        prog.receive(round, inbox);
-        for (std::size_t p = 0; p < deg; ++p) {
-          arena[base + p] = std::move(inbox[p]);
-          arena[base + p].clear();
-        }
-        if (!prog.done()) ++not_done;
-      }
-      counters_[s].not_done = not_done;
-    });
-
-    std::size_t live = 0;
+    std::size_t senders = 0;
     std::size_t messages = 0;
     std::size_t payload_words = 0;
     std::size_t not_done = 0;
     for (const ShardCounters& c : counters_) {
-      live += c.live;
+      senders += c.senders;
       messages += c.messages;
       payload_words += c.payload_words;
       not_done += c.not_done;
     }
-    alive = not_done;
-    if (sink_) {
-      RoundStats stats;
-      stats.round = round;
-      stats.wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-      stats.live_nodes = live;
-      stats.messages = messages;
-      stats.payload_words = payload_words;
-      sink_(stats);
+    if (sink_ && senders > 0) {
+      emit_stats(r,
+                 std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count(),
+                 senders, messages, payload_words);
     }
-    ++round;
+    if (not_done == 0) {
+      // Round r executed iff anything was sent in it (a program may halt
+      // only after a final send — the sequential executor then counts that
+      // farewell round too).
+      const std::size_t rounds = senders > 0 ? r + 1 : r;
+      if (meter != nullptr) meter->add_executed(rounds);
+      return rounds;
+    }
+    DS_CHECK_MSG(sending, "ParallelNetwork::run exceeded max_rounds");
   }
-  if (meter != nullptr) meter->add_executed(round);
-  return round;
 }
 
 const local::NodeProgram& ParallelNetwork::program(graph::NodeId v) const {

@@ -5,23 +5,27 @@
 ///
 /// `ParallelNetwork` runs the same `NodeProgram`/`ProgramFactory` API as the
 /// sequential `local::Network`, but partitions the nodes into contiguous
-/// shards executed on a fixed thread pool. Each round is two parallel
-/// epochs separated by a barrier:
+/// *degree-balanced* shards (split by CSR port count, not node count)
+/// executed on a fixed thread pool. Messages travel through the writer-style
+/// arena of local/message_arena.hpp:
 ///
-///   send epoch     every live node's send() runs (sharded); message p of
-///                  node v is moved into the flat arena slot
-///                  `topology.delivery_slot(v, p)` — each slot has exactly
-///                  one writer, so shards write disjoint memory;
-///   epoch barrier  all sends complete before any receive observes them
-///                  (the LOCAL model's synchrony);
-///   receive epoch  every live node's receive() runs (sharded) against its
-///                  contiguous slot range [port_offset(v), +degree).
+///  * each shard owns a double-buffered *word bank* it bump-writes payload
+///    words into — cleared (capacity kept) at the start of its send phase,
+///    so steady-state rounds perform zero heap allocation;
+///  * a double-buffered flat *span arena* holds one `MessageSpan` per
+///    directed port; the span for a message sent by v on port p lives at
+///    `topology.delivery_slot(v, p)` — each slot has exactly one writer, so
+///    shards write disjoint memory;
+///  * spans carry a monotone epoch tag; receivers ignore spans whose tag is
+///    not the round being received, so halted neighbors' stale slots need no
+///    clearing and executor reuse needs no arena reset.
 ///
-/// Message slots are double-buffered: round r uses arena r mod 2, so a
-/// receive epoch returns cleared-but-capacitated payload buffers to the
-/// arena the *next* round's senders will overwrite, and a node that halts
-/// can never leak a stale message into a later round (its neighbors' slots
-/// were cleared when last read, and nobody writes them again).
+/// Rounds are *fused*: one pool epoch (= one barrier) per round runs, for
+/// every node of a shard, receive(r-1) against the previous round's arena
+/// and then send(r) into the current one. Double buffering is what makes
+/// this legal — round r's writers and round r-1's readers touch different
+/// arenas — and it halves the barriers of the classic
+/// send-barrier-receive-barrier schedule.
 ///
 /// # Determinism contract
 ///
@@ -34,11 +38,14 @@
 ///    scheduling;
 ///  * programs are constructed by the factory sequentially in node order
 ///    (factories may capture mutable state);
-///  * message delivery is port-indexed into single-writer slots, and the
-///    epoch barrier forbids same-round read/write races;
+///  * message delivery is span-indexed into single-writer slots, and the
+///    fused epoch's barrier separates round r-1's receives (and round r's
+///    sends) from round r's receives;
+///  * per node, receive(r-1) still strictly precedes send(r), so the
+///    per-node call sequence equals the sequential executor's;
 ///  * node programs only touch their own state (the LOCAL model).
 /// tests/test_runtime.cpp asserts the contract at 1/2/8 threads on gnp,
-/// torus and biregular instances.
+/// torus, biregular and skewed Barabási–Albert instances.
 
 #include <cstdint>
 #include <memory>
@@ -49,12 +56,22 @@
 #include "local/cost.hpp"
 #include "local/executor.hpp"
 #include "local/ids.hpp"
+#include "local/message_arena.hpp"
 #include "local/program.hpp"
+#include "local/round_stats.hpp"
 #include "local/topology.hpp"
-#include "runtime/round_stats.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ds::runtime {
+
+/// Splits the nodes of a CSR port-offset table (size n + 1, offsets[n] =
+/// total ports) into `num_shards` contiguous ranges of roughly equal total
+/// port count. Returns the n+1-free boundary list b of size num_shards + 1:
+/// shard s owns nodes [b[s], b[s+1]), b[0] = 0, b[num_shards] = n, and the
+/// boundaries are non-decreasing — every node lands in exactly one shard.
+/// Falls back to node-balanced splitting when the graph has no edges.
+std::vector<graph::NodeId> degree_balanced_boundaries(
+    const std::vector<std::size_t>& port_offsets, std::size_t num_shards);
 
 /// Multi-threaded synchronous executor on a fixed communication graph.
 class ParallelNetwork final : public local::Executor {
@@ -86,31 +103,56 @@ class ParallelNetwork final : public local::Executor {
   /// selection layer so reported and actual parallelism always agree.
   [[nodiscard]] static std::size_t resolve_threads(std::size_t num_threads);
 
-  /// Installs (or clears, with {}) the per-round stats hook for future runs.
-  void set_stats_sink(RoundStatsSink sink) { sink_ = std::move(sink); }
+  void set_stats_sink(local::RoundStatsSink sink) override {
+    sink_ = std::move(sink);
+  }
+
+  /// Degree-balanced shard boundaries (size num_shards + 1), for tests and
+  /// diagnostics.
+  [[nodiscard]] const std::vector<graph::NodeId>& shard_boundaries() const {
+    return bounds_;
+  }
 
  private:
-  /// Contiguous node range of one shard: [first, last).
-  struct Shard {
-    graph::NodeId first = 0;
-    graph::NodeId last = 0;
-  };
   /// Per-shard accumulators, merged on the run() thread at the barrier.
   struct ShardCounters {
-    std::size_t live = 0;
+    std::size_t senders = 0;
     std::size_t messages = 0;
     std::size_t payload_words = 0;
     std::size_t not_done = 0;
   };
+  /// What one fused pool epoch does; written by run() before the epoch,
+  /// read by the workers (the pool's epoch handoff orders the accesses).
+  struct EpochPlan {
+    bool recv = false;   ///< run receive(round - 1) first
+    bool send = false;   ///< then run send(round)
+    std::size_t round = 0;          ///< the round being *sent*
+    std::uint64_t send_epoch = 0;   ///< tag for spans written this epoch
+    std::uint64_t recv_epoch = 0;   ///< tag the received round's writers used
+    local::MessageSpan* write_spans = nullptr;
+    const local::MessageSpan* read_spans = nullptr;
+    std::size_t write_buffer = 0;   ///< word-bank parity of the sends
+  };
+
+  /// Runs one fused epoch for shard `s` per the current plan_.
+  void run_epoch_shard(std::size_t s);
 
   local::NetworkTopology topology_;
   ThreadPool pool_;
-  std::vector<Shard> shards_;
-  /// Double-buffered flat message slots, each arena sized total_ports().
-  std::vector<local::Message> arenas_[2];
+  /// Contiguous degree-balanced shard boundaries, size num_shards + 1.
+  std::vector<graph::NodeId> bounds_;
+  /// Double-buffered per-shard word banks: banks_[parity][shard].
+  std::vector<local::WordBank> banks_[2];
+  /// Double-buffered span arenas, each sized total_ports().
+  std::vector<local::MessageSpan> span_arenas_[2];
+  /// Read-side bank base pointers of the epoch in flight, indexed by shard.
+  std::vector<const std::uint64_t*> read_bases_;
   std::vector<ShardCounters> counters_;
   std::vector<std::unique_ptr<local::NodeProgram>> programs_;
-  RoundStatsSink sink_;
+  EpochPlan plan_;
+  /// Monotone round tag shared by both arenas; never reset across runs.
+  std::uint64_t epoch_ = 0;
+  local::RoundStatsSink sink_;
 };
 
 }  // namespace ds::runtime

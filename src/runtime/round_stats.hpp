@@ -1,25 +1,15 @@
 #pragma once
 
 /// \file round_stats.hpp
-/// Per-round observability hook of the execution runtime. `ParallelNetwork`
-/// aggregates these counters from per-shard accumulators at the round
-/// barrier — the hook costs nothing when no sink is installed.
+/// Compatibility aliases: RoundStats moved to local/round_stats.hpp when the
+/// sequential `Network` gained the same per-round stats hook as
+/// `ParallelNetwork` (the hook is part of the shared `Executor` interface).
 
-#include <cstddef>
-#include <functional>
+#include "local/round_stats.hpp"
 
 namespace ds::runtime {
 
-/// Counters for one executed synchronous round.
-struct RoundStats {
-  std::size_t round = 0;          ///< round index (0-based)
-  double wall_seconds = 0.0;      ///< wall time of both phases + bookkeeping
-  std::size_t live_nodes = 0;     ///< nodes scheduled (not done) this round
-  std::size_t messages = 0;       ///< non-empty messages delivered
-  std::size_t payload_words = 0;  ///< total 64-bit words across all messages
-};
-
-/// Invoked once per round, after the receive barrier, on the run() thread.
-using RoundStatsSink = std::function<void(const RoundStats&)>;
+using RoundStats = local::RoundStats;
+using RoundStatsSink = local::RoundStatsSink;
 
 }  // namespace ds::runtime

@@ -1,5 +1,6 @@
 #include "runtime/select.hpp"
 
+#include "local/network.hpp"
 #include "runtime/parallel_network.hpp"
 #include "support/check.hpp"
 
@@ -26,6 +27,25 @@ local::ExecutorFactory make_executor_factory(const RuntimeConfig& config) {
   return [threads](const graph::Graph& g, local::IdStrategy strategy,
                    std::uint64_t seed) -> std::unique_ptr<local::Executor> {
     return std::make_unique<ParallelNetwork>(g, strategy, seed, threads);
+  };
+}
+
+local::ExecutorFactory make_executor_factory(const RuntimeConfig& config,
+                                             local::RoundStatsSink sink) {
+  if (!sink) return make_executor_factory(config);
+  const bool parallel = config.parallel;
+  const std::size_t threads = config.threads;
+  return [parallel, threads, sink = std::move(sink)](
+             const graph::Graph& g, local::IdStrategy strategy,
+             std::uint64_t seed) -> std::unique_ptr<local::Executor> {
+    std::unique_ptr<local::Executor> exec;
+    if (parallel) {
+      exec = std::make_unique<ParallelNetwork>(g, strategy, seed, threads);
+    } else {
+      exec = std::make_unique<local::Network>(g, strategy, seed);
+    }
+    exec->set_stats_sink(sink);
+    return exec;
   };
 }
 

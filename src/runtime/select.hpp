@@ -8,6 +8,7 @@
 #include <cstddef>
 
 #include "local/executor.hpp"
+#include "local/round_stats.hpp"
 #include "support/options.hpp"
 
 namespace ds::runtime {
@@ -26,6 +27,14 @@ RuntimeConfig runtime_from_options(const Options& opts);
 /// (algorithms then default to `local::Network`), a `ParallelNetwork`
 /// factory otherwise.
 local::ExecutorFactory make_executor_factory(const RuntimeConfig& config);
+
+/// Like the above, but every executor the factory creates gets `sink`
+/// installed as its per-round stats hook — for experiment drivers that
+/// print per-round message/byte traces. With a non-empty sink the factory
+/// is always non-empty (the sequential runtime then builds a
+/// sink-instrumented `local::Network`).
+local::ExecutorFactory make_executor_factory(const RuntimeConfig& config,
+                                             local::RoundStatsSink sink);
 
 /// Human-readable description, e.g. "sequential" or "parallel(8 threads)".
 std::string runtime_description(const RuntimeConfig& config);

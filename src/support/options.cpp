@@ -8,16 +8,18 @@ namespace ds {
 
 Options::Options(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
+    const std::string full = argv[i];
     // google-benchmark binaries pass their own --benchmark_* flags through;
     // accept anything that looks like --key or --key=value.
-    DS_CHECK_MSG(arg.rfind("--", 0) == 0, "unrecognized argument: " + arg);
-    arg = arg.substr(2);
+    DS_CHECK_MSG(full.rfind("--", 0) == 0, "unrecognized argument: " + full);
+    const std::string arg = full.substr(2);
     const auto eq = arg.find('=');
+    // insert_or_assign with string arguments: assigning a short char
+    // literal through operator[] trips GCC 12's bogus -Wrestrict (PR105329).
     if (eq == std::string::npos) {
-      values_[arg] = "1";
+      values_.insert_or_assign(arg, std::string("1"));
     } else {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      values_.insert_or_assign(arg.substr(0, eq), arg.substr(eq + 1));
     }
   }
 }

@@ -213,7 +213,7 @@ TEST(Generators, DenseRegularComplementRegime) {
   // d > (n-1)/2 goes through the complement construction and must still be
   // exactly d-regular and simple.
   Rng rng(11);
-  for (const auto [n, d] :
+  for (const auto& [n, d] :
        {std::make_pair(30, 29), std::make_pair(24, 17),
         std::make_pair(16, 9)}) {
     const Graph g = gen::random_regular(n, d, rng);

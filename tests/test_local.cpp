@@ -92,11 +92,12 @@ class MaxFlood : public NodeProgram {
  public:
   explicit MaxFlood(const NodeEnv& env) : env_(env), best_(env.uid) {}
 
-  std::vector<Message> send(std::size_t) override {
+  std::vector<Message> send_messages(std::size_t) override {
     return std::vector<Message>(env_.degree, Message{best_});
   }
 
-  void receive(std::size_t round, const std::vector<Message>& inbox) override {
+  void receive_messages(std::size_t round,
+                        const std::vector<Message>& inbox) override {
     for (const Message& m : inbox) {
       if (!m.empty()) best_ = std::max(best_, m[0]);
     }
@@ -143,11 +144,12 @@ class PortChecker : public NodeProgram {
  public:
   explicit PortChecker(const NodeEnv& env) : env_(env) {}
 
-  std::vector<Message> send(std::size_t) override {
+  std::vector<Message> send_messages(std::size_t) override {
     return std::vector<Message>(env_.degree, Message{env_.uid});
   }
 
-  void receive(std::size_t, const std::vector<Message>& inbox) override {
+  void receive_messages(std::size_t,
+                        const std::vector<Message>& inbox) override {
     for (std::size_t p = 0; p < inbox.size(); ++p) {
       ASSERT_EQ(inbox[p].size(), 1u);
       EXPECT_EQ(inbox[p][0], env_.neighbor_uids[p]);
@@ -175,10 +177,11 @@ TEST(Network, ThrowsOnRoundLimit) {
   class Forever : public NodeProgram {
    public:
     explicit Forever(std::size_t degree) : degree_(degree) {}
-    std::vector<Message> send(std::size_t) override {
+    std::vector<Message> send_messages(std::size_t) override {
       return std::vector<Message>(degree_);
     }
-    void receive(std::size_t, const std::vector<Message>&) override {}
+    void receive_messages(std::size_t, const std::vector<Message>&) override {
+    }
     [[nodiscard]] bool done() const override { return false; }
 
    private:
@@ -207,10 +210,11 @@ TEST(Network, PerNodeRandomnessIsStable) {
            public:
             OneShot(NodeEnv env, std::vector<std::uint64_t>* sink)
                 : env_(std::move(env)), sink_(sink) {}
-            std::vector<Message> send(std::size_t) override {
+            std::vector<Message> send_messages(std::size_t) override {
               return std::vector<Message>(env_.degree);
             }
-            void receive(std::size_t, const std::vector<Message>&) override {
+            void receive_messages(std::size_t,
+                                  const std::vector<Message>&) override {
               sink_->push_back(env_.rng.next_raw());
               done_ = true;
             }

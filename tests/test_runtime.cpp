@@ -16,6 +16,7 @@
 #include "local/network.hpp"
 #include "mis/mis.hpp"
 #include "runtime/parallel_network.hpp"
+#include "runtime/round_stats.hpp"
 #include "runtime/select.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/check.hpp"
@@ -66,58 +67,106 @@ TEST(ThreadPool, PropagatesChunkExceptions) {
 // A program with staggered halting, per-node randomness, and a mix of empty
 // and non-empty messages — sensitive to any delivery, ordering, or
 // stale-slot bug in an executor. The digest is the full per-node history.
-class ProbeProgram final : public local::NodeProgram {
+// The logic exists in a writer-API and a legacy vector-API flavor so the
+// determinism suite also pins the adapter: all four (executor, API) combos
+// must produce the same digests.
+class ProbeBase : public local::NodeProgram {
  public:
-  explicit ProbeProgram(const local::NodeEnv& env)
+  explicit ProbeBase(const local::NodeEnv& env)
       : env_(env), limit_(2 + env.uid % 5), state_(env.uid) {}
 
-  std::vector<local::Message> send(std::size_t round) override {
-    std::vector<local::Message> out(env_.degree);
-    for (std::size_t p = 0; p < env_.degree; ++p) {
-      // Some ports deliberately stay silent some rounds.
-      if ((env_.uid + round + p) % 3 == 0) continue;
-      out[p] = {state_, env_.uid ^ (round * 0x9E37ull), p};
-    }
-    return out;
-  }
+  [[nodiscard]] bool done() const override { return halted_; }
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
 
-  void receive(std::size_t round,
-               const std::vector<local::Message>& inbox) override {
-    for (std::size_t p = 0; p < inbox.size(); ++p) {
-      for (std::uint64_t word : inbox[p]) {
-        state_ = splitmix64(state_ ^ word ^ (p * 31));
-      }
-    }
+ protected:
+  // Some ports deliberately stay silent some rounds.
+  [[nodiscard]] bool silent(std::size_t round, std::size_t p) const {
+    return (env_.uid + round + p) % 3 == 0;
+  }
+  [[nodiscard]] std::uint64_t word(std::size_t round, std::size_t i) const {
+    return i == 0 ? state_
+                  : (i == 1 ? env_.uid ^ (round * 0x9E37ull) : 0);
+  }
+  void absorb(std::size_t p, std::uint64_t w) {
+    state_ = splitmix64(state_ ^ w ^ (p * 31));
+  }
+  void finish_round(std::size_t round) {
     state_ ^= env_.rng.next_raw();
     digest_ = splitmix64(digest_ ^ state_ ^ round);
     if (round + 1 >= limit_) halted_ = true;
   }
 
-  [[nodiscard]] bool done() const override { return halted_; }
-  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+  local::NodeEnv env_;
 
  private:
-  local::NodeEnv env_;
   std::size_t limit_;
   std::uint64_t state_;
   std::uint64_t digest_ = 0x1234u;
   bool halted_ = false;
 };
 
-local::ProgramFactory probe_factory() {
-  return [](const local::NodeEnv& env) {
-    return std::make_unique<ProbeProgram>(env);
+class WriterProbe final : public ProbeBase {
+ public:
+  using ProbeBase::ProbeBase;
+
+  void send(std::size_t round, local::Outbox& out) override {
+    for (std::size_t p = 0; p < env_.degree; ++p) {
+      if (silent(round, p)) continue;
+      out.write(p, {word(round, 0), word(round, 1),
+                    static_cast<std::uint64_t>(p)});
+    }
+  }
+
+  void receive(std::size_t round, const local::Inbox& inbox) override {
+    for (std::size_t p = 0; p < inbox.size(); ++p) {
+      for (std::uint64_t w : inbox[p]) absorb(p, w);
+    }
+    finish_round(round);
+  }
+};
+
+class LegacyProbe final : public ProbeBase {
+ public:
+  using ProbeBase::ProbeBase;
+
+  std::vector<local::Message> send_messages(std::size_t round) override {
+    std::vector<local::Message> out(env_.degree);
+    for (std::size_t p = 0; p < env_.degree; ++p) {
+      if (silent(round, p)) continue;
+      out[p] = {word(round, 0), word(round, 1),
+                static_cast<std::uint64_t>(p)};
+    }
+    return out;
+  }
+
+  void receive_messages(std::size_t round,
+                        const std::vector<local::Message>& inbox) override {
+    for (std::size_t p = 0; p < inbox.size(); ++p) {
+      for (std::uint64_t w : inbox[p]) absorb(p, w);
+    }
+    finish_round(round);
+  }
+};
+
+local::ProgramFactory probe_factory(bool legacy = false) {
+  if (legacy) {
+    return [](const local::NodeEnv& env) -> std::unique_ptr<local::NodeProgram> {
+      return std::make_unique<LegacyProbe>(env);
+    };
+  }
+  return [](const local::NodeEnv& env) -> std::unique_ptr<local::NodeProgram> {
+    return std::make_unique<WriterProbe>(env);
   };
 }
 
 std::vector<std::uint64_t> probe_digests(local::Executor& exec,
-                                         std::size_t* rounds = nullptr) {
-  const std::size_t r = exec.run(probe_factory(), 100);
+                                         std::size_t* rounds = nullptr,
+                                         bool legacy = false) {
+  const std::size_t r = exec.run(probe_factory(legacy), 100);
   if (rounds != nullptr) *rounds = r;
   std::vector<std::uint64_t> digests(exec.graph().num_nodes());
   for (graph::NodeId v = 0; v < digests.size(); ++v) {
-    digests[v] =
-        static_cast<const ProbeProgram&>(exec.program(v)).digest();
+    digests[v] = static_cast<const ProbeBase&>(exec.program(v)).digest();
   }
   return digests;
 }
@@ -127,6 +176,11 @@ void expect_bit_identical(const graph::Graph& g, local::IdStrategy strategy,
   local::Network sequential(g, strategy, seed);
   std::size_t seq_rounds = 0;
   const auto expected = probe_digests(sequential, &seq_rounds);
+  // The legacy vector API must agree through the adapter too.
+  std::size_t legacy_rounds = 0;
+  EXPECT_EQ(probe_digests(sequential, &legacy_rounds, /*legacy=*/true),
+            expected);
+  EXPECT_EQ(legacy_rounds, seq_rounds);
   for (std::size_t threads : {1, 2, 8}) {
     ParallelNetwork parallel(g, strategy, seed, threads);
     EXPECT_EQ(parallel.uids(), sequential.uids());
@@ -134,6 +188,11 @@ void expect_bit_identical(const graph::Graph& g, local::IdStrategy strategy,
     const auto got = probe_digests(parallel, &par_rounds);
     EXPECT_EQ(par_rounds, seq_rounds) << "threads=" << threads;
     EXPECT_EQ(got, expected) << "threads=" << threads;
+    std::size_t par_legacy_rounds = 0;
+    EXPECT_EQ(probe_digests(parallel, &par_legacy_rounds, /*legacy=*/true),
+              expected)
+        << "threads=" << threads;
+    EXPECT_EQ(par_legacy_rounds, seq_rounds) << "threads=" << threads;
   }
 }
 
@@ -152,6 +211,14 @@ TEST(ParallelNetworkDeterminism, RandomBiregular) {
   Rng rng(5);
   const auto b = graph::gen::random_biregular(150, 300, 6, rng);
   expect_bit_identical(b.unified(), local::IdStrategy::kDegreeDescending, 9);
+}
+
+TEST(ParallelNetworkDeterminism, BarabasiAlbertSkew) {
+  // Preferential attachment: heavily skewed degrees, the worst case for
+  // shard balancing — hub nodes own a large share of all ports.
+  Rng rng(13);
+  const auto g = graph::gen::barabasi_albert(3000, 4, rng);
+  expect_bit_identical(g, local::IdStrategy::kRandomPermutation, 17);
 }
 
 TEST(ParallelNetworkDeterminism, StressHundredThousandNodes) {
@@ -236,6 +303,32 @@ TEST(ParallelNetwork, RoundStatsAreExact) {
     EXPECT_EQ(again[r].messages, stats[r].messages);
     EXPECT_EQ(again[r].payload_words, stats[r].payload_words);
     EXPECT_EQ(again[r].live_nodes, stats[r].live_nodes);
+  }
+}
+
+TEST(RoundStats, SequentialAndParallelExecutorsAgree) {
+  // The stats hook is part of the Executor interface now: the sequential
+  // Network must report the same per-round message/payload/live counts as
+  // the parallel executor for the same deterministic program.
+  Rng rng(31);
+  const auto g = graph::gen::gnp(200, 0.03, rng);
+  local::Network seq(g, local::IdStrategy::kSequential, 8);
+  ParallelNetwork par(g, local::IdStrategy::kSequential, 8, 3);
+  std::vector<RoundStats> seq_stats;
+  std::vector<RoundStats> par_stats;
+  seq.set_stats_sink([&](const RoundStats& s) { seq_stats.push_back(s); });
+  par.set_stats_sink([&](const RoundStats& s) { par_stats.push_back(s); });
+  const std::size_t seq_rounds = seq.run(probe_factory(), 100);
+  const std::size_t par_rounds = par.run(probe_factory(), 100);
+  EXPECT_EQ(seq_rounds, par_rounds);
+  ASSERT_EQ(seq_stats.size(), seq_rounds);
+  ASSERT_EQ(par_stats.size(), par_rounds);
+  for (std::size_t r = 0; r < seq_stats.size(); ++r) {
+    EXPECT_EQ(seq_stats[r].round, r);
+    EXPECT_EQ(par_stats[r].round, r);
+    EXPECT_EQ(seq_stats[r].live_nodes, par_stats[r].live_nodes) << r;
+    EXPECT_EQ(seq_stats[r].messages, par_stats[r].messages) << r;
+    EXPECT_EQ(seq_stats[r].payload_words, par_stats[r].payload_words) << r;
   }
 }
 
