@@ -23,7 +23,7 @@
 #include "mis/mis.hpp"
 #include "netdecomp/decomposition.hpp"
 #include "netdecomp/derandomize.hpp"
-#include "runtime/round_stats.hpp"
+#include "local/round_stats.hpp"
 #include "runtime/select.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
@@ -34,7 +34,9 @@ int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const auto degree = static_cast<std::size_t>(opts.get_int("degree", 8));
   // --runtime=parallel [--threads=N] runs the message-passing executions
-  // (Luby, trial coloring) on the sharded runtime; outputs are bit-identical.
+  // (Luby, trial coloring) on the sharded runtime, --runtime=mp
+  // [--workers=N] on the forked multi-process one; outputs are
+  // bit-identical.
   const auto runtime = runtime::runtime_from_options(opts);
   const auto executor = runtime::make_executor_factory(runtime);
   bool ok = true;
@@ -127,7 +129,7 @@ int main(int argc, char** argv) {
   }
   color_table.print(std::cout);
 
-  // Per-round executor trace (runtime::RoundStats) of the two randomized
+  // Per-round executor trace (local::RoundStats) of the two randomized
   // message-passing executions at the largest instance: how traffic decays
   // as nodes halt is the shape the runtime's sharding and arena sizing are
   // tuned against.
@@ -137,10 +139,10 @@ int main(int argc, char** argv) {
     const std::size_t n = 2048;
     Rng rng(opts.seed() + 97);
     const auto g = graph::gen::random_regular(n, degree, rng);
-    std::vector<runtime::RoundStats> trace;
+    std::vector<local::RoundStats> trace;
     const auto traced = runtime::make_executor_factory(
         runtime,
-        [&trace](const runtime::RoundStats& s) { trace.push_back(s); });
+        [&trace](const local::RoundStats& s) { trace.push_back(s); });
     const auto luby = mis::luby(g, opts.seed() + n, nullptr, 10000,
                                 local::IdStrategy::kSequential, traced);
     const std::size_t luby_rounds = trace.size();
@@ -152,7 +154,7 @@ int main(int argc, char** argv) {
     Table trace_table({"algo", "round", "live", "messages", "words",
                        "bytes"});
     for (std::size_t i = 0; i < trace.size(); ++i) {
-      const runtime::RoundStats& s = trace[i];
+      const local::RoundStats& s = trace[i];
       trace_table.row()
           .cell(i < luby_rounds ? "luby" : "trial-color")
           .num(s.round)

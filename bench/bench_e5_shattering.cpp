@@ -14,7 +14,7 @@
 #include "graph/generators.hpp"
 #include "local/executor.hpp"
 #include "local/network.hpp"
-#include "runtime/round_stats.hpp"
+#include "local/round_stats.hpp"
 #include "runtime/select.hpp"
 #include "splitting/shattering.hpp"
 #include "support/options.hpp"
@@ -30,7 +30,7 @@ namespace {
 /// color (red 1/4, blue 1/4, uncolored 1/2); left nodes seeing > 3/4
 /// colored neighbors broadcast an uncolor command; right nodes rebroadcast
 /// their final color, from which left nodes derive their (un)satisfaction.
-/// Run through a `local::Executor` so the per-round `runtime::RoundStats`
+/// Run through a `local::Executor` so the per-round `local::RoundStats`
 /// trace of the phase appears in the experiment table.
 class ShatterProgram final : public local::NodeProgram {
  public:
@@ -170,32 +170,36 @@ int main(int argc, char** argv) {
   }
   {
     // (c) The same phase as a LOCAL message-passing execution, traced per
-    // round through runtime::RoundStats (--runtime=parallel --threads=N to
+    // round through local::RoundStats (--runtime=parallel --threads=N to
     // run it on the sharded executor; the trace is bit-identical).
     const std::size_t nu = 512;
     const std::size_t nv = 1024;
     const std::size_t delta = 32;
     const auto b = graph::gen::random_biregular(nu, nv, delta, rng);
     const auto g = b.unified();
-    std::vector<runtime::RoundStats> trace;
+    std::vector<local::RoundStats> trace;
     const auto factory = runtime::make_executor_factory(
         runtime_config,
-        [&trace](const runtime::RoundStats& s) { trace.push_back(s); });
+        [&trace](const local::RoundStats& s) { trace.push_back(s); });
     const auto net = local::make_executor(factory, g,
                                           local::IdStrategy::kSequential,
                                           opts.seed() + 5);
-    std::vector<const ShatterProgram*> programs(g.num_nodes(), nullptr);
+    // Results come back through the executor's output gather — captured
+    // program pointers would dangle across the mp runtime's worker fleet.
+    net->set_output_fn([](graph::NodeId, const local::NodeProgram& p,
+                          std::vector<std::uint64_t>& out) {
+      out.push_back(
+          static_cast<const ShatterProgram&>(p).unsatisfied() ? 1 : 0);
+    });
     net->run(
-        [&](const local::NodeEnv& env)
+        [nu](const local::NodeEnv& env)
             -> std::unique_ptr<local::NodeProgram> {
-          auto p = std::make_unique<ShatterProgram>(env, env.node < nu);
-          programs[env.node] = p.get();
-          return p;
+          return std::make_unique<ShatterProgram>(env, env.node < nu);
         },
         8);
     std::size_t unsat = 0;
     for (graph::NodeId u = 0; u < nu; ++u) {
-      unsat += programs[u]->unsatisfied() ? 1 : 0;
+      unsat += net->outputs().value(u) != 0 ? 1 : 0;
     }
     const double rate = static_cast<double>(unsat) / static_cast<double>(nu);
     const double bound = splitting::shattering_unsatisfied_bound(
@@ -206,7 +210,7 @@ int main(int argc, char** argv) {
               << runtime::runtime_description(runtime_config)
               << "; Pr[unsat] = " << rate << ")\n";
     Table table({"round", "live", "messages", "words", "bytes"});
-    for (const runtime::RoundStats& s : trace) {
+    for (const local::RoundStats& s : trace) {
       table.row()
           .num(s.round)
           .num(s.live_nodes)

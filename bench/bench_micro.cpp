@@ -15,6 +15,7 @@
 #include "netdecomp/decomposition.hpp"
 #include "orient/euler.hpp"
 #include "graph/properties.hpp"
+#include "dist/distributed_network.hpp"
 #include "local/ids.hpp"
 #include "local/network.hpp"
 #include "orient/euler.hpp"
@@ -295,6 +296,31 @@ void BM_ParallelRoundsVectorSend(benchmark::State& state) {
 BENCHMARK(BM_ParallelRoundsVectorSend)
     ->Args({256, 8})
     ->Args({1024, 1})->Args({1024, 8})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Cross-runtime comparison on the same torus family: the multi-process
+// executor forks its worker fleet once per run() call, so the measured time
+// includes fork/teardown — the realistic per-execution cost of the mp
+// runtime against the sequential and thread-parallel numbers above.
+// Arg pair: torus side, worker count.
+void BM_DistributedRounds(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  const auto g = graph::gen::torus(side, side);
+  dist::DistributedConfig config;
+  config.workers = workers;
+  dist::DistributedNetwork net(g, local::IdStrategy::kSequential, 42, config);
+  for (auto _ : state) {
+    net.run(gossip_factory(), kGossipRounds + 1);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(g.num_nodes() * kGossipRounds));
+}
+BENCHMARK(BM_DistributedRounds)
+    ->Args({64, 1})->Args({64, 2})->Args({64, 4})
+    ->Args({256, 2})->Args({256, 4})
+    ->Args({1024, 2})->Args({1024, 4})
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

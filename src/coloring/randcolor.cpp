@@ -93,12 +93,15 @@ RandColorOutcome randomized_coloring(const graph::Graph& g,
                                      local::IdStrategy ids,
                                      const local::ExecutorFactory& executor) {
   const auto net = local::make_executor(executor, g, ids, seed);
-  std::vector<const TrialProgram*> programs(g.num_nodes(), nullptr);
+  // Results come back through the executor's output gather (the only
+  // channel that crosses the multi-process executor's worker boundary).
+  net->set_output_fn([](graph::NodeId, const local::NodeProgram& p,
+                        std::vector<std::uint64_t>& out) {
+    out.push_back(static_cast<const TrialProgram&>(p).color());
+  });
   const std::size_t rounds = net->run(
-      [&](const local::NodeEnv& env) {
-        auto p = std::make_unique<TrialProgram>(env);
-        programs[env.node] = p.get();
-        return p;
+      [](const local::NodeEnv& env) {
+        return std::make_unique<TrialProgram>(env);
       },
       max_rounds, meter);
 
@@ -106,7 +109,7 @@ RandColorOutcome randomized_coloring(const graph::Graph& g,
   outcome.executed_rounds = rounds;
   outcome.colors.resize(g.num_nodes());
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    outcome.colors[v] = programs[v]->color();
+    outcome.colors[v] = static_cast<std::uint32_t>(net->outputs().value(v));
     outcome.num_colors = std::max(outcome.num_colors, outcome.colors[v] + 1);
   }
   DS_CHECK_MSG(is_proper_coloring(g, outcome.colors),

@@ -1,0 +1,118 @@
+#include "dist/shm.hpp"
+
+#include <sys/mman.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <new>
+
+#include "support/check.hpp"
+
+namespace ds::dist {
+
+namespace {
+
+std::size_t round_up_to_page(std::size_t bytes) {
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ((bytes == 0 ? 1 : bytes) + page - 1) / page * page;
+}
+
+}  // namespace
+
+SharedRegion::SharedRegion(std::size_t bytes)
+    : size_(round_up_to_page(bytes)) {
+  int flags = MAP_SHARED | MAP_ANONYMOUS;
+#ifdef MAP_NORESERVE
+  flags |= MAP_NORESERVE;
+#endif
+  data_ = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, flags, -1, 0);
+  DS_CHECK_MSG(data_ != MAP_FAILED, "mmap of shared region failed");
+}
+
+SharedRegion::~SharedRegion() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+SharedRegion::SharedRegion(SharedRegion&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+SharedRegion& SharedRegion::operator=(SharedRegion&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void SharedBarrier::wait(const std::atomic<std::uint32_t>& abort_flag,
+                         const std::function<void()>* idle_poll) {
+  DS_CHECK_MSG(abort_flag.load(std::memory_order_acquire) == 0,
+               "distributed run aborted");
+  const std::uint32_t my_phase = phase.load(std::memory_order_acquire);
+  if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == parties) {
+    // Last arriver: reset the count and release the phase. The acq_rel RMW
+    // chain on `arrived` makes every participant's pre-barrier writes
+    // visible to anyone who acquires the new phase value.
+    arrived.store(0, std::memory_order_relaxed);
+    phase.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
+  // Waiters: workers usually outnumber cores (the whole point of a
+  // multi-process executor on one box), so escalate from yields to short
+  // sleeps instead of burning the core the releaser needs.
+  std::size_t spins = 0;
+  while (phase.load(std::memory_order_acquire) == my_phase) {
+    if (abort_flag.load(std::memory_order_acquire) != 0) {
+      DS_CHECK_MSG(false, "distributed run aborted while waiting at barrier");
+    }
+    ++spins;
+    if (spins < 64) {
+      // busy spin
+    } else if (spins < 4096) {
+      ::sched_yield();
+    } else {
+      if (idle_poll != nullptr && *idle_poll && spins % 16 == 0) {
+        (*idle_poll)();
+      }
+      struct timespec ts{0, 200'000};  // 200 microseconds
+      ::nanosleep(&ts, nullptr);
+    }
+  }
+  DS_CHECK_MSG(abort_flag.load(std::memory_order_acquire) == 0,
+               "distributed run aborted");
+}
+
+std::size_t ControlBlock::bytes(std::size_t workers) {
+  return sizeof(ControlBlock) + workers * sizeof(WorkerCounters);
+}
+
+WorkerCounters* ControlBlock::counters(std::size_t w) {
+  return reinterpret_cast<WorkerCounters*>(this + 1) + w;
+}
+
+void ControlBlock::reset(std::uint32_t parties, std::size_t workers) {
+  barrier.init(parties);
+  abort_flag.store(0, std::memory_order_relaxed);
+  msg_claimed.store(0, std::memory_order_relaxed);
+  abort_msg[0] = '\0';
+  for (std::size_t w = 0; w < workers; ++w) {
+    new (counters(w)) WorkerCounters();
+  }
+}
+
+void ControlBlock::raise_abort(const char* msg) {
+  if (msg_claimed.exchange(1, std::memory_order_acq_rel) == 0) {
+    std::strncpy(abort_msg, msg == nullptr ? "" : msg, kMsgCapacity - 1);
+    abort_msg[kMsgCapacity - 1] = '\0';
+  }
+  abort_flag.store(1, std::memory_order_release);
+}
+
+}  // namespace ds::dist

@@ -1,0 +1,149 @@
+#include "dist/transport.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace ds::dist {
+
+namespace {
+
+/// Floors keep degenerate partitions (few cut ports, tiny graphs) usable
+/// without tuning; both knobs can still be lowered to force the overflow
+/// path in tests.
+constexpr std::size_t kMinPairPayloadWords = 64;
+constexpr std::size_t kMinGatherWords = 64;
+
+}  // namespace
+
+HaloTransport::HaloTransport(const Partition& part,
+                             std::size_t halo_words_per_port,
+                             std::size_t gather_words_per_node)
+    : num_workers_(part.num_workers()),
+      part_(&part),
+      region_(0) {
+  const std::size_t w_count = num_workers_;
+  block_offset_.assign(w_count * w_count + 1, 0);
+  block_capacity_.assign(w_count * w_count, 0);
+  std::size_t words = 0;
+  for (std::size_t s = 0; s < w_count; ++s) {
+    for (std::size_t d = 0; d < w_count; ++d) {
+      block_offset_[s * w_count + d] = words;
+      const std::size_t cut = part.link(s, d).src_out_slots.size();
+      if (cut > 0) {
+        const std::size_t payload =
+            std::max(kMinPairPayloadWords, halo_words_per_port * cut);
+        block_capacity_[s * w_count + d] = payload;
+        words += cut + payload;  // lengths header + payload area
+      }
+    }
+  }
+  block_offset_.back() = words;
+
+  gather_offset_.assign(w_count + 1, 0);
+  for (std::size_t w = 0; w < w_count; ++w) {
+    gather_offset_[w] = words;
+    // Output rows are typically either constant-size (a color, a flag) or
+    // degree-proportional (per-port orientations), so reserve for both: one
+    // length word per node, the worker's full port count, and the per-node
+    // budget on top. Virtual memory only — generosity is free.
+    words += 1 + std::max(kMinGatherWords,
+                          part.num_nodes(w) + part.num_local_ports(w) +
+                              gather_words_per_node * part.num_nodes(w));
+  }
+  gather_offset_[w_count] = words;
+
+  region_ = SharedRegion(words * sizeof(std::uint64_t));
+}
+
+std::uint64_t* HaloTransport::block(std::size_t src, std::size_t dst) const {
+  return region_.as<std::uint64_t>() + block_offset_[src * num_workers_ + dst];
+}
+
+void HaloTransport::ship(std::size_t src,
+                         const local::MessageSpan* local_arena,
+                         const std::uint64_t* bank_words,
+                         std::uint64_t epoch) const {
+  const std::size_t halo_base = part_->num_local_ports(src);
+  for (std::size_t d = 0; d < num_workers_; ++d) {
+    const Partition::HaloLink& link = part_->link(src, d);
+    const std::size_t cut = link.src_out_slots.size();
+    if (cut == 0) continue;
+    std::uint64_t* lengths = block(src, d);
+    std::uint64_t* payload = lengths + cut;
+    const std::size_t capacity = block_capacity_[src * num_workers_ + d];
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < cut; ++i) {
+      const local::MessageSpan& span =
+          local_arena[halo_base + link.src_out_slots[i]];
+      if (span.epoch != epoch || span.length == 0) {
+        lengths[i] = 0;
+        continue;
+      }
+      DS_CHECK_MSG(used + span.length <= capacity,
+                   "halo exchange overflow (" + std::to_string(used) + " + " +
+                       std::to_string(span.length) + " > " +
+                       std::to_string(capacity) +
+                       " words); raise DistributedConfig::halo_words_per_port");
+      lengths[i] = span.length;
+      std::memcpy(payload + used, bank_words + span.offset,
+                  span.length * sizeof(std::uint64_t));
+      used += span.length;
+    }
+  }
+}
+
+void HaloTransport::patch(std::size_t dst, local::MessageSpan* local_arena,
+                          std::uint64_t epoch) const {
+  for (std::size_t s = 0; s < num_workers_; ++s) {
+    const Partition::HaloLink& link = part_->link(s, dst);
+    const std::size_t cut = link.dst_slots.size();
+    if (cut == 0) continue;
+    const std::uint64_t* lengths = block(s, dst);
+    std::uint64_t offset = 0;
+    const auto bank = static_cast<std::uint32_t>(1 + s);
+    for (std::size_t i = 0; i < cut; ++i) {
+      const std::uint64_t len = lengths[i];
+      if (len == 0) continue;  // stale span in the dst arena stays ignored
+      local_arena[link.dst_slots[i]] = local::MessageSpan{
+          offset, epoch, static_cast<std::uint32_t>(len), bank};
+      offset += len;
+    }
+  }
+}
+
+std::vector<const std::uint64_t*> HaloTransport::bank_bases(
+    std::size_t w, const std::uint64_t* own_bank) const {
+  std::vector<const std::uint64_t*> bases(1 + num_workers_, nullptr);
+  bases[0] = own_bank;
+  for (std::size_t s = 0; s < num_workers_; ++s) {
+    const std::size_t cut = part_->link(s, w).src_out_slots.size();
+    if (cut == 0) continue;  // no spans carry this bank index
+    bases[1 + s] = block(s, w) + cut;  // payload area after the lengths
+  }
+  return bases;
+}
+
+void HaloTransport::write_gather(std::size_t w,
+                                 const std::vector<std::uint64_t>& words) {
+  std::uint64_t* base = region_.as<std::uint64_t>() + gather_offset_[w];
+  const std::size_t capacity = gather_offset_[w + 1] - gather_offset_[w] - 1;
+  DS_CHECK_MSG(words.size() <= capacity,
+               "output gather overflow (" + std::to_string(words.size()) +
+                   " > " + std::to_string(capacity) +
+                   " words); raise DistributedConfig::gather_words_per_node");
+  base[0] = words.size();
+  if (!words.empty()) {
+    std::memcpy(base + 1, words.data(), words.size() * sizeof(std::uint64_t));
+  }
+}
+
+std::pair<const std::uint64_t*, std::size_t> HaloTransport::read_gather(
+    std::size_t w) const {
+  const std::uint64_t* base = region_.as<std::uint64_t>() + gather_offset_[w];
+  return {base + 1, static_cast<std::size_t>(base[0])};
+}
+
+}  // namespace ds::dist

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file transport.hpp
+/// The shared-memory halo exchange of the multi-process executor.
+///
+/// One `HaloTransport` owns a single fork-shared region holding, for every
+/// ordered worker pair (s, d) with cut traffic, an exchange *block*, plus
+/// one *gather block* per worker for end-of-run output collection.
+///
+/// Exchange block layout (all 64-bit words), written by s and read by d
+/// once per round, with the executor's barriers ordering the two sides:
+///
+///     [ lengths: one word per cut port, canonical Partition order ]
+///     [ payload: the non-empty messages' words, concatenated       ]
+///
+/// The canonical cut-port order of `Partition::link(s, d)` is known to both
+/// sides, so no per-message routing metadata is shipped — a length of 0
+/// means "no (or an empty) message on that cut port this round", which is
+/// exactly the arena's own convention. Delivery is zero-copy on the receive
+/// side: `patch` points the destination's span arena straight into the
+/// shared payload area, and the `local::Inbox` borrows the words from
+/// there like from any other word bank.
+///
+/// Capacity is reserved up front (virtual memory only, MAP_NORESERVE):
+/// `halo_words_per_port` payload words per cut port. A round whose cut
+/// traffic exceeds the reservation fails loudly with the knob's name —
+/// growing a mapping that N forked processes share cannot be done safely
+/// mid-round.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dist/partition.hpp"
+#include "dist/shm.hpp"
+#include "local/message_arena.hpp"
+
+namespace ds::dist {
+
+class HaloTransport {
+ public:
+  /// Lays out and maps the exchange + gather blocks for `part`. Must run in
+  /// the parent before fork(). `halo_words_per_port` bounds one round's
+  /// payload per cut port on average; gather blocks get one worker-port
+  /// budget (degree-proportional rows fit by construction) plus
+  /// `gather_words_per_node` on top (both have small floors so tiny graphs
+  /// with chatty programs still fit).
+  HaloTransport(const Partition& part, std::size_t halo_words_per_port,
+                std::size_t gather_words_per_node);
+
+  /// Serializes worker src's staged out-halo spans into its exchange
+  /// blocks. `local_arena` is src's local span arena (out-halo slots start
+  /// at `part.num_local_ports(src)`), `bank_words` its word bank base, and
+  /// `epoch` the current round tag (spans with another tag ship length 0).
+  void ship(std::size_t src, const local::MessageSpan* local_arena,
+            const std::uint64_t* bank_words, std::uint64_t epoch) const;
+
+  /// Delivers every peer's shipped messages into worker dst's local span
+  /// arena (zero-copy: spans point into the shared payload areas, tagged
+  /// with `epoch` and the per-source halo bank index `1 + src`).
+  void patch(std::size_t dst, local::MessageSpan* local_arena,
+             std::uint64_t epoch) const;
+
+  /// Word-bank base table for worker w's `local::Inbox`s: index 0 is
+  /// `own_bank`, index 1 + src the shared payload area of src's block
+  /// toward w (null when src sends nothing to w). Rebuild each round —
+  /// `own_bank` moves when the private bank reallocates.
+  [[nodiscard]] std::vector<const std::uint64_t*> bank_bases(
+      std::size_t w, const std::uint64_t* own_bank) const;
+
+  /// Copies worker w's serialized output rows into its gather block.
+  /// Layout: word 0 = total words that follow, then the rows.
+  void write_gather(std::size_t w, const std::vector<std::uint64_t>& words);
+
+  /// Worker w's gather payload (pointer to the rows, count from word 0).
+  [[nodiscard]] std::pair<const std::uint64_t*, std::size_t> read_gather(
+      std::size_t w) const;
+
+ private:
+  /// First word of the (src, dst) exchange block; 0 capacity when cut-free.
+  [[nodiscard]] std::uint64_t* block(std::size_t src, std::size_t dst) const;
+
+  std::size_t num_workers_;
+  const Partition* part_;
+  /// Word offsets of each ordered pair's block inside the region, dense
+  /// src * W + dst; equal consecutive offsets mean an empty (cut-free) pair.
+  std::vector<std::size_t> block_offset_;
+  std::vector<std::size_t> block_capacity_;  ///< payload words per pair
+  std::vector<std::size_t> gather_offset_;   ///< per worker, size W + 1
+  SharedRegion region_;
+};
+
+}  // namespace ds::dist

@@ -1,0 +1,20 @@
+#include "local/executor.hpp"
+
+namespace ds::local {
+
+void Executor::collect_outputs_from_programs() {
+  if (!output_fn_) {
+    outputs_.clear();
+    return;
+  }
+  const std::size_t n = graph().num_nodes();
+  outputs_.start(n);
+  std::vector<std::uint64_t> row;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    row.clear();
+    output_fn_(v, program(v), row);
+    outputs_.append_row(row.data(), row.size());
+  }
+}
+
+}  // namespace ds::local

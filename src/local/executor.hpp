@@ -16,14 +16,73 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "local/cost.hpp"
+#include "local/message_arena.hpp"
 #include "local/program.hpp"
 #include "local/round_stats.hpp"
 #include "local/topology.hpp"
 
 namespace ds::local {
+
+/// Serializes the output of one node's final program state, appending words
+/// to `out` (cleared by the caller per node). Runs in whatever thread or
+/// *process* owns the node — the multi-process executor invokes it inside
+/// the owning worker and ships only the words — so it must be a pure
+/// function of (node, program): side effects on captured state are not
+/// observable after `run()` returns.
+using OutputFn = std::function<void(graph::NodeId, const NodeProgram&,
+                                    std::vector<std::uint64_t>&)>;
+
+/// Per-node output rows gathered after a run, CSR-packed (one flat word
+/// vector plus offsets). This — not `Executor::program` — is the
+/// executor-portable way to read results: on the multi-process executor
+/// only the owning worker holds a node's program instance.
+class OutputTable {
+ public:
+  /// Starts a fresh table expecting `n` rows appended in node order.
+  void start(std::size_t n) {
+    words_.clear();
+    offsets_.clear();
+    offsets_.reserve(n + 1);
+    offsets_.push_back(0);
+  }
+  void clear() {
+    words_.clear();
+    offsets_.clear();
+  }
+  /// Appends node `offsets.size() - 1`'s row.
+  void append_row(const std::uint64_t* words, std::size_t count) {
+    words_.insert(words_.end(), words, words + count);
+    offsets_.push_back(words_.size());
+  }
+
+  /// True once rows have been gathered (i.e. an OutputFn was installed
+  /// before the last run).
+  [[nodiscard]] bool ready() const { return !offsets_.empty(); }
+  [[nodiscard]] std::size_t size() const {
+    return ready() ? offsets_.size() - 1 : 0;
+  }
+  /// Node v's serialized output words.
+  [[nodiscard]] MessageView row(graph::NodeId v) const {
+    DS_CHECK_MSG(ready(), "no outputs gathered: set_output_fn before run()");
+    DS_CHECK(v + 1 < offsets_.size());
+    return {words_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+  /// Convenience for single-word rows.
+  [[nodiscard]] std::uint64_t value(graph::NodeId v) const {
+    const MessageView r = row(v);
+    DS_CHECK(r.size() == 1);
+    return r[0];
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::vector<std::size_t> offsets_;
+};
 
 /// A synchronous executor bound to one communication graph.
 class Executor {
@@ -48,12 +107,37 @@ class Executor {
   /// Installs (or clears, with {}) the per-round stats hook for future runs.
   virtual void set_stats_sink(RoundStatsSink sink) = 0;
 
+  /// Installs (or clears, with {}) the per-node output serializer applied
+  /// at the end of future runs; read the result via `outputs()`. This is
+  /// the only result channel that works on every executor — the
+  /// multi-process one runs the serializer inside the owning worker.
+  void set_output_fn(OutputFn fn) { output_fn_ = std::move(fn); }
+
+  /// The gathered per-node outputs of the most recent run. Throws unless an
+  /// OutputFn was installed before that run.
+  [[nodiscard]] const OutputTable& outputs() const {
+    DS_CHECK_MSG(outputs_.ready(),
+                 "no outputs gathered: set_output_fn before run()");
+    return outputs_;
+  }
+
   [[nodiscard]] const graph::Graph& graph() const {
     return topology().graph();
   }
   [[nodiscard]] const std::vector<std::uint64_t>& uids() const {
     return topology().uids();
   }
+
+ protected:
+  /// Rebuilds `outputs_` by applying the installed OutputFn to every
+  /// program of the most recent run (via the virtual `program()`); clears
+  /// the table when no OutputFn is installed. In-process executors call
+  /// this at the end of run(); the multi-process executor gathers rows from
+  /// its workers instead.
+  void collect_outputs_from_programs();
+
+  OutputFn output_fn_;
+  OutputTable outputs_;
 };
 
 /// Factory producing an executor for a concrete (graph, strategy, seed).

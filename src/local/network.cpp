@@ -73,6 +73,7 @@ std::size_t Network::run(const ProgramFactory& factory, std::size_t max_rounds,
     }
     ++round;
   }
+  collect_outputs_from_programs();
   if (meter != nullptr) meter->add_executed(round);
   return round;
 }

@@ -77,12 +77,15 @@ MisOutcome luby(const graph::Graph& g, std::uint64_t seed,
                 local::CostMeter* meter, std::size_t max_rounds,
                 local::IdStrategy ids, const local::ExecutorFactory& executor) {
   const auto net = local::make_executor(executor, g, ids, seed);
-  std::vector<const LubyProgram*> programs(g.num_nodes(), nullptr);
+  // Results come back through the executor's output gather (the only
+  // channel that crosses the multi-process executor's worker boundary).
+  net->set_output_fn([](graph::NodeId, const local::NodeProgram& p,
+                        std::vector<std::uint64_t>& out) {
+    out.push_back(static_cast<const LubyProgram&>(p).in_mis() ? 1 : 0);
+  });
   const std::size_t rounds = net->run(
-      [&](const local::NodeEnv& env) {
-        auto p = std::make_unique<LubyProgram>(env);
-        programs[env.node] = p.get();
-        return p;
+      [](const local::NodeEnv& env) {
+        return std::make_unique<LubyProgram>(env);
       },
       max_rounds, meter);
 
@@ -91,7 +94,7 @@ MisOutcome luby(const graph::Graph& g, std::uint64_t seed,
   outcome.phases = (rounds + 1) / 2;
   outcome.in_mis.resize(g.num_nodes());
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    outcome.in_mis[v] = programs[v]->in_mis();
+    outcome.in_mis[v] = net->outputs().value(v) != 0;
   }
   DS_CHECK_MSG(coloring::is_mis(g, outcome.in_mis),
                "Luby produced an invalid MIS");

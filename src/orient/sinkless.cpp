@@ -131,6 +131,7 @@ class SinkFixProgram final : public local::NodeProgram {
   [[nodiscard]] bool done() const override {
     return halted_ || env_.degree == 0;
   }
+  [[nodiscard]] std::size_t degree() const { return env_.degree; }
   [[nodiscard]] bool out_on_port(std::size_t p) const { return out_[p]; }
 
  private:
@@ -172,19 +173,25 @@ SinklessOutcome sinkless_program(const graph::Graph& g, std::uint64_t seed,
   for (std::size_t trial = 0; trial < max_trials; ++trial) {
     const auto net = local::make_executor(
         executor, g, local::IdStrategy::kSequential, seed + trial);
-    std::vector<const SinkFixProgram*> programs(g.num_nodes(), nullptr);
+    // Per-node output row: the final per-port orientation bits, gathered
+    // through the executor (works across the multi-process worker fleet).
+    net->set_output_fn([](graph::NodeId, const local::NodeProgram& p,
+                          std::vector<std::uint64_t>& out) {
+      const auto& prog = static_cast<const SinkFixProgram&>(p);
+      for (std::size_t port = 0; port < prog.degree(); ++port) {
+        out.push_back(prog.out_on_port(port) ? 1 : 0);
+      }
+    });
     outcome.executed_rounds += net->run(
-        [&](const local::NodeEnv& env) {
-          auto p = std::make_unique<SinkFixProgram>(env, min_degree, budget);
-          programs[env.node] = p.get();
-          return p;
+        [min_degree, budget](const local::NodeEnv& env) {
+          return std::make_unique<SinkFixProgram>(env, min_degree, budget);
         },
         budget + 2, meter);
     outcome.trials = trial + 1;
     outcome.toward_v.resize(g.num_edges());
     for (std::size_t e = 0; e < g.num_edges(); ++e) {
       const graph::Edge& ed = g.edges()[e];
-      outcome.toward_v[e] = programs[ed.u]->out_on_port(port_at_u[e]);
+      outcome.toward_v[e] = net->outputs().row(ed.u)[port_at_u[e]] != 0;
     }
     if (is_sinkless(g, outcome.toward_v, min_degree)) return outcome;
   }

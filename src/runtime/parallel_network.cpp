@@ -9,41 +9,6 @@
 
 namespace ds::runtime {
 
-std::vector<graph::NodeId> degree_balanced_boundaries(
-    const std::vector<std::size_t>& port_offsets, std::size_t num_shards) {
-  DS_CHECK_MSG(!port_offsets.empty(),
-               "port_offsets must have n + 1 entries (>= 1)");
-  const std::size_t n = port_offsets.size() - 1;
-  std::vector<graph::NodeId> bounds;
-  if (num_shards == 0) {
-    DS_CHECK_MSG(n == 0, "zero shards are only valid for an empty node set");
-    bounds.push_back(0);
-    return bounds;
-  }
-  bounds.reserve(num_shards + 1);
-  bounds.push_back(0);
-  const std::size_t total = port_offsets.back();
-  for (std::size_t s = 1; s < num_shards; ++s) {
-    std::size_t b;
-    if (total == 0) {
-      // No edges: fall back to node-balanced splitting.
-      b = n * s / num_shards;
-    } else {
-      // Smallest node whose CSR offset reaches the s-th equal port quota;
-      // targets and offsets are both non-decreasing, so boundaries are too.
-      const std::size_t target = total * s / num_shards;
-      b = static_cast<std::size_t>(
-          std::lower_bound(port_offsets.begin(), port_offsets.end(), target) -
-          port_offsets.begin());
-    }
-    b = std::max<std::size_t>(b, bounds.back());
-    b = std::min(b, n);
-    bounds.push_back(static_cast<graph::NodeId>(b));
-  }
-  bounds.push_back(static_cast<graph::NodeId>(n));
-  return bounds;
-}
-
 std::size_t ParallelNetwork::resolve_threads(std::size_t num_threads) {
   if (num_threads != 0) return num_threads;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -61,7 +26,8 @@ ParallelNetwork::ParallelNetwork(const graph::Graph& g,
   // the message work into one shard.
   const std::size_t num_shards =
       n == 0 ? 0 : std::min<std::size_t>(n, pool_.num_threads() * 4);
-  bounds_ = degree_balanced_boundaries(topology_.port_offsets(), num_shards);
+  bounds_ = dist::degree_balanced_boundaries(topology_.port_offsets(),
+                                             num_shards);
   for (auto& banks : banks_) banks.resize(num_shards);
   for (auto& arena : span_arenas_) arena.resize(topology_.total_ports());
   read_bases_.resize(num_shards);
@@ -137,6 +103,7 @@ std::size_t ParallelNetwork::run(const local::ProgramFactory& factory,
   std::size_t alive = 0;
   for (const ShardCounters& c : counters_) alive += c.not_done;
   if (alive == 0) {
+    collect_outputs_from_programs();
     if (meter != nullptr) meter->add_executed(0);
     return 0;
   }
@@ -201,6 +168,7 @@ std::size_t ParallelNetwork::run(const local::ProgramFactory& factory,
       // only after a final send — the sequential executor then counts that
       // farewell round too).
       const std::size_t rounds = senders > 0 ? r + 1 : r;
+      collect_outputs_from_programs();
       if (meter != nullptr) meter->add_executed(rounds);
       return rounds;
     }

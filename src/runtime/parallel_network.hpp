@@ -52,6 +52,7 @@
 #include <utility>
 #include <vector>
 
+#include "dist/partition.hpp"
 #include "graph/graph.hpp"
 #include "local/cost.hpp"
 #include "local/executor.hpp"
@@ -64,16 +65,10 @@
 
 namespace ds::runtime {
 
-/// Splits the nodes of a CSR port-offset table (size n + 1, offsets[n] =
-/// total ports) into `num_shards` contiguous ranges of roughly equal total
-/// port count. Returns the n+1-free boundary list b of size num_shards + 1:
-/// shard s owns nodes [b[s], b[s+1]), b[0] = 0, b[num_shards] = n, and the
-/// boundaries are non-decreasing — every node lands in exactly one shard.
-/// Falls back to node-balanced splitting when the graph has no edges.
-std::vector<graph::NodeId> degree_balanced_boundaries(
-    const std::vector<std::size_t>& port_offsets, std::size_t num_shards);
-
 /// Multi-threaded synchronous executor on a fixed communication graph.
+/// Shard boundaries come from `dist::degree_balanced_boundaries` — the same
+/// splitting rule the multi-process `dist::DistributedNetwork` partitions
+/// by.
 class ParallelNetwork final : public local::Executor {
  public:
   /// Builds the executor over `g` with IDs per `strategy` and per-node
@@ -111,6 +106,13 @@ class ParallelNetwork final : public local::Executor {
   /// diagnostics.
   [[nodiscard]] const std::vector<graph::NodeId>& shard_boundaries() const {
     return bounds_;
+  }
+
+  /// Edge-cut statistics of the shard split (same struct the multi-process
+  /// executor reports for its partition).
+  [[nodiscard]] dist::PartitionStats shard_stats() const {
+    return dist::partition_stats(topology_.graph(), topology_.port_offsets(),
+                                 bounds_);
   }
 
  private:

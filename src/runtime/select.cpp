@@ -1,58 +1,103 @@
 #include "runtime/select.hpp"
 
+#include "dist/distributed_network.hpp"
 #include "local/network.hpp"
 #include "runtime/parallel_network.hpp"
 #include "support/check.hpp"
 
 namespace ds::runtime {
 
+namespace {
+
+std::unique_ptr<local::Executor> build_executor(const RuntimeConfig& config,
+                                                const graph::Graph& g,
+                                                local::IdStrategy strategy,
+                                                std::uint64_t seed) {
+  switch (config.kind) {
+    case RuntimeKind::kParallel:
+      return std::make_unique<ParallelNetwork>(g, strategy, seed,
+                                               config.threads);
+    case RuntimeKind::kMultiProcess: {
+      dist::DistributedConfig dconfig;
+      dconfig.workers = config.workers;
+      if (config.halo_words != 0) {
+        dconfig.halo_words_per_port = config.halo_words;
+      }
+      if (config.gather_words != 0) {
+        dconfig.gather_words_per_node = config.gather_words;
+      }
+      return std::make_unique<dist::DistributedNetwork>(g, strategy, seed,
+                                                        dconfig);
+    }
+    case RuntimeKind::kSequential:
+      break;
+  }
+  return std::make_unique<local::Network>(g, strategy, seed);
+}
+
+}  // namespace
+
 RuntimeConfig runtime_from_options(const Options& opts) {
   RuntimeConfig config;
   const std::string name = opts.get("runtime", "sequential");
   if (name == "parallel") {
-    config.parallel = true;
+    config.kind = RuntimeKind::kParallel;
+  } else if (name == "mp") {
+    config.kind = RuntimeKind::kMultiProcess;
   } else {
     DS_CHECK_MSG(name == "sequential",
-                 "--runtime must be 'sequential' or 'parallel'");
+                 "--runtime must be 'sequential', 'parallel' or 'mp'");
   }
   const long long threads = opts.get_int("threads", 0);
   DS_CHECK_MSG(threads >= 0, "--threads must be >= 0");
   config.threads = static_cast<std::size_t>(threads);
+  const long long workers = opts.get_int("workers", 0);
+  DS_CHECK_MSG(workers >= 0, "--workers must be >= 0");
+  config.workers = static_cast<std::size_t>(workers);
+  const long long halo_words = opts.get_int("halo-words", 0);
+  DS_CHECK_MSG(halo_words >= 0, "--halo-words must be >= 0");
+  config.halo_words = static_cast<std::size_t>(halo_words);
+  const long long gather_words = opts.get_int("gather-words", 0);
+  DS_CHECK_MSG(gather_words >= 0, "--gather-words must be >= 0");
+  config.gather_words = static_cast<std::size_t>(gather_words);
   return config;
 }
 
 local::ExecutorFactory make_executor_factory(const RuntimeConfig& config) {
-  if (!config.parallel) return {};
-  const std::size_t threads = config.threads;
-  return [threads](const graph::Graph& g, local::IdStrategy strategy,
-                   std::uint64_t seed) -> std::unique_ptr<local::Executor> {
-    return std::make_unique<ParallelNetwork>(g, strategy, seed, threads);
+  if (config.kind == RuntimeKind::kSequential) return {};
+  return [config](const graph::Graph& g, local::IdStrategy strategy,
+                  std::uint64_t seed) -> std::unique_ptr<local::Executor> {
+    return build_executor(config, g, strategy, seed);
   };
 }
 
 local::ExecutorFactory make_executor_factory(const RuntimeConfig& config,
                                              local::RoundStatsSink sink) {
   if (!sink) return make_executor_factory(config);
-  const bool parallel = config.parallel;
-  const std::size_t threads = config.threads;
-  return [parallel, threads, sink = std::move(sink)](
+  return [config, sink = std::move(sink)](
              const graph::Graph& g, local::IdStrategy strategy,
              std::uint64_t seed) -> std::unique_ptr<local::Executor> {
-    std::unique_ptr<local::Executor> exec;
-    if (parallel) {
-      exec = std::make_unique<ParallelNetwork>(g, strategy, seed, threads);
-    } else {
-      exec = std::make_unique<local::Network>(g, strategy, seed);
-    }
+    auto exec = build_executor(config, g, strategy, seed);
     exec->set_stats_sink(sink);
     return exec;
   };
 }
 
 std::string runtime_description(const RuntimeConfig& config) {
-  if (!config.parallel) return "sequential";
-  const std::size_t threads = ParallelNetwork::resolve_threads(config.threads);
-  return "parallel(" + std::to_string(threads) + " threads)";
+  switch (config.kind) {
+    case RuntimeKind::kParallel:
+      return "parallel(" +
+             std::to_string(ParallelNetwork::resolve_threads(config.threads)) +
+             " threads)";
+    case RuntimeKind::kMultiProcess:
+      return "mp(" +
+             std::to_string(
+                 dist::DistributedNetwork::resolve_workers(config.workers)) +
+             " workers)";
+    case RuntimeKind::kSequential:
+      break;
+  }
+  return "sequential";
 }
 
 }  // namespace ds::runtime

@@ -2,10 +2,12 @@
 
 /// \file select.hpp
 /// Runtime selection of the LOCAL-model executor for experiment binaries:
-/// `--runtime=sequential|parallel` and `--threads=N` map to an
-/// `local::ExecutorFactory` that algorithm entry points accept.
+/// `--runtime=sequential|parallel|mp`, `--threads=N` (parallel) and
+/// `--workers=N` (mp) map to an `local::ExecutorFactory` that algorithm
+/// entry points accept.
 
 #include <cstddef>
+#include <string>
 
 #include "local/executor.hpp"
 #include "local/round_stats.hpp"
@@ -13,19 +15,32 @@
 
 namespace ds::runtime {
 
-/// Executor choice of one binary invocation.
-struct RuntimeConfig {
-  bool parallel = false;    ///< false = sequential local::Network
-  std::size_t threads = 0;  ///< 0 = hardware concurrency (parallel only)
+/// The selectable LOCAL executors.
+enum class RuntimeKind {
+  kSequential,    ///< local::Network (the reference implementation)
+  kParallel,      ///< runtime::ParallelNetwork (thread-sharded)
+  kMultiProcess,  ///< dist::DistributedNetwork (forked workers + halo)
 };
 
-/// Parses `--runtime=sequential|parallel` (default sequential) and
-/// `--threads=N`. Throws ds::CheckError on an unknown runtime name.
+/// Executor choice of one binary invocation.
+struct RuntimeConfig {
+  RuntimeKind kind = RuntimeKind::kSequential;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency (parallel only)
+  std::size_t workers = 0;  ///< 0 = hardware concurrency (mp only)
+  /// mp transport reservations; 0 = the DistributedConfig defaults. Raise
+  /// when a run aborts with a halo/gather overflow naming these knobs.
+  std::size_t halo_words = 0;
+  std::size_t gather_words = 0;
+};
+
+/// Parses `--runtime=sequential|parallel|mp` (default sequential),
+/// `--threads=N`, `--workers=N` and the mp overflow knobs `--halo-words=N`
+/// / `--gather-words=N`. Throws ds::CheckError on an unknown runtime name.
 RuntimeConfig runtime_from_options(const Options& opts);
 
 /// Factory honoring `config`: an empty factory for the sequential runtime
-/// (algorithms then default to `local::Network`), a `ParallelNetwork`
-/// factory otherwise.
+/// (algorithms then default to `local::Network`), a `ParallelNetwork` or
+/// `DistributedNetwork` factory otherwise.
 local::ExecutorFactory make_executor_factory(const RuntimeConfig& config);
 
 /// Like the above, but every executor the factory creates gets `sink`
@@ -36,7 +51,11 @@ local::ExecutorFactory make_executor_factory(const RuntimeConfig& config);
 local::ExecutorFactory make_executor_factory(const RuntimeConfig& config,
                                              local::RoundStatsSink sink);
 
-/// Human-readable description, e.g. "sequential" or "parallel(8 threads)".
+/// Human-readable description of the *requested* config, e.g. "sequential",
+/// "parallel(8 threads)" or "mp(4 workers)". The mp executor additionally
+/// clamps its worker count to each instance's node count — use
+/// `dist::DistributedNetwork::resolve_workers(workers, n)` when reporting
+/// per-instance numbers.
 std::string runtime_description(const RuntimeConfig& config);
 
 }  // namespace ds::runtime

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file determinism_probe.hpp
+/// The shared cross-executor determinism probe: a program with staggered
+/// halting, per-node randomness, and a mix of empty and non-empty messages —
+/// sensitive to any delivery, ordering, or stale-slot bug in an executor.
+/// The digest is the full per-node history. The logic exists in a
+/// writer-API and a legacy vector-API flavor so the determinism suites also
+/// pin the adapter. Used by tests/test_runtime.cpp (thread-parallel
+/// executor) and tests/test_dist.cpp (multi-process executor) so the two
+/// suites cannot drift apart.
+
+#include <memory>
+#include <vector>
+
+#include "local/program.hpp"
+#include "support/rng.hpp"
+
+namespace ds::probes {
+
+class ProbeBase : public local::NodeProgram {
+ public:
+  explicit ProbeBase(const local::NodeEnv& env)
+      : env_(env), limit_(2 + env.uid % 5), state_(env.uid) {}
+
+  [[nodiscard]] bool done() const override { return halted_; }
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+
+ protected:
+  // Some ports deliberately stay silent some rounds.
+  [[nodiscard]] bool silent(std::size_t round, std::size_t p) const {
+    return (env_.uid + round + p) % 3 == 0;
+  }
+  [[nodiscard]] std::uint64_t word(std::size_t round, std::size_t i) const {
+    return i == 0 ? state_
+                  : (i == 1 ? env_.uid ^ (round * 0x9E37ull) : 0);
+  }
+  void absorb(std::size_t p, std::uint64_t w) {
+    state_ = splitmix64(state_ ^ w ^ (p * 31));
+  }
+  void finish_round(std::size_t round) {
+    state_ ^= env_.rng.next_raw();
+    digest_ = splitmix64(digest_ ^ state_ ^ round);
+    if (round + 1 >= limit_) halted_ = true;
+  }
+
+  local::NodeEnv env_;
+
+ private:
+  std::size_t limit_;
+  std::uint64_t state_;
+  std::uint64_t digest_ = 0x1234u;
+  bool halted_ = false;
+};
+
+class WriterProbe final : public ProbeBase {
+ public:
+  using ProbeBase::ProbeBase;
+
+  void send(std::size_t round, local::Outbox& out) override {
+    for (std::size_t p = 0; p < env_.degree; ++p) {
+      if (silent(round, p)) continue;
+      out.write(p, {word(round, 0), word(round, 1),
+                    static_cast<std::uint64_t>(p)});
+    }
+  }
+
+  void receive(std::size_t round, const local::Inbox& inbox) override {
+    for (std::size_t p = 0; p < inbox.size(); ++p) {
+      for (std::uint64_t w : inbox[p]) absorb(p, w);
+    }
+    finish_round(round);
+  }
+};
+
+class LegacyProbe final : public ProbeBase {
+ public:
+  using ProbeBase::ProbeBase;
+
+  std::vector<local::Message> send_messages(std::size_t round) override {
+    std::vector<local::Message> out(env_.degree);
+    for (std::size_t p = 0; p < env_.degree; ++p) {
+      if (silent(round, p)) continue;
+      out[p] = {word(round, 0), word(round, 1),
+                static_cast<std::uint64_t>(p)};
+    }
+    return out;
+  }
+
+  void receive_messages(std::size_t round,
+                        const std::vector<local::Message>& inbox) override {
+    for (std::size_t p = 0; p < inbox.size(); ++p) {
+      for (std::uint64_t w : inbox[p]) absorb(p, w);
+    }
+    finish_round(round);
+  }
+};
+
+inline local::ProgramFactory probe_factory(bool legacy = false) {
+  if (legacy) {
+    return [](const local::NodeEnv& env) -> std::unique_ptr<local::NodeProgram> {
+      return std::make_unique<LegacyProbe>(env);
+    };
+  }
+  return [](const local::NodeEnv& env) -> std::unique_ptr<local::NodeProgram> {
+    return std::make_unique<WriterProbe>(env);
+  };
+}
+
+}  // namespace ds::probes

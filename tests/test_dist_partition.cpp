@@ -1,0 +1,237 @@
+// Tests for dist::Partition and the halo routing tables: fuzzing on
+// gnp / Barabási–Albert / geometric instances asserting that every edge is
+// either internal or appears exactly once in each endpoint's halo table,
+// degenerate shapes (n < workers, isolated nodes, a single hub star), the
+// shared degree-balanced boundary helper, PartitionStats, and an in-process
+// ship/patch roundtrip of the HaloTransport.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "dist/partition.hpp"
+#include "dist/transport.hpp"
+#include "graph/generators.hpp"
+#include "local/topology.hpp"
+#include "runtime/parallel_network.hpp"
+#include "support/check.hpp"
+
+namespace ds::dist {
+namespace {
+
+/// Asserts the full Partition invariant set on one (graph, workers) pair:
+/// boundary cover, delivery-table consistency, and — for every cut edge —
+/// exactly one entry in each endpoint's halo link, with matching canonical
+/// positions on both sides.
+void check_partition(const graph::Graph& g, std::size_t workers) {
+  const local::NetworkTopology topo(g, local::IdStrategy::kSequential, 1);
+  const Partition part(topo, workers);
+
+  // Boundaries cover [0, n) without overlap.
+  const auto& bounds = part.boundaries();
+  ASSERT_EQ(bounds.size(), workers + 1);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), g.num_nodes());
+  for (std::size_t w = 0; w < workers; ++w) {
+    EXPECT_LE(part.first_node(w), part.last_node(w));
+    for (graph::NodeId v = part.first_node(w); v < part.last_node(w); ++v) {
+      EXPECT_EQ(part.owner(v), w);
+    }
+  }
+
+  // Walk every directed port of every worker and classify it through the
+  // local delivery table; collect the cut ports each ordered pair routes.
+  std::size_t internal_ports = 0;
+  // (src worker, dst worker) -> set of global source ports routed out-halo.
+  std::map<std::pair<std::size_t, std::size_t>, std::set<std::size_t>> cut;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const auto& table = part.local_delivery(w);
+    ASSERT_EQ(table.size(), part.num_local_ports(w));
+    std::set<std::size_t> seen_out_slots;
+    for (graph::NodeId v = part.first_node(w); v < part.last_node(w); ++v) {
+      for (std::size_t p = 0; p < g.degree(v); ++p) {
+        const std::size_t entry =
+            table[topo.port_offset(v) + p - part.port_base(w)];
+        const std::size_t d = part.owner(g.neighbors(v)[p]);
+        if (d == w) {
+          ++internal_ports;
+          EXPECT_LT(entry, part.num_local_ports(w));
+          EXPECT_EQ(entry + part.port_base(w), topo.delivery_slot(v, p));
+        } else {
+          EXPECT_GE(entry, part.num_local_ports(w));
+          // Out-halo slots are assigned injectively.
+          EXPECT_TRUE(
+              seen_out_slots.insert(entry - part.num_local_ports(w)).second);
+          cut[{w, d}].insert(topo.port_offset(v) + p);
+        }
+      }
+    }
+    EXPECT_EQ(seen_out_slots.size(), part.num_out_halo(w));
+  }
+
+  // Every edge is either internal (both directed ports internal) or appears
+  // exactly once in each endpoint's halo table.
+  std::size_t expected_cut_ports = 0;
+  for (const graph::Edge& e : g.edges()) {
+    const std::size_t wu = part.owner(e.u);
+    const std::size_t wv = part.owner(e.v);
+    if (wu == wv) continue;
+    expected_cut_ports += 2;
+    // u's port toward v routed u->v, and vice versa, each exactly once.
+    std::size_t port_u = 0;
+    while (g.neighbors(e.u)[port_u] != e.v) ++port_u;
+    std::size_t port_v = 0;
+    while (g.neighbors(e.v)[port_v] != e.u) ++port_v;
+    EXPECT_EQ((cut[{wu, wv}].count(topo.port_offset(e.u) + port_u)), 1u);
+    EXPECT_EQ((cut[{wv, wu}].count(topo.port_offset(e.v) + port_v)), 1u);
+  }
+  EXPECT_EQ(internal_ports + expected_cut_ports, topo.total_ports());
+
+  // The links agree with the per-pair cut sets in size, and both sides of
+  // each link pair up (same canonical length).
+  std::size_t linked = 0;
+  for (std::size_t s = 0; s < workers; ++s) {
+    for (std::size_t d = 0; d < workers; ++d) {
+      const auto& link = part.link(s, d);
+      ASSERT_EQ(link.src_out_slots.size(), link.dst_slots.size());
+      const auto it = cut.find({s, d});
+      EXPECT_EQ(link.src_out_slots.size(),
+                it == cut.end() ? 0u : it->second.size());
+      linked += link.src_out_slots.size();
+      for (const std::uint32_t slot : link.dst_slots) {
+        EXPECT_LT(slot, part.num_local_ports(d));
+      }
+    }
+  }
+  EXPECT_EQ(linked, expected_cut_ports);
+
+  // Stats agree with the edge classification.
+  const PartitionStats& stats = part.stats();
+  EXPECT_EQ(stats.parts, workers);
+  EXPECT_EQ(stats.cut_edges, expected_cut_ports / 2);
+  EXPECT_EQ(stats.cut_edges + stats.internal_edges, g.num_edges());
+  if (g.num_nodes() > 0) {
+    EXPECT_GE(stats.balance_factor, 1.0);
+  }
+}
+
+TEST(Partition, FuzzGnp) {
+  Rng rng(3);
+  for (int i = 0; i < 8; ++i) {
+    const std::size_t n = 20 + rng.next_index(180);
+    const auto g = graph::gen::gnp(n, 0.05, rng);
+    for (std::size_t workers : {1, 2, 3, 4, 7}) {
+      check_partition(g, workers);
+    }
+  }
+}
+
+TEST(Partition, FuzzBarabasiAlbert) {
+  Rng rng(5);
+  for (int i = 0; i < 6; ++i) {
+    const auto g = graph::gen::barabasi_albert(100 + 150 * i, 3, rng);
+    for (std::size_t workers : {2, 4, 5}) {
+      check_partition(g, workers);
+    }
+  }
+}
+
+TEST(Partition, FuzzGeometric) {
+  Rng rng(9);
+  for (int i = 0; i < 6; ++i) {
+    const auto g = graph::gen::random_geometric_2d(150, 0.12, rng);
+    for (std::size_t workers : {2, 3, 4}) {
+      check_partition(g, workers);
+    }
+  }
+}
+
+TEST(Partition, DegenerateShapes) {
+  // Fewer nodes than workers: empty ranges must be well-formed.
+  check_partition(graph::gen::cycle(3), 8);
+  // Isolated nodes: no ports at all, node-balanced fallback.
+  check_partition(graph::Graph(7), 3);
+  // Single hub star: every edge is incident to the hub — the extreme
+  // cut/balance case for a contiguous split.
+  graph::Graph star(33);
+  for (graph::NodeId v = 1; v < 33; ++v) star.add_edge(0, v);
+  check_partition(star, 4);
+  // Single node, and the empty graph.
+  check_partition(graph::Graph(1), 2);
+  check_partition(graph::Graph(0), 2);
+}
+
+TEST(Partition, SharedBoundaryHelperMatchesParallelNetwork) {
+  // The extracted helper is the same splitting rule ParallelNetwork shards
+  // by, and both executors report the same stats struct for equal splits.
+  Rng rng(13);
+  const auto g = graph::gen::barabasi_albert(500, 4, rng);
+  const local::NetworkTopology topo(g, local::IdStrategy::kSequential, 1);
+  runtime::ParallelNetwork net(g, local::IdStrategy::kSequential, 1, 2);
+  EXPECT_EQ(net.shard_boundaries(),
+            degree_balanced_boundaries(topo.port_offsets(),
+                                       net.shard_boundaries().size() - 1));
+  const PartitionStats from_net = net.shard_stats();
+  const PartitionStats direct = partition_stats(g, topo.port_offsets(),
+                                                net.shard_boundaries());
+  EXPECT_EQ(from_net.cut_edges, direct.cut_edges);
+  EXPECT_EQ(from_net.internal_edges, direct.internal_edges);
+  EXPECT_DOUBLE_EQ(from_net.balance_factor, direct.balance_factor);
+}
+
+// ---- In-process transport roundtrip --------------------------------------
+
+TEST(HaloTransport, ShipPatchRoundtrip) {
+  // Simulate one round of two workers in-process: every node writes a
+  // distinct message on every port through the unmodified Outbox against
+  // its worker's local arena; after ship + patch, every local slot must
+  // hold exactly the words the global (sequential-executor) delivery rule
+  // assigns to it.
+  Rng rng(21);
+  const auto g = graph::gen::gnp(60, 0.1, rng);
+  const local::NetworkTopology topo(g, local::IdStrategy::kSequential, 2);
+  const Partition part(topo, 2);
+  const HaloTransport transport(part, 16, 4);
+  const std::uint64_t epoch = 7;
+
+  std::vector<local::WordBank> banks(2);
+  std::vector<std::vector<local::MessageSpan>> arenas(2);
+  for (std::size_t w = 0; w < 2; ++w) {
+    arenas[w].resize(part.num_local_ports(w) + part.num_out_halo(w));
+    for (graph::NodeId v = part.first_node(w); v < part.last_node(w); ++v) {
+      local::Outbox out(&banks[w], 0, arenas[w].data(),
+                        part.local_delivery(w).data() +
+                            (topo.port_offset(v) - part.port_base(w)),
+                        g.degree(v), epoch);
+      for (std::size_t p = 0; p < g.degree(v); ++p) {
+        out.write(p, {v * 1000ull + p, ~(v * 1000ull + p)});
+      }
+    }
+  }
+  for (std::size_t w = 0; w < 2; ++w) {
+    transport.ship(w, arenas[w].data(), banks[w].data(), epoch);
+  }
+  for (std::size_t w = 0; w < 2; ++w) {
+    transport.patch(w, arenas[w].data(), epoch);
+    auto bases = transport.bank_bases(w, banks[w].data());
+    for (graph::NodeId v = part.first_node(w); v < part.last_node(w); ++v) {
+      local::Inbox inbox(
+          arenas[w].data() + (topo.port_offset(v) - part.port_base(w)),
+          g.degree(v), bases.data(), epoch);
+      for (std::size_t p = 0; p < g.degree(v); ++p) {
+        // The message on port p came from the neighbor's reverse port.
+        const graph::NodeId u = g.neighbors(v)[p];
+        const std::uint64_t expected =
+            u * 1000ull + topo.reverse_port(v, p);
+        ASSERT_EQ(inbox[p].size(), 2u) << "v=" << v << " p=" << p;
+        EXPECT_EQ(inbox[p][0], expected);
+        EXPECT_EQ(inbox[p][1], ~expected);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ds::dist

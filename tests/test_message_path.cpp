@@ -13,6 +13,7 @@
 #include <new>
 #include <vector>
 
+#include "dist/partition.hpp"
 #include "graph/generators.hpp"
 #include "local/message_arena.hpp"
 #include "local/network.hpp"
@@ -253,7 +254,7 @@ TEST(DegreeBalancedShards, SplitsByPortCountNotNodeCount) {
   // One hub owning 100 of 104 ports: with 2 shards the boundary must land
   // right after the hub instead of at the node midpoint.
   const std::vector<std::size_t> offsets = {0, 100, 101, 102, 103, 104};
-  const auto bounds = runtime::degree_balanced_boundaries(offsets, 2);
+  const auto bounds = dist::degree_balanced_boundaries(offsets, 2);
   ASSERT_EQ(bounds.size(), 3u);
   EXPECT_EQ(bounds[0], 0u);
   EXPECT_EQ(bounds[1], 1u);  // hub alone in shard 0
@@ -262,7 +263,7 @@ TEST(DegreeBalancedShards, SplitsByPortCountNotNodeCount) {
 
 TEST(DegreeBalancedShards, NoEdgesFallsBackToNodeBalance) {
   const std::vector<std::size_t> offsets(9, 0);  // 8 isolated nodes
-  const auto bounds = runtime::degree_balanced_boundaries(offsets, 4);
+  const auto bounds = dist::degree_balanced_boundaries(offsets, 4);
   const std::vector<graph::NodeId> expected = {0, 2, 4, 6, 8};
   EXPECT_EQ(bounds, expected);
 }
@@ -278,7 +279,7 @@ TEST(DegreeBalancedShards, CoverSkewedGraphsExactlyOnce) {
   const auto& offsets = topo.port_offsets();
   const std::size_t max_deg = g.max_degree();
   for (std::size_t shards : {1, 2, 3, 7, 16, 64}) {
-    const auto bounds = runtime::degree_balanced_boundaries(offsets, shards);
+    const auto bounds = dist::degree_balanced_boundaries(offsets, shards);
     ASSERT_EQ(bounds.size(), shards + 1);
     EXPECT_EQ(bounds.front(), 0u);
     EXPECT_EQ(bounds.back(), g.num_nodes());
@@ -299,7 +300,7 @@ TEST(DegreeBalancedShards, ParallelNetworkUsesThem) {
   ASSERT_GE(bounds.size(), 2u);
   EXPECT_EQ(bounds.front(), 0u);
   EXPECT_EQ(bounds.back(), g.num_nodes());
-  EXPECT_EQ(bounds, runtime::degree_balanced_boundaries(
+  EXPECT_EQ(bounds, dist::degree_balanced_boundaries(
                         net.topology().port_offsets(), bounds.size() - 1));
 }
 

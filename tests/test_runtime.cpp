@@ -12,11 +12,12 @@
 #include <vector>
 
 #include "coloring/randcolor.hpp"
+#include "determinism_probe.hpp"
 #include "graph/generators.hpp"
 #include "local/network.hpp"
+#include "local/round_stats.hpp"
 #include "mis/mis.hpp"
 #include "runtime/parallel_network.hpp"
-#include "runtime/round_stats.hpp"
 #include "runtime/select.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/check.hpp"
@@ -64,100 +65,10 @@ TEST(ThreadPool, PropagatesChunkExceptions) {
 
 // ---- Determinism suite ---------------------------------------------------
 
-// A program with staggered halting, per-node randomness, and a mix of empty
-// and non-empty messages — sensitive to any delivery, ordering, or
-// stale-slot bug in an executor. The digest is the full per-node history.
-// The logic exists in a writer-API and a legacy vector-API flavor so the
-// determinism suite also pins the adapter: all four (executor, API) combos
-// must produce the same digests.
-class ProbeBase : public local::NodeProgram {
- public:
-  explicit ProbeBase(const local::NodeEnv& env)
-      : env_(env), limit_(2 + env.uid % 5), state_(env.uid) {}
-
-  [[nodiscard]] bool done() const override { return halted_; }
-  [[nodiscard]] std::uint64_t digest() const { return digest_; }
-
- protected:
-  // Some ports deliberately stay silent some rounds.
-  [[nodiscard]] bool silent(std::size_t round, std::size_t p) const {
-    return (env_.uid + round + p) % 3 == 0;
-  }
-  [[nodiscard]] std::uint64_t word(std::size_t round, std::size_t i) const {
-    return i == 0 ? state_
-                  : (i == 1 ? env_.uid ^ (round * 0x9E37ull) : 0);
-  }
-  void absorb(std::size_t p, std::uint64_t w) {
-    state_ = splitmix64(state_ ^ w ^ (p * 31));
-  }
-  void finish_round(std::size_t round) {
-    state_ ^= env_.rng.next_raw();
-    digest_ = splitmix64(digest_ ^ state_ ^ round);
-    if (round + 1 >= limit_) halted_ = true;
-  }
-
-  local::NodeEnv env_;
-
- private:
-  std::size_t limit_;
-  std::uint64_t state_;
-  std::uint64_t digest_ = 0x1234u;
-  bool halted_ = false;
-};
-
-class WriterProbe final : public ProbeBase {
- public:
-  using ProbeBase::ProbeBase;
-
-  void send(std::size_t round, local::Outbox& out) override {
-    for (std::size_t p = 0; p < env_.degree; ++p) {
-      if (silent(round, p)) continue;
-      out.write(p, {word(round, 0), word(round, 1),
-                    static_cast<std::uint64_t>(p)});
-    }
-  }
-
-  void receive(std::size_t round, const local::Inbox& inbox) override {
-    for (std::size_t p = 0; p < inbox.size(); ++p) {
-      for (std::uint64_t w : inbox[p]) absorb(p, w);
-    }
-    finish_round(round);
-  }
-};
-
-class LegacyProbe final : public ProbeBase {
- public:
-  using ProbeBase::ProbeBase;
-
-  std::vector<local::Message> send_messages(std::size_t round) override {
-    std::vector<local::Message> out(env_.degree);
-    for (std::size_t p = 0; p < env_.degree; ++p) {
-      if (silent(round, p)) continue;
-      out[p] = {word(round, 0), word(round, 1),
-                static_cast<std::uint64_t>(p)};
-    }
-    return out;
-  }
-
-  void receive_messages(std::size_t round,
-                        const std::vector<local::Message>& inbox) override {
-    for (std::size_t p = 0; p < inbox.size(); ++p) {
-      for (std::uint64_t w : inbox[p]) absorb(p, w);
-    }
-    finish_round(round);
-  }
-};
-
-local::ProgramFactory probe_factory(bool legacy = false) {
-  if (legacy) {
-    return [](const local::NodeEnv& env) -> std::unique_ptr<local::NodeProgram> {
-      return std::make_unique<LegacyProbe>(env);
-    };
-  }
-  return [](const local::NodeEnv& env) -> std::unique_ptr<local::NodeProgram> {
-    return std::make_unique<WriterProbe>(env);
-  };
-}
+// The probe program lives in determinism_probe.hpp, shared with the
+// multi-process determinism suite (tests/test_dist.cpp); all four
+// (executor, API) combos must produce the same digests.
+using probes::probe_factory;
 
 std::vector<std::uint64_t> probe_digests(local::Executor& exec,
                                          std::size_t* rounds = nullptr,
@@ -166,7 +77,8 @@ std::vector<std::uint64_t> probe_digests(local::Executor& exec,
   if (rounds != nullptr) *rounds = r;
   std::vector<std::uint64_t> digests(exec.graph().num_nodes());
   for (graph::NodeId v = 0; v < digests.size(); ++v) {
-    digests[v] = static_cast<const ProbeBase&>(exec.program(v)).digest();
+    digests[v] =
+        static_cast<const probes::ProbeBase&>(exec.program(v)).digest();
   }
   return digests;
 }
@@ -235,7 +147,7 @@ TEST(ParallelNetworkDeterminism, LubyAndTrialColoring) {
   Rng rng(2);
   const auto g = graph::gen::random_regular(512, 8, rng);
   RuntimeConfig config;
-  config.parallel = true;
+  config.kind = RuntimeKind::kParallel;
   config.threads = 4;
   const auto executor = make_executor_factory(config);
 
@@ -278,8 +190,8 @@ TEST(ParallelNetwork, RoundStatsAreExact) {
   // probe's silent-port rule.
   const auto g = graph::gen::torus(6, 6);
   ParallelNetwork net(g, local::IdStrategy::kSequential, 21, 3);
-  std::vector<RoundStats> stats;
-  net.set_stats_sink([&](const RoundStats& s) { stats.push_back(s); });
+  std::vector<local::RoundStats> stats;
+  net.set_stats_sink([&](const local::RoundStats& s) { stats.push_back(s); });
   const std::size_t rounds = net.run(probe_factory(), 100);
   ASSERT_EQ(stats.size(), rounds);
   for (std::size_t r = 0; r < stats.size(); ++r) {
@@ -295,8 +207,8 @@ TEST(ParallelNetwork, RoundStatsAreExact) {
   // Cross-check message totals against the sequential reference by
   // re-deriving them from a sequential run's deliveries... the probe is
   // deterministic, so totals must match a second parallel run exactly.
-  std::vector<RoundStats> again;
-  net.set_stats_sink([&](const RoundStats& s) { again.push_back(s); });
+  std::vector<local::RoundStats> again;
+  net.set_stats_sink([&](const local::RoundStats& s) { again.push_back(s); });
   net.run(probe_factory(), 100);
   ASSERT_EQ(again.size(), stats.size());
   for (std::size_t r = 0; r < stats.size(); ++r) {
@@ -314,10 +226,10 @@ TEST(RoundStats, SequentialAndParallelExecutorsAgree) {
   const auto g = graph::gen::gnp(200, 0.03, rng);
   local::Network seq(g, local::IdStrategy::kSequential, 8);
   ParallelNetwork par(g, local::IdStrategy::kSequential, 8, 3);
-  std::vector<RoundStats> seq_stats;
-  std::vector<RoundStats> par_stats;
-  seq.set_stats_sink([&](const RoundStats& s) { seq_stats.push_back(s); });
-  par.set_stats_sink([&](const RoundStats& s) { par_stats.push_back(s); });
+  std::vector<local::RoundStats> seq_stats;
+  std::vector<local::RoundStats> par_stats;
+  seq.set_stats_sink([&](const local::RoundStats& s) { seq_stats.push_back(s); });
+  par.set_stats_sink([&](const local::RoundStats& s) { par_stats.push_back(s); });
   const std::size_t seq_rounds = seq.run(probe_factory(), 100);
   const std::size_t par_rounds = par.run(probe_factory(), 100);
   EXPECT_EQ(seq_rounds, par_rounds);
@@ -334,15 +246,23 @@ TEST(RoundStats, SequentialAndParallelExecutorsAgree) {
 
 TEST(RuntimeSelect, ParsesOptions) {
   const char* argv_seq[] = {"x"};
-  EXPECT_FALSE(runtime_from_options(Options(1, argv_seq)).parallel);
+  EXPECT_EQ(runtime_from_options(Options(1, argv_seq)).kind,
+            RuntimeKind::kSequential);
 
   const char* argv_par[] = {"x", "--runtime=parallel", "--threads=3"};
   const auto config = runtime_from_options(Options(3, argv_par));
-  EXPECT_TRUE(config.parallel);
+  EXPECT_EQ(config.kind, RuntimeKind::kParallel);
   EXPECT_EQ(config.threads, 3u);
   EXPECT_EQ(runtime_description(config), "parallel(3 threads)");
   EXPECT_TRUE(static_cast<bool>(make_executor_factory(config)));
   EXPECT_FALSE(static_cast<bool>(make_executor_factory(RuntimeConfig{})));
+
+  const char* argv_mp[] = {"x", "--runtime=mp", "--workers=2"};
+  const auto mp_config = runtime_from_options(Options(3, argv_mp));
+  EXPECT_EQ(mp_config.kind, RuntimeKind::kMultiProcess);
+  EXPECT_EQ(mp_config.workers, 2u);
+  EXPECT_EQ(runtime_description(mp_config), "mp(2 workers)");
+  EXPECT_TRUE(static_cast<bool>(make_executor_factory(mp_config)));
 
   const char* argv_bad[] = {"x", "--runtime=warp"};
   EXPECT_THROW(runtime_from_options(Options(2, argv_bad)), ds::CheckError);

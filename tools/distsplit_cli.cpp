@@ -3,19 +3,21 @@
 /// run the solvers on their own instances without writing C++.
 ///
 /// Subcommands (first positional argument):
-///   gen      --nu=N --nv=N --delta=D --rank=R [--seed=S]
+///   gen      --nu=N --nv=N --delta=D --rank=R [--seed=S] [--unified]
 ///            Generate a random (δ, r)-biregular bipartite instance and
-///            write it to stdout in the edge-list format of graph/io.hpp.
+///            write it to stdout in the edge-list format of graph/io.hpp
+///            (--unified: the unified general graph instead, for `mis`).
 ///   stats    --input=FILE
 ///            Print instance parameters (n, m, δ, Δ, r, girth).
 ///   solve    --input=FILE [--rand] [--seed=S] [--dot=OUT.dot]
 ///            Solve weak splitting; print the selected algorithm, validity,
 ///            and the executed/charged round costs.
-///   mis      --input=FILE [--seed=S] [--runtime=sequential|parallel]
-///            [--threads=N]
+///   mis      --input=FILE [--seed=S] [--runtime=sequential|parallel|mp]
+///            [--threads=N] [--workers=N]
 ///            Treat FILE as a general-graph edge list; run Luby (on the
-///            selected LOCAL executor) and the deterministic decomposition
-///            sweep; print both sizes.
+///            selected LOCAL executor — `mp` forks a multi-process worker
+///            fleet and prints its edge-cut stats) and the deterministic
+///            decomposition sweep; print both sizes.
 ///   color    --input=FILE
 ///            Deterministic (Δ+1)-coloring via ball-carving decomposition.
 ///
@@ -29,6 +31,7 @@
 
 #include "coloring/reduce.hpp"
 #include "coloring/verify.hpp"
+#include "dist/distributed_network.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
@@ -48,11 +51,12 @@ using namespace ds;
 int usage() {
   std::cerr
       << "usage: distsplit_cli <gen|stats|solve|mis|color> [--key=value...]\n"
-         "  gen    --nu=N --nv=N --delta=D [--seed=S]\n"
+         "  gen    --nu=N --nv=N --delta=D [--seed=S] [--unified]\n"
          "  stats  --input=FILE\n"
          "  solve  --input=FILE [--rand] [--seed=S] [--dot=OUT.dot]\n"
-         "  mis    --input=FILE [--seed=S] [--runtime=sequential|parallel]\n"
-         "         [--threads=N]\n"
+         "  mis    --input=FILE [--seed=S] "
+         "[--runtime=sequential|parallel|mp]\n"
+         "         [--threads=N] [--workers=N]\n"
          "  color  --input=FILE\n";
   return 1;
 }
@@ -80,7 +84,13 @@ int cmd_gen(const Options& opts) {
   Rng rng(opts.seed());
   // Right degrees (the rank) follow from nu*delta/nv; pick nv accordingly.
   const auto b = graph::gen::random_biregular(nu, nv, delta, rng);
-  graph::io::write_bipartite(std::cout, b);
+  if (opts.has("unified")) {
+    // General-graph edge list of the unified instance, consumable by the
+    // `mis` and `color` subcommands.
+    graph::io::write_edge_list(std::cout, b.unified());
+  } else {
+    graph::io::write_bipartite(std::cout, b);
+  }
   return 0;
 }
 
@@ -136,16 +146,37 @@ int cmd_solve(const Options& opts) {
 
 int cmd_mis(const Options& opts) {
   const auto g = load_graph(opts);
-  // --runtime=parallel [--threads=N] executes Luby on the sharded runtime;
-  // the MIS and round count are bit-identical to the sequential executor.
+  // --runtime=parallel [--threads=N] executes Luby on the sharded runtime,
+  // --runtime=mp [--workers=N] on the forked multi-process one; the MIS and
+  // round count are bit-identical to the sequential executor either way.
   const auto runtime = runtime::runtime_from_options(opts);
   local::CostMeter luby_meter;
   const auto rand_outcome =
       mis::luby(g, opts.seed(), &luby_meter, 10000,
                 local::IdStrategy::kSequential,
                 runtime::make_executor_factory(runtime));
-  std::cout << "executor:      " << runtime::runtime_description(runtime)
-            << "\n";
+  if (runtime.kind == runtime::RuntimeKind::kMultiProcess) {
+    // Report the partition the executor actually ran: the resolved worker
+    // count clamped to the node count. The split is a pure function of the
+    // CSR degree profile, so the stats line needs only the boundaries —
+    // not the executor's full topology, delivery tables or halo links.
+    const std::size_t workers = dist::DistributedNetwork::resolve_workers(
+        runtime.workers, g.num_nodes());
+    std::vector<std::size_t> offsets(g.num_nodes() + 1, 0);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      offsets[v + 1] = offsets[v] + g.degree(v);
+    }
+    const auto bounds = dist::degree_balanced_boundaries(offsets, workers);
+    const dist::PartitionStats stats =
+        dist::partition_stats(g, offsets, bounds);
+    std::cout << "executor:      mp(" << workers << " workers)\n"
+              << "partition:     " << stats.cut_edges << " cut edges, "
+              << stats.internal_edges << " internal, balance "
+              << stats.balance_factor << "\n";
+  } else {
+    std::cout << "executor:      " << runtime::runtime_description(runtime)
+              << "\n";
+  }
   const auto decomp = netdecomp::ball_carving(g);
   local::CostMeter det_meter;
   const auto det_mis = netdecomp::mis_via_decomposition(g, decomp, &det_meter);
