@@ -18,6 +18,8 @@
 #include "dist/distributed_network.hpp"
 #include "local/ids.hpp"
 #include "local/network.hpp"
+#include "net/loopback.hpp"
+#include "net/tcp_network.hpp"
 #include "orient/euler.hpp"
 #include "runtime/parallel_network.hpp"
 #include "splitting/trivial_random.hpp"
@@ -321,6 +323,41 @@ BENCHMARK(BM_DistributedRounds)
     ->Args({64, 1})->Args({64, 2})->Args({64, 4})
     ->Args({256, 2})->Args({256, 4})
     ->Args({1024, 2})->Args({1024, 4})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// The socket-path overhead of the same gossip rounds: a loopback TCP rank
+// fleet per iteration (fork + rendezvous + rounds + teardown — the
+// realistic cost of one multi-host execution, comparable to
+// BM_DistributedRounds which likewise re-forks its fleet per run). Arg
+// pair: torus side, rank count.
+void BM_TcpLoopbackRounds(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto ranks = static_cast<std::size_t>(state.range(1));
+  const auto g = graph::gen::torus(side, side);
+  for (auto _ : state) {
+    const net::LoopbackReport report = net::run_loopback_ranks(
+        ranks, [&](net::LoopbackRank&& lr) -> int {
+          net::TcpNetworkConfig config;
+          config.rank = lr.rank;
+          config.hosts = std::move(lr.hosts);
+          config.listen = std::move(lr.listen);
+          net::TcpNetwork net(g, local::IdStrategy::kSequential, 42,
+                              std::move(config));
+          net.run(gossip_factory(), kGossipRounds + 1);
+          return 0;
+        });
+    if (!report.all_ok()) {
+      state.SkipWithError("a loopback rank failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(g.num_nodes() * kGossipRounds));
+}
+BENCHMARK(BM_TcpLoopbackRounds)
+    ->Args({64, 2})->Args({64, 4})
+    ->Args({256, 2})->Args({256, 4})
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

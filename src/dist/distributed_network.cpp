@@ -8,12 +8,12 @@
 #endif
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <string>
 #include <thread>
 
+#include "dist/rank_loop.hpp"
 #include "support/check.hpp"
 
 namespace ds::dist {
@@ -68,139 +68,18 @@ void DistributedNetwork::poll_children(const std::vector<pid_t>& children) {
 std::size_t DistributedNetwork::run_worker(
     std::size_t w, const local::ProgramFactory& factory,
     std::size_t max_rounds, const std::vector<pid_t>& children) {
-  const graph::Graph& g = topology_.graph();
-  const std::size_t n = g.num_nodes();
-  const graph::NodeId first = partition_.first_node(w);
-  const graph::NodeId last = partition_.last_node(w);
-  const std::size_t port_base = partition_.port_base(w);
-  const std::vector<std::size_t>& local_delivery =
-      partition_.local_delivery(w);
-
-  // Every worker invokes the factory for every node in node order — the
-  // exact call sequence of the sequential executor, so factories that
-  // capture mutable state stay deterministic — and keeps the owned range.
-  programs_.clear();
-  programs_.resize(n);
-  for (graph::NodeId v = 0; v < n; ++v) {
-    auto p = factory(topology_.make_env(v));
-    DS_CHECK(p != nullptr);
-    if (v >= first && v < last) programs_[v] = std::move(p);
-  }
-
-  SharedBarrier& barrier = control_->barrier;
-  const std::atomic<std::uint32_t>& abort_flag = control_->abort_flag;
-  WorkerCounters* mine = control_->counters(w);
   const std::function<void()> poll_fn = [this, &children] {
     poll_children(children);
   };
   const std::function<void()>* poll =
       (w == 0 && !children.empty()) ? &poll_fn : nullptr;
-
-  // Private round state: single-buffered bank + local span arena (own port
-  // range followed by the out-halo staging slots) — the sequential
-  // executor's layout, per worker.
-  local::WordBank bank;
-  std::vector<local::MessageSpan> arena(partition_.num_local_ports(w) +
-                                        partition_.num_out_halo(w));
-  std::vector<const std::uint64_t*> bases = transport_.bank_bases(w, nullptr);
-
-  const auto count_alive = [&] {
-    std::size_t c = 0;
-    for (graph::NodeId v = first; v < last; ++v) {
-      if (!programs_[v]->done()) ++c;
-    }
-    return c;
-  };
-  const auto sum_counters = [&](auto field) {
-    std::uint64_t total = 0;
-    for (std::size_t i = 0; i < partition_.num_workers(); ++i) {
-      total += (control_->counters(i)->*field).load(std::memory_order_relaxed);
-    }
-    return static_cast<std::size_t>(total);
-  };
-
-  mine->not_done.store(count_alive(), std::memory_order_relaxed);
-  barrier.wait(abort_flag, poll);
-  std::size_t alive = sum_counters(&WorkerCounters::not_done);
-
-  std::size_t rounds = 0;
-  while (alive > 0) {
-    DS_CHECK_MSG(rounds < max_rounds,
-                 "DistributedNetwork::run exceeded max_rounds");
-    const auto t0 = std::chrono::steady_clock::now();
-    // Send phase: owned live nodes serialize into the private arena; the
-    // local delivery table routes cut ports into the out-halo staging area.
-    ++epoch_;
-    bank.clear();
-    std::size_t senders = 0;
-    std::size_t messages = 0;
-    std::size_t payload_words = 0;
-    for (graph::NodeId v = first; v < last; ++v) {
-      local::NodeProgram& prog = *programs_[v];
-      if (prog.done()) continue;
-      ++senders;
-      local::Outbox out(&bank, 0, arena.data(),
-                        local_delivery.data() +
-                            (topology_.port_offset(v) - port_base),
-                        g.degree(v), epoch_);
-      prog.send(rounds, out);
-      messages += out.messages();
-      payload_words += out.payload_words();
-    }
-    transport_.ship(w, arena.data(), bank.data(), epoch_);
-    mine->senders.store(senders, std::memory_order_relaxed);
-    mine->messages.store(messages, std::memory_order_relaxed);
-    mine->payload_words.store(payload_words, std::memory_order_relaxed);
-    barrier.wait(abort_flag, poll);  // all halo blocks are written
-
-    // Receive phase: patch the arena onto the peers' shared payloads, then
-    // run the unmodified Inbox path over the owned live nodes.
-    transport_.patch(w, arena.data(), epoch_);
-    bases[0] = bank.data();
-    local::RoundStats stats;
-    if (w == 0 && sink_) {
-      // The send counters are stable between the two barriers; read them
-      // here (after the second barrier a fast peer may already overwrite
-      // its slot for the next round).
-      stats.round = rounds;
-      stats.live_nodes = sum_counters(&WorkerCounters::senders);
-      stats.messages = sum_counters(&WorkerCounters::messages);
-      stats.payload_words = sum_counters(&WorkerCounters::payload_words);
-    }
-    for (graph::NodeId v = first; v < last; ++v) {
-      local::NodeProgram& prog = *programs_[v];
-      if (prog.done()) continue;
-      local::Inbox inbox(arena.data() + (topology_.port_offset(v) - port_base),
-                         g.degree(v), bases.data(), epoch_);
-      prog.receive(rounds, inbox);
-    }
-    mine->not_done.store(count_alive(), std::memory_order_relaxed);
-    barrier.wait(abort_flag, poll);  // liveness published, blocks readable
-    alive = sum_counters(&WorkerCounters::not_done);
-    ++rounds;
-    if (w == 0 && sink_) {
-      stats.wall_seconds = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count();
-      sink_(stats);
-    }
-  }
-
-  // Output gather: serialize the owned programs' rows ([length, words...]
-  // per node) into this worker's shared gather block.
-  if (output_fn_) {
-    std::vector<std::uint64_t> gathered;
-    std::vector<std::uint64_t> row;
-    for (graph::NodeId v = first; v < last; ++v) {
-      row.clear();
-      output_fn_(v, *programs_[v], row);
-      gathered.push_back(row.size());
-      gathered.insert(gathered.end(), row.begin(), row.end());
-    }
-    transport_.write_gather(w, gathered);
-  }
-  barrier.wait(abort_flag, poll);  // gather rows visible to worker 0
-  return rounds;
+  ShmTransport transport(w, partition_, transport_, *control_, poll);
+  // Stats only on worker 0: it is the rank whose sink survives the run (the
+  // children's copies die with _exit), matching the sequential executor's
+  // single-sink contract.
+  const local::RoundStatsSink sink = (w == 0) ? sink_ : local::RoundStatsSink{};
+  return run_rank_loop(topology_, partition_, transport, factory, max_rounds,
+                       epoch_, sink, output_fn_, programs_);
 }
 
 std::size_t DistributedNetwork::run(const local::ProgramFactory& factory,
@@ -276,23 +155,10 @@ std::size_t DistributedNetwork::run(const local::ProgramFactory& factory,
                std::string("distributed run aborted: ") +
                    control_->abort_message());
 
-  // Assemble the output table from the workers' gather blocks (workers own
-  // contiguous node ranges in order, so assembly is a linear scan).
+  // Assemble the output table from the workers' gather blocks.
   if (output_fn_) {
-    outputs_.start(topology_.graph().num_nodes());
-    for (std::size_t w = 0; w < workers; ++w) {
-      const auto [words, count] = transport_.read_gather(w);
-      std::size_t pos = 0;
-      for (std::size_t i = 0; i < partition_.num_nodes(w); ++i) {
-        DS_CHECK_MSG(pos < count, "gather block truncated");
-        const auto len = static_cast<std::size_t>(words[pos]);
-        ++pos;
-        DS_CHECK_MSG(pos + len <= count, "gather block truncated");
-        outputs_.append_row(words + pos, len);
-        pos += len;
-      }
-      DS_CHECK_MSG(pos == count, "gather block has trailing words");
-    }
+    ShmTransport view(0, partition_, transport_, *control_, nullptr);
+    assemble_outputs(view, partition_, outputs_);
   } else {
     outputs_.clear();
   }

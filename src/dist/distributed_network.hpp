@@ -59,7 +59,7 @@
 
 #include "dist/partition.hpp"
 #include "dist/shm.hpp"
-#include "dist/transport.hpp"
+#include "dist/shm_transport.hpp"
 #include "graph/graph.hpp"
 #include "local/cost.hpp"
 #include "local/executor.hpp"
@@ -129,15 +129,12 @@ class DistributedNetwork final : public local::Executor {
                                                    std::size_t num_nodes);
 
  private:
-  /// Everything one worker allocates privately for a run.
-  struct WorkerState;
-
-  /// The full per-worker run: construct programs, execute rounds, gather
-  /// outputs. Runs in the calling process for w == 0 and in a forked child
-  /// otherwise; returns the executed round count (identical in every
-  /// worker). `children` is non-empty only in worker 0, which polls them
-  /// while waiting so a crashed worker aborts the run instead of hanging
-  /// it.
+  /// The full per-worker run: binds a `ShmTransport` view for worker w and
+  /// executes the shared `run_rank_loop` protocol. Runs in the calling
+  /// process for w == 0 and in a forked child otherwise; returns the
+  /// executed round count (identical in every worker). `children` is
+  /// non-empty only in worker 0, which polls them while waiting so a
+  /// crashed worker aborts the run instead of hanging it.
   std::size_t run_worker(std::size_t w, const local::ProgramFactory& factory,
                          std::size_t max_rounds,
                          const std::vector<pid_t>& children);

@@ -1,0 +1,143 @@
+#include "dist/rank_loop.hpp"
+
+#include <chrono>
+
+#include "local/message_arena.hpp"
+#include "support/check.hpp"
+
+namespace ds::dist {
+
+std::size_t run_rank_loop(
+    const local::NetworkTopology& topo, const Partition& part,
+    Transport& transport, const local::ProgramFactory& factory,
+    std::size_t max_rounds, std::uint64_t& epoch,
+    const local::RoundStatsSink& sink, const local::OutputFn& output_fn,
+    std::vector<std::unique_ptr<local::NodeProgram>>& programs) {
+  const graph::Graph& g = topo.graph();
+  const std::size_t n = g.num_nodes();
+  const std::size_t w = transport.rank();
+  const graph::NodeId first = part.first_node(w);
+  const graph::NodeId last = part.last_node(w);
+  const std::size_t port_base = part.port_base(w);
+  const std::vector<std::size_t>& local_delivery = part.local_delivery(w);
+
+  // Every rank invokes the factory for every node in node order — the exact
+  // call sequence of the sequential executor, so factories that capture
+  // mutable state stay deterministic — and keeps the owned range.
+  programs.clear();
+  programs.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    auto p = factory(topo.make_env(v));
+    DS_CHECK(p != nullptr);
+    if (v >= first && v < last) programs[v] = std::move(p);
+  }
+
+  // Private round state: single-buffered bank + local span arena (own port
+  // range followed by the out-halo staging slots) — the sequential
+  // executor's layout, per rank.
+  local::WordBank bank;
+  std::vector<local::MessageSpan> arena(part.num_local_ports(w) +
+                                        part.num_out_halo(w));
+  std::vector<const std::uint64_t*> bases;
+
+  const auto count_alive = [&] {
+    std::size_t c = 0;
+    for (graph::NodeId v = first; v < last; ++v) {
+      if (!programs[v]->done()) ++c;
+    }
+    return c;
+  };
+
+  std::size_t alive = transport.sync_liveness(count_alive());
+  std::size_t rounds = 0;
+  while (alive > 0) {
+    DS_CHECK_MSG(rounds < max_rounds,
+                 "distributed run exceeded max_rounds");
+    const auto t0 = std::chrono::steady_clock::now();
+    // Send phase: owned live nodes serialize into the private arena; the
+    // local delivery table routes cut ports into the out-halo staging area.
+    ++epoch;
+    bank.clear();
+    Transport::RoundTotals mine;
+    for (graph::NodeId v = first; v < last; ++v) {
+      local::NodeProgram& prog = *programs[v];
+      if (prog.done()) continue;
+      ++mine.senders;
+      local::Outbox out(&bank, 0, arena.data(),
+                        local_delivery.data() +
+                            (topo.port_offset(v) - port_base),
+                        g.degree(v), epoch);
+      prog.send(rounds, out);
+      mine.messages += out.messages();
+      mine.payload_words += out.payload_words();
+    }
+    transport.ship(arena.data(), bank.data(), epoch, mine);
+
+    // Receive phase: patch the arena onto the shipped payloads, then run
+    // the unmodified Inbox path over the owned live nodes.
+    transport.patch(arena.data(), epoch);
+    transport.update_bank_bases(bases, bank.data());
+    local::RoundStats stats;
+    if (sink) {
+      // Totals are only stable between ship and the liveness sync (on the
+      // shm transport a fast peer may overwrite its counter slot right
+      // after the latter) — read them here.
+      const Transport::RoundTotals totals = transport.round_totals();
+      stats.round = rounds;
+      stats.live_nodes = static_cast<std::size_t>(totals.senders);
+      stats.messages = static_cast<std::size_t>(totals.messages);
+      stats.payload_words = static_cast<std::size_t>(totals.payload_words);
+    }
+    for (graph::NodeId v = first; v < last; ++v) {
+      local::NodeProgram& prog = *programs[v];
+      if (prog.done()) continue;
+      local::Inbox inbox(arena.data() + (topo.port_offset(v) - port_base),
+                         g.degree(v), bases.data(), epoch);
+      prog.receive(rounds, inbox);
+    }
+    alive = transport.sync_liveness(count_alive());
+    ++rounds;
+    if (sink) {
+      stats.wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+      sink(stats);
+    }
+  }
+
+  // Output gather: serialize the owned programs' rows ([length, words...]
+  // per node) and publish them through the transport.
+  std::vector<std::uint64_t> gathered;
+  if (output_fn) {
+    std::vector<std::uint64_t> row;
+    for (graph::NodeId v = first; v < last; ++v) {
+      row.clear();
+      output_fn(v, *programs[v], row);
+      gathered.push_back(row.size());
+      gathered.insert(gathered.end(), row.begin(), row.end());
+    }
+  }
+  transport.gather(gathered);
+  return rounds;
+}
+
+void assemble_outputs(const Transport& transport, const Partition& part,
+                      local::OutputTable& out) {
+  // Ranks own contiguous node ranges in order, so assembly is a linear scan.
+  out.start(part.last_node(part.num_workers() - 1));
+  for (std::size_t w = 0; w < part.num_workers(); ++w) {
+    const auto [words, count] = transport.gathered(w);
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < part.num_nodes(w); ++i) {
+      DS_CHECK_MSG(pos < count, "gather block truncated");
+      const auto len = static_cast<std::size_t>(words[pos]);
+      ++pos;
+      DS_CHECK_MSG(pos + len <= count, "gather block truncated");
+      out.append_row(words + pos, len);
+      pos += len;
+    }
+    DS_CHECK_MSG(pos == count, "gather block has trailing words");
+  }
+}
+
+}  // namespace ds::dist

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file rank_loop.hpp
+/// The transport-independent round protocol of the distributed executors.
+///
+/// `run_rank_loop` is the per-rank body that both `dist::DistributedNetwork`
+/// (one forked worker per rank, `ShmTransport`) and `net::TcpNetwork` (one
+/// OS process per rank, `net::TcpTransport`) execute. Factoring it out is
+/// what guarantees the two runtimes implement the *same* protocol — the
+/// transports only move bytes and synchronize; every delivery/ordering/
+/// liveness rule lives here, once:
+///
+///   1. invoke the factory for every node in node order (stateful factories
+///      observe the sequential call sequence) and keep the owned range;
+///   2. per round: owned live nodes send through the unmodified
+///      `local::Outbox` (the Partition's delivery table routes cut ports
+///      into out-halo staging slots) -> `Transport::ship` -> patch +
+///      receive through the unmodified `local::Inbox` ->
+///      `Transport::sync_liveness`;
+///   3. after the last round: serialize the owned programs' output rows and
+///      `Transport::gather` them.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dist/partition.hpp"
+#include "dist/transport.hpp"
+#include "local/executor.hpp"
+#include "local/program.hpp"
+#include "local/round_stats.hpp"
+#include "local/topology.hpp"
+
+namespace ds::dist {
+
+/// Runs rank `transport.rank()`'s full share of one distributed run:
+/// construct programs, execute rounds, gather outputs. Returns the executed
+/// round count (identical on every rank by construction). `epoch` is the
+/// caller's monotone round tag, advanced once per round; `sink`, when
+/// non-empty, receives per-round stats from `Transport::round_totals` (only
+/// install it on ranks where the transport aggregates totals). `programs`
+/// is filled with the owned range's instances (size n, null outside the
+/// range) and stays alive for the caller's `program()` accessor. Throws
+/// ds::CheckError when `max_rounds` is hit with unhalted nodes — the caller
+/// is responsible for turning that into a collective `Transport::abort`.
+std::size_t run_rank_loop(const local::NetworkTopology& topo,
+                          const Partition& part, Transport& transport,
+                          const local::ProgramFactory& factory,
+                          std::size_t max_rounds, std::uint64_t& epoch,
+                          const local::RoundStatsSink& sink,
+                          const local::OutputFn& output_fn,
+                          std::vector<std::unique_ptr<local::NodeProgram>>&
+                              programs);
+
+/// Assembles the gathered per-node rows ([length, words...] per node, ranks
+/// in order) into `out`. Call after `run_rank_loop` on a rank where
+/// `Transport::gathered` is valid for every worker; throws on a truncated
+/// or trailing-garbage gather stream.
+void assemble_outputs(const Transport& transport, const Partition& part,
+                      local::OutputTable& out);
+
+}  // namespace ds::dist

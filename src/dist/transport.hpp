@@ -1,93 +1,117 @@
 #pragma once
 
 /// \file transport.hpp
-/// The shared-memory halo exchange of the multi-process executor.
+/// The abstract halo-exchange transport of the distributed executors.
 ///
-/// One `HaloTransport` owns a single fork-shared region holding, for every
-/// ordered worker pair (s, d) with cut traffic, an exchange *block*, plus
-/// one *gather block* per worker for end-of-run output collection.
+/// A `Transport` is *one rank's* view of the round-synchronous exchange
+/// protocol the multi-worker executors run (see rank_loop.hpp for the loop
+/// itself). Two implementations exist:
 ///
-/// Exchange block layout (all 64-bit words), written by s and read by d
-/// once per round, with the executor's barriers ordering the two sides:
+///  * `dist::ShmTransport` (shm_transport.hpp) — the single-host fast path:
+///    per-pair fork-shared exchange blocks plus a shared sense-reversing
+///    barrier. Zero-copy on the receive side.
+///  * `net::TcpTransport` (net/tcp_transport.hpp) — genuine multi-host
+///    execution: per-ordered-pair TCP connections carrying length-prefix
+///    framed rounds; the frame exchange itself is the barrier.
 ///
-///     [ lengths: one word per cut port, canonical Partition order ]
-///     [ payload: the non-empty messages' words, concatenated       ]
+/// The interface is phase-shaped rather than primitive-shaped (ship /
+/// liveness-sync / patch / gather, not "barrier" and "send") because the two
+/// implementations synchronize differently: shared memory needs explicit
+/// barriers around a passive memory exchange, while TCP's receive *is* the
+/// barrier — a rank cannot proceed before every peer's frame arrived. Both
+/// meet the same contract:
 ///
-/// The canonical cut-port order of `Partition::link(s, d)` is known to both
-/// sides, so no per-message routing metadata is shipped — a length of 0
-/// means "no (or an empty) message on that cut port this round", which is
-/// exactly the arena's own convention. Delivery is zero-copy on the receive
-/// side: `patch` points the destination's span arena straight into the
-/// shared payload area, and the `local::Inbox` borrows the words from
-/// there like from any other word bank.
+///  * after `ship` returns, every peer's round traffic toward this rank is
+///    available for `patch`, and no peer has started the next round's ship;
+///  * after `sync_liveness` returns, every rank observes the same global
+///    not-done total, and this rank's receive buffers may be reused;
+///  * `abort` makes every live peer's next (or current) blocking call throw
+///    instead of waiting forever.
 ///
-/// Capacity is reserved up front (virtual memory only, MAP_NORESERVE):
-/// `halo_words_per_port` payload words per cut port. A round whose cut
-/// traffic exceeds the reservation fails loudly with the knob's name —
-/// growing a mapping that N forked processes share cannot be done safely
-/// mid-round.
+/// Message payloads cross the transport verbatim (64-bit words in the
+/// canonical cut-port order of `Partition::link`), which is what makes the
+/// executors' bit-identical determinism contract transport-independent.
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "dist/partition.hpp"
-#include "dist/shm.hpp"
 #include "local/message_arena.hpp"
 
 namespace ds::dist {
 
-class HaloTransport {
+/// One rank's view of the round-synchronous halo exchange. All calls are
+/// made by the owning rank's execution thread, in the fixed per-round order
+/// `ship -> [round_totals] -> patch -> update_bank_bases -> sync_liveness`,
+/// with one extra `sync_liveness` before round 0 and one `gather` after the
+/// final round. Implementations may (and do) rely on that order.
+class Transport {
  public:
-  /// Lays out and maps the exchange + gather blocks for `part`. Must run in
-  /// the parent before fork(). `halo_words_per_port` bounds one round's
-  /// payload per cut port on average; gather blocks get one worker-port
-  /// budget (degree-proportional rows fit by construction) plus
-  /// `gather_words_per_node` on top (both have small floors so tiny graphs
-  /// with chatty programs still fit).
-  HaloTransport(const Partition& part, std::size_t halo_words_per_port,
-                std::size_t gather_words_per_node);
+  /// Per-round send-phase counters, published with the ship and aggregated
+  /// across ranks for RoundStats reporting.
+  struct RoundTotals {
+    std::uint64_t senders = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t payload_words = 0;
+  };
 
-  /// Serializes worker src's staged out-halo spans into its exchange
-  /// blocks. `local_arena` is src's local span arena (out-halo slots start
-  /// at `part.num_local_ports(src)`), `bank_words` its word bank base, and
-  /// `epoch` the current round tag (spans with another tag ship length 0).
-  void ship(std::size_t src, const local::MessageSpan* local_arena,
-            const std::uint64_t* bank_words, std::uint64_t epoch) const;
+  virtual ~Transport() = default;
 
-  /// Delivers every peer's shipped messages into worker dst's local span
-  /// arena (zero-copy: spans point into the shared payload areas, tagged
-  /// with `epoch` and the per-source halo bank index `1 + src`).
-  void patch(std::size_t dst, local::MessageSpan* local_arena,
-             std::uint64_t epoch) const;
+  /// This rank's index and the total rank count.
+  [[nodiscard]] virtual std::size_t rank() const = 0;
+  [[nodiscard]] virtual std::size_t num_ranks() const = 0;
 
-  /// Word-bank base table for worker w's `local::Inbox`s: index 0 is
-  /// `own_bank`, index 1 + src the shared payload area of src's block
-  /// toward w (null when src sends nothing to w). Rebuild each round —
-  /// `own_bank` moves when the private bank reallocates.
-  [[nodiscard]] std::vector<const std::uint64_t*> bank_bases(
-      std::size_t w, const std::uint64_t* own_bank) const;
+  /// Publishes this rank's not-done count and returns the sum over all
+  /// ranks. Doubles as the round-closing synchronization point: when it
+  /// returns, this rank's received-payload buffers may be overwritten by
+  /// the next round and every rank has agreed on whether the run continues.
+  virtual std::size_t sync_liveness(std::size_t my_not_done) = 0;
 
-  /// Copies worker w's serialized output rows into its gather block.
-  /// Layout: word 0 = total words that follow, then the rows.
-  void write_gather(std::size_t w, const std::vector<std::uint64_t>& words);
+  /// Ships this rank's staged out-halo spans (the slots past
+  /// `Partition::num_local_ports(rank)` in `local_arena`, payload words in
+  /// `bank_words`) to every peer, tagged `epoch`, publishing `mine` for
+  /// stats aggregation. Synchronizes: on return every peer's traffic toward
+  /// this rank is patchable.
+  virtual void ship(const local::MessageSpan* local_arena,
+                    const std::uint64_t* bank_words, std::uint64_t epoch,
+                    const RoundTotals& mine) = 0;
 
-  /// Worker w's gather payload (pointer to the rows, count from word 0).
-  [[nodiscard]] std::pair<const std::uint64_t*, std::size_t> read_gather(
-      std::size_t w) const;
+  /// The shipped round's totals summed over all ranks. Only valid between
+  /// `ship` and the following `sync_liveness`, and only where the transport
+  /// aggregates them (rank 0 for shm; every rank for TCP).
+  [[nodiscard]] virtual RoundTotals round_totals() const = 0;
 
- private:
-  /// First word of the (src, dst) exchange block; 0 capacity when cut-free.
-  [[nodiscard]] std::uint64_t* block(std::size_t src, std::size_t dst) const;
+  /// Delivers every peer's shipped messages into this rank's local span
+  /// arena: spans are tagged `epoch` with bank index `1 + src`.
+  virtual void patch(local::MessageSpan* local_arena,
+                     std::uint64_t epoch) = 0;
 
-  std::size_t num_workers_;
-  const Partition* part_;
-  /// Word offsets of each ordered pair's block inside the region, dense
-  /// src * W + dst; equal consecutive offsets mean an empty (cut-free) pair.
-  std::vector<std::size_t> block_offset_;
-  std::vector<std::size_t> block_capacity_;  ///< payload words per pair
-  std::vector<std::size_t> gather_offset_;   ///< per worker, size W + 1
-  SharedRegion region_;
+  /// Fills `bases` (resized to 1 + num_ranks) with the word-bank base table
+  /// for this rank's Inboxes: index 0 = `own_bank`, index 1 + src = the
+  /// received payload area of rank src (null when src sends nothing here).
+  /// Call once per round after `patch` — both the private bank and some
+  /// transports' receive buffers can move between rounds.
+  virtual void update_bank_bases(std::vector<const std::uint64_t*>& bases,
+                                 const std::uint64_t* own_bank) const = 0;
+
+  /// End-of-run output gather: publishes this rank's serialized rows
+  /// ([length, words...] per owned node, node order) and synchronizes so
+  /// `gathered` rows are readable. Every rank must call it exactly once per
+  /// run, with an empty vector when no OutputFn is installed.
+  virtual void gather(const std::vector<std::uint64_t>& words) = 0;
+
+  /// Rank w's gathered rows. Valid after `gather`: on the shm transport in
+  /// the parent process for every w, on TCP on every rank (rank 0 assembles
+  /// and re-broadcasts the table so results are replicated SPMD-style).
+  [[nodiscard]] virtual std::pair<const std::uint64_t*, std::size_t> gathered(
+      std::size_t w) const = 0;
+
+  /// Raises the collective abort: best effort, must not block indefinitely.
+  /// Every live peer's current or next blocking transport call throws
+  /// ds::CheckError instead of waiting for a rank that will never arrive.
+  virtual void abort(const std::string& msg) = 0;
 };
 
 }  // namespace ds::dist

@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file frame.hpp
+/// The wire framing of the TCP halo transport.
+///
+/// Every message on a pair connection is one *frame*: a fixed 24-byte
+/// header followed by `payload_words` 64-bit words. Frames are written and
+/// parsed in host byte order — a distributed launch must be homogeneous
+/// anyway for the executors' bit-identical contract to mean anything, and
+/// the header magic doubles as an endianness/protocol probe (a byte-swapped
+/// peer fails the magic check on the very first frame).
+///
+/// Frame types and their payloads (see tcp_transport.cpp for the protocol):
+///
+///   kHello    handshake: [version, rank, ranks, topology digest,
+///             partition digest]
+///   kWelcome  handshake accept (empty payload)
+///   kHalo     one round's traffic toward the receiving rank:
+///             [senders, messages, payload_words(stats),
+///              lengths[cut]..., message words...]
+///   kLive     round-closing liveness: [not_done]
+///   kGather   end-of-run output rows toward rank 0
+///   kOutputs  rank 0's re-broadcast of the assembled output table
+///   kAbort    collective abort; payload is the reason string packed into
+///             words (see pack_string/unpack_string)
+///
+/// The `seq` field carries the sender's exchange counter; both sides of a
+/// connection step it in lockstep (the protocol is SPMD-deterministic), so
+/// any drift — a lost frame, a protocol bug, a rank rerunning a different
+/// algorithm — is caught as a hard error instead of silent corruption.
+///
+/// Blocking I/O goes through `read_full`/`write_full` (EINTR-resilient,
+/// partial-read/write-resilient); the nonblocking round exchange feeds
+/// bytes through a `FrameReader`, which reassembles frames incrementally.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ds::net {
+
+/// First header field of every frame; also the endianness probe.
+constexpr std::uint32_t kFrameMagic = 0x44534E54;  // "DSNT"
+
+/// Wire protocol version; bumped on any layout change.
+constexpr std::uint64_t kProtocolVersion = 1;
+
+/// Upper bound on one frame's payload (2^31 words = 16 GiB) — far above
+/// any legitimate round's traffic. A header claiming more is corruption or
+/// protocol drift and must fail as such, not as an attempted giant
+/// allocation (and the cap keeps the header-plus-payload size arithmetic
+/// from wrapping).
+constexpr std::uint64_t kMaxFramePayloadWords = 1ull << 31;
+
+enum class FrameType : std::uint32_t {
+  kHello = 1,
+  kWelcome = 2,
+  kHalo = 3,
+  kLive = 4,
+  kGather = 5,
+  kOutputs = 6,
+  kAbort = 7,
+};
+
+/// The fixed frame header. Plain trivially-copyable struct; shipped as raw
+/// bytes (host order, see file comment).
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint32_t type = 0;
+  std::uint64_t seq = 0;            ///< sender's exchange counter
+  std::uint64_t payload_words = 0;  ///< 64-bit words following the header
+};
+static_assert(sizeof(FrameHeader) == 24, "header layout is part of the wire");
+
+/// One reassembled frame.
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint64_t> payload;
+};
+
+/// Appends a complete frame (header + payload) to `out`.
+void append_frame(std::vector<char>& out, FrameType type, std::uint64_t seq,
+                  const std::uint64_t* words, std::size_t count);
+
+/// Packs a string into whole words (length prefix + bytes, zero-padded) /
+/// unpacks it again — the kAbort payload encoding.
+std::vector<std::uint64_t> pack_string(const std::string& s);
+std::string unpack_string(const std::uint64_t* words, std::size_t count);
+
+/// Reads exactly `bytes` from `fd` (blocking), retrying on EINTR and short
+/// reads. Throws ds::CheckError on EOF or error, naming `what`.
+void read_full(int fd, void* buf, std::size_t bytes, const char* what);
+
+/// Writes exactly `bytes` to `fd` (blocking), retrying on EINTR and short
+/// writes. Throws ds::CheckError on error, naming `what`.
+void write_full(int fd, const void* buf, std::size_t bytes, const char* what);
+
+/// Blocking convenience pair for the handshake phase.
+void write_frame(int fd, FrameType type, std::uint64_t seq,
+                 const std::uint64_t* words, std::size_t count,
+                 const char* what);
+Frame read_frame(int fd, const char* what);
+
+/// Incremental frame reassembly for the nonblocking exchange: recv straight
+/// into `recv_buffer()`, `commit` what arrived, then drain complete frames
+/// with `next_frame`. Bytes beyond the last complete frame stay buffered
+/// across calls (a fast peer's next-round frame can land early).
+class FrameReader {
+ public:
+  /// A writable span of at least `hint` bytes to recv into.
+  [[nodiscard]] std::pair<char*, std::size_t> recv_buffer(std::size_t hint);
+
+  /// Declares `n` bytes of `recv_buffer` as received.
+  void commit(std::size_t n);
+
+  /// Moves the next complete frame into `out` (reusing its payload
+  /// capacity). Returns false while incomplete. Throws ds::CheckError on a
+  /// corrupt header (bad magic — protocol drift or an endianness-mismatched
+  /// peer).
+  bool next_frame(Frame& out);
+
+  /// Buffered-but-unparsed byte count (diagnostics).
+  [[nodiscard]] std::size_t pending_bytes() const { return end_ - start_; }
+
+ private:
+  void compact();
+
+  std::vector<char> buf_;
+  std::size_t start_ = 0;  ///< first unparsed byte
+  std::size_t end_ = 0;    ///< one past the last received byte
+};
+
+}  // namespace ds::net

@@ -1,0 +1,99 @@
+#include "net/loopback.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <cstdio>
+#include <exception>
+
+#include "support/check.hpp"
+
+namespace ds::net {
+
+LoopbackReport run_loopback_ranks(
+    std::size_t ranks, const std::function<int(LoopbackRank&&)>& body,
+    const std::function<void(const std::vector<pid_t>&)>& after_fork) {
+  DS_CHECK_MSG(ranks >= 1, "a loopback fleet needs at least one rank");
+
+  // Bind every rank's listen socket up front: ephemeral ports, read back
+  // with getsockname. Children inherit the fds through fork, so the whole
+  // fleet agrees on the address book with zero collision risk.
+  std::vector<Socket> listeners;
+  std::vector<Endpoint> hosts;
+  listeners.reserve(ranks);
+  hosts.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    listeners.push_back(listen_on({"127.0.0.1", 0}));
+    hosts.push_back(local_endpoint(listeners.back().fd()));
+  }
+
+  // Children inherit the parent's stdio buffers; flush so _exit does not
+  // replay buffered output once per rank.
+  std::fflush(nullptr);
+
+  std::vector<pid_t> children;
+  children.reserve(ranks - 1);
+  for (std::size_t r = 1; r < ranks; ++r) {
+    const pid_t pid = ::fork();
+    DS_CHECK_MSG(pid >= 0, "fork failed");
+    if (pid == 0) {
+#ifdef __linux__
+      ::prctl(PR_SET_PDEATHSIG, SIGKILL);  // die with the parent
+#endif
+      // Keep only the own listen socket; the peers' fds belong to them.
+      for (std::size_t o = 0; o < ranks; ++o) {
+        if (o != r) listeners[o].reset();
+      }
+      int code = 0;
+      try {
+        code = body(LoopbackRank{r, hosts, std::move(listeners[r])});
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "loopback rank %zu failed: %s\n", r, e.what());
+        code = 3;
+      } catch (...) {
+        std::fprintf(stderr, "loopback rank %zu failed: unknown exception\n",
+                     r);
+        code = 3;
+      }
+      ::_exit(code);
+    }
+    children.push_back(pid);
+    listeners[r].reset();  // the child owns this rank's socket now
+  }
+
+  if (after_fork) after_fork(children);
+
+  LoopbackReport report;
+  try {
+    report.rank0 = body(LoopbackRank{0, hosts, std::move(listeners[0])});
+  } catch (...) {
+    // Rank 0 died: the children may be blocked on it (their transports
+    // will time out eventually, but tests should not wait for that).
+    for (const pid_t pid : children) ::kill(pid, SIGKILL);
+    for (const pid_t pid : children) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    throw;
+  }
+
+  report.peer_exit_codes.reserve(children.size());
+  for (const pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (WIFEXITED(status)) {
+      report.peer_exit_codes.push_back(WEXITSTATUS(status));
+    } else if (WIFSIGNALED(status)) {
+      report.peer_exit_codes.push_back(128 + WTERMSIG(status));
+    } else {
+      report.peer_exit_codes.push_back(-1);
+    }
+  }
+  return report;
+}
+
+}  // namespace ds::net

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file rendezvous.hpp
+/// Bootstrap of a TCP rank fleet: digest computation, the kHello/kWelcome
+/// handshake, and the deadlock-free pair-connection mesh.
+///
+/// Every rank listens on its hosts-file port. Rank 0 is the rendezvous
+/// point: ranks 1..N-1 connect to it and send a kHello carrying their rank,
+/// fleet size, protocol version, and the topology/partition digests; rank 0
+/// verifies all of them against its own state and answers kWelcome — or a
+/// kAbort naming the mismatch, so a launch where the ranks disagree about
+/// the instance, seed, ID strategy or partition fails fast instead of
+/// diverging silently. After its welcome, each peer dials the remaining
+/// pairs directly (rank a connects to rank b for 0 < a < b, each rank
+/// accepting its lower peers before dialing its higher ones — a total
+/// order, so the mesh build cannot deadlock), repeating the same handshake
+/// per pair; a dialed rank that has not bound its listener yet (launch
+/// order is arbitrary, and rank 0 welcomes peers one by one) is covered by
+/// `connect_to`'s retry-until-deadline loop. The rendezvous connections
+/// themselves are kept as the (0, r) pair connections.
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/partition.hpp"
+#include "local/topology.hpp"
+#include "net/socket.hpp"
+
+namespace ds::net {
+
+/// The identity a rank asserts in its kHello.
+struct Handshake {
+  std::uint64_t version = 0;
+  std::uint64_t rank = 0;
+  std::uint64_t ranks = 0;
+  std::uint64_t topology_digest = 0;
+  std::uint64_t partition_digest = 0;
+};
+
+/// FNV-1a digest over the topology identity: node/edge structure, UID
+/// assignment (which covers IdStrategy and seed) and the seed itself.
+std::uint64_t topology_digest(const local::NetworkTopology& topo);
+
+/// FNV-1a digest over the partition: rank count and range boundaries.
+std::uint64_t partition_digest(const dist::Partition& part);
+
+/// Builds the full pair-connection mesh for `mine.rank`. `hosts` is the
+/// rank-ordered endpoint list; `listen` must already be bound to
+/// `hosts[rank]` (pass a pre-bound socket, e.g. from the loopback helper).
+/// Returns one connected socket per peer, indexed by rank (the own slot is
+/// invalid). All sockets are left in blocking mode; the caller sets
+/// nonblocking/nodelay as needed. Throws ds::CheckError on timeout, version
+/// or digest mismatch, or a peer abort.
+std::vector<Socket> rendezvous(const Handshake& mine,
+                               const std::vector<Endpoint>& hosts,
+                               Socket& listen, int timeout_ms);
+
+}  // namespace ds::net

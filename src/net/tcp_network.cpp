@@ -1,0 +1,63 @@
+#include "net/tcp_network.hpp"
+
+#include <exception>
+
+#include "dist/rank_loop.hpp"
+#include "support/check.hpp"
+
+namespace ds::net {
+
+namespace {
+
+std::size_t checked_ranks(const TcpNetworkConfig& config) {
+  DS_CHECK_MSG(!config.hosts.empty(),
+               "TcpNetwork: the hosts list must name at least one rank");
+  DS_CHECK_MSG(config.rank < config.hosts.size(),
+               "TcpNetwork: --rank must be < the hosts list size");
+  return config.hosts.size();
+}
+
+}  // namespace
+
+TcpNetwork::TcpNetwork(const graph::Graph& g, local::IdStrategy strategy,
+                       std::uint64_t seed, TcpNetworkConfig config)
+    : topology_(g, strategy, seed),
+      partition_(topology_, checked_ranks(config)),
+      transport_(config.rank, config.hosts, topology_, partition_,
+                 config.transport, std::move(config.listen)) {}
+
+std::size_t TcpNetwork::run(const local::ProgramFactory& factory,
+                            std::size_t max_rounds, local::CostMeter* meter) {
+  std::size_t rounds = 0;
+  try {
+    rounds = dist::run_rank_loop(topology_, partition_, transport_, factory,
+                                 max_rounds, epoch_, sink_, output_fn_,
+                                 programs_);
+  } catch (const std::exception& e) {
+    // Locally raised failures (max_rounds, a throwing program, a gather
+    // protocol error) must fail the whole fleet, not just this rank — the
+    // peers are blocked in an exchange that this rank will never join.
+    // Transport-raised failures already aborted; the call is idempotent.
+    transport_.abort(e.what());
+    throw;
+  }
+  // The re-broadcast output table is valid on every rank; assemble it
+  // whenever a serializer is installed.
+  if (output_fn_) {
+    dist::assemble_outputs(transport_, partition_, outputs_);
+  } else {
+    outputs_.clear();
+  }
+  if (meter != nullptr) meter->add_executed(rounds);
+  return rounds;
+}
+
+const local::NodeProgram& TcpNetwork::program(graph::NodeId v) const {
+  DS_CHECK(v < programs_.size());
+  DS_CHECK_MSG(programs_[v] != nullptr,
+               "program(v) is only resident in the owning rank's process; "
+               "use set_output_fn/outputs() for cross-rank results");
+  return *programs_[v];
+}
+
+}  // namespace ds::net

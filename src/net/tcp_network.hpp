@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file tcp_network.hpp
+/// `net::TcpNetwork` — the multi-host LOCAL-model executor: one OS process
+/// per rank (typically on different machines), connected by a
+/// `net::TcpTransport`, each running the shared `dist::run_rank_loop`
+/// protocol over its degree-balanced partition range.
+///
+/// Every rank constructs the same `TcpNetwork` over the same (graph,
+/// IdStrategy, seed) with its own `rank` — the rendezvous handshake rejects
+/// launches where the ranks disagree (see net/rendezvous.hpp). Unlike the
+/// fork-based `dist::DistributedNetwork`, the rank count is fixed by the
+/// launch (a live process cannot be clamped away), so `hosts.size()` ranks
+/// always participate; ranks beyond the node count simply own empty ranges.
+///
+/// # Determinism contract
+///
+/// Identical to the other executors: for a fixed (graph, IdStrategy, seed),
+/// per-node outputs, round counts and RoundStats are bit-identical to
+/// `local::Network` at every rank count. The transport moves message words
+/// verbatim in canonical link order and the round protocol is the shared
+/// `run_rank_loop`, so nothing rank-count-dependent can leak into program
+/// observations. tests/test_net_tcp.cpp asserts this on loopback fleets.
+///
+/// # Output collection
+///
+/// The `set_output_fn`/`outputs()` gather contract streams every rank's
+/// rows to rank 0, which assembles the table and re-broadcasts it — so
+/// `outputs()` returns the full, identical table on *every* rank (SPMD
+/// style: algorithm code needs no rank special-casing). `program(v)` is
+/// resident only for the own range.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dist/partition.hpp"
+#include "graph/graph.hpp"
+#include "local/executor.hpp"
+#include "local/ids.hpp"
+#include "local/program.hpp"
+#include "local/round_stats.hpp"
+#include "local/topology.hpp"
+#include "net/socket.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace ds::net {
+
+/// Launch parameters of one rank's executor.
+struct TcpNetworkConfig {
+  std::size_t rank = 0;
+  /// Rank-ordered endpoints of the whole fleet (hosts-file contents).
+  std::vector<Endpoint> hosts;
+  TcpOptions transport;
+  /// Optional pre-bound listen socket for `hosts[rank]` (the loopback
+  /// helper pre-binds ephemeral ports to keep tests collision-free).
+  Socket listen;
+};
+
+/// Multi-host synchronous executor on a fixed communication graph.
+class TcpNetwork final : public local::Executor {
+ public:
+  /// Builds the executor and connects the fleet (blocks until every rank's
+  /// handshake went through or the rendezvous times out).
+  TcpNetwork(const graph::Graph& g, local::IdStrategy strategy,
+             std::uint64_t seed, TcpNetworkConfig config);
+
+  std::size_t run(const local::ProgramFactory& factory,
+                  std::size_t max_rounds,
+                  local::CostMeter* meter = nullptr) override;
+
+  /// Only resident for nodes in this rank's range; use `outputs()` (valid
+  /// on every rank) for executor-portable result extraction.
+  [[nodiscard]] const local::NodeProgram& program(
+      graph::NodeId v) const override;
+
+  [[nodiscard]] const local::NetworkTopology& topology() const override {
+    return topology_;
+  }
+
+  void set_stats_sink(local::RoundStatsSink sink) override {
+    sink_ = std::move(sink);
+  }
+
+  [[nodiscard]] std::size_t rank() const { return transport_.rank(); }
+  [[nodiscard]] std::size_t num_ranks() const {
+    return transport_.num_ranks();
+  }
+
+  /// The node partition (ranges, halo routing tables, edge-cut stats).
+  [[nodiscard]] const dist::Partition& partition() const {
+    return partition_;
+  }
+
+ private:
+  local::NetworkTopology topology_;
+  dist::Partition partition_;
+  TcpTransport transport_;
+  /// This rank's resident programs (size n; null outside the own range).
+  std::vector<std::unique_ptr<local::NodeProgram>> programs_;
+  /// Monotone round tag; never reset across runs.
+  std::uint64_t epoch_ = 0;
+  local::RoundStatsSink sink_;
+};
+
+}  // namespace ds::net

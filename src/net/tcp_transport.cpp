@@ -1,0 +1,429 @@
+#include "net/tcp_transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "net/rendezvous.hpp"
+#include "support/check.hpp"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0  // non-Linux: rely on the transport ignoring EPIPE
+#endif
+
+namespace ds::net {
+
+namespace {
+
+const char* type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kWelcome: return "welcome";
+    case FrameType::kHalo: return "halo";
+    case FrameType::kLive: return "liveness";
+    case FrameType::kGather: return "gather";
+    case FrameType::kOutputs: return "outputs";
+    case FrameType::kAbort: return "abort";
+  }
+  return "?";
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(std::size_t rank,
+                           const std::vector<Endpoint>& hosts,
+                           const local::NetworkTopology& topo,
+                           const dist::Partition& part, TcpOptions opts,
+                           Socket listen)
+    : rank_(rank), part_(&part), opts_(opts) {
+  const std::size_t ranks = hosts.size();
+  DS_CHECK_MSG(ranks >= 1 && rank < ranks,
+               "TcpTransport: rank must be in [0, ranks)");
+  DS_CHECK_MSG(part.num_workers() == ranks,
+               "TcpTransport: partition must have one range per rank");
+  peers_.resize(ranks);
+  gather_rows_.resize(ranks);
+  if (ranks == 1) return;
+
+  if (!listen.valid()) listen = listen_on(hosts[rank]);
+  Handshake mine;
+  mine.version = kProtocolVersion;
+  mine.rank = rank;
+  mine.ranks = ranks;
+  mine.topology_digest = topology_digest(topo);
+  mine.partition_digest = partition_digest(part);
+  std::vector<Socket> conns =
+      rendezvous(mine, hosts, listen, opts_.handshake_timeout_ms);
+  listen.reset();  // free the rank port for a later executor immediately
+  for (std::size_t r = 0; r < ranks; ++r) {
+    if (r == rank_) continue;
+    set_nodelay(conns[r].fd());
+    set_buffer_sizes(conns[r].fd(), opts_.sndbuf_bytes, opts_.rcvbuf_bytes);
+    set_nonblocking(conns[r].fd(), true);
+    peers_[r].sock = std::move(conns[r]);
+  }
+}
+
+void TcpTransport::stage(std::size_t d, FrameType type,
+                         const std::uint64_t* words, std::size_t count) {
+  append_frame(peers_[d].out, type, exchange_seq_, words, count);
+}
+
+void TcpTransport::peer_lost(std::size_t r, const std::string& why) {
+  const std::string msg =
+      "rank " + std::to_string(rank_) + ": connection to rank " +
+      std::to_string(r) + " lost (" + why + ") — peer process died?";
+  abort(msg);  // forward to the surviving peers so nobody waits for us
+  DS_CHECK_MSG(false, "distributed run aborted: " + msg);
+}
+
+void TcpTransport::handle_frame(std::size_t r, FrameType expect) {
+  Peer& p = peers_[r];
+  const auto type = static_cast<FrameType>(scratch_.header.type);
+  if (type == FrameType::kAbort) {
+    const std::string msg = unpack_string(scratch_.payload.data(),
+                                          scratch_.payload.size());
+    abort(msg);  // forward before dying so the whole fleet unblocks
+    DS_CHECK_MSG(false, "distributed run aborted by rank " +
+                            std::to_string(r) + ": " + msg);
+  }
+  DS_CHECK_MSG(type == expect && scratch_.header.seq == exchange_seq_,
+               "rank " + std::to_string(rank_) + ": protocol drift — got " +
+                   type_name(type) + " frame seq " +
+                   std::to_string(scratch_.header.seq) + " from rank " +
+                   std::to_string(r) + " while expecting " +
+                   type_name(expect) + " seq " +
+                   std::to_string(exchange_seq_));
+  Frame& target = (expect == FrameType::kHalo) ? p.halo : p.ctrl;
+  target.header = scratch_.header;
+  std::swap(target.payload, scratch_.payload);
+  p.got = true;
+}
+
+void TcpTransport::pump(FrameType expect,
+                        const std::vector<bool>& expect_from) {
+  const std::size_t ranks = peers_.size();
+  // The unsent bytes of p: its own staged frames first, then its cursor
+  // into the shared broadcast buffer (never both at once — per-peer frames
+  // and the broadcast belong to different phases).
+  const auto send_span = [](Peer& p) -> std::pair<const char*, std::size_t> {
+    if (p.out_pos < p.out.size()) {
+      return {p.out.data() + p.out_pos, p.out.size() - p.out_pos};
+    }
+    if (p.shared_out != nullptr && p.shared_pos < p.shared_out->size()) {
+      return {p.shared_out->data() + p.shared_pos,
+              p.shared_out->size() - p.shared_pos};
+    }
+    return {nullptr, 0};
+  };
+  const auto advance_sent = [](Peer& p, std::size_t n) {
+    if (p.out_pos < p.out.size()) {
+      p.out_pos += n;
+      if (p.out_pos == p.out.size()) {
+        p.out.clear();
+        p.out_pos = 0;
+      }
+      return;
+    }
+    p.shared_pos += n;
+    if (p.shared_pos == p.shared_out->size()) {
+      p.shared_out = nullptr;
+      p.shared_pos = 0;
+    }
+  };
+  for (std::size_t r = 0; r < ranks; ++r) {
+    if (r == rank_) continue;
+    Peer& p = peers_[r];
+    p.got = !expect_from[r];
+    // A fast peer's frame may already be buffered from an earlier recv.
+    while (!p.got && p.reader.next_frame(scratch_)) {
+      handle_frame(r, expect);
+    }
+  }
+
+  const std::int64_t deadline = steady_now_ms() + opts_.round_timeout_ms;
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> pfd_rank;
+  for (;;) {
+    pfds.clear();
+    pfd_rank.clear();
+    for (std::size_t r = 0; r < ranks; ++r) {
+      if (r == rank_) continue;
+      Peer& p = peers_[r];
+      short events = 0;
+      if (send_span(p).second > 0) events |= POLLOUT;
+      if (!p.got) events |= POLLIN;
+      if (events != 0) {
+        pfds.push_back({p.sock.fd(), events, 0});
+        pfd_rank.push_back(r);
+      }
+    }
+    if (pfds.empty()) return;  // everything flushed, everything received
+
+    const std::int64_t left = deadline - steady_now_ms();
+    if (left <= 0) {
+      std::string waiting;
+      for (std::size_t r = 0; r < ranks; ++r) {
+        if (r != rank_ && !peers_[r].got) {
+          waiting += (waiting.empty() ? "" : ", ") + std::to_string(r);
+        }
+      }
+      const std::string msg =
+          "rank " + std::to_string(rank_) + ": timed out after " +
+          std::to_string(opts_.round_timeout_ms) + " ms waiting for " +
+          type_name(expect) + " frames from rank(s) " +
+          (waiting.empty() ? "<none — send stalled>" : waiting);
+      abort(msg);
+      DS_CHECK_MSG(false, "distributed run aborted: " + msg);
+    }
+    // Short poll slices keep the deadline honest even if the clock source
+    // and poll disagree about elapsed time.
+    const int slice = static_cast<int>(std::min<std::int64_t>(left, 200));
+    const int rc = ::poll(pfds.data(), pfds.size(), slice);
+    if (rc < 0) {
+      DS_CHECK_MSG(errno == EINTR,
+                   std::string("poll(exchange): ") + std::strerror(errno));
+      continue;
+    }
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      const std::size_t r = pfd_rank[i];
+      Peer& p = peers_[r];
+      const short re = pfds[i].revents;
+      if (re == 0) continue;
+      if ((re & POLLNVAL) != 0) peer_lost(r, "invalid socket");
+      // Read first: POLLHUP/POLLERR may still have buffered data (and the
+      // peer's kAbort is exactly the frame we want to see before dying).
+      if ((re & (POLLIN | POLLHUP | POLLERR)) != 0 && !p.got) {
+        const auto [buf, capacity] = p.reader.recv_buffer(64 * 1024);
+        const ssize_t n = ::recv(p.sock.fd(), buf, capacity, 0);
+        if (n > 0) {
+          p.reader.commit(static_cast<std::size_t>(n));
+          while (!p.got && p.reader.next_frame(scratch_)) {
+            handle_frame(r, expect);
+          }
+        } else if (n == 0) {
+          peer_lost(r, "EOF");
+        } else if (errno != EINTR && errno != EAGAIN &&
+                   errno != EWOULDBLOCK) {
+          peer_lost(r, std::string("recv: ") + std::strerror(errno));
+        }
+      } else if ((re & (POLLHUP | POLLERR)) != 0) {
+        peer_lost(r, "connection reset");
+      }
+      const auto [send_ptr, send_len] = send_span(p);
+      if ((re & POLLOUT) != 0 && send_len > 0) {
+        const ssize_t n = ::send(p.sock.fd(), send_ptr, send_len,
+                                 MSG_NOSIGNAL);
+        if (n > 0) {
+          advance_sent(p, static_cast<std::size_t>(n));
+        } else if (n < 0 && errno != EINTR && errno != EAGAIN &&
+                   errno != EWOULDBLOCK) {
+          peer_lost(r, std::string("send: ") + std::strerror(errno));
+        }
+      }
+    }
+  }
+}
+
+std::size_t TcpTransport::sync_liveness(std::size_t my_not_done) {
+  ++exchange_seq_;
+  const std::size_t ranks = peers_.size();
+  const std::uint64_t word = my_not_done;
+  std::vector<bool> expect(ranks, true);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    if (r != rank_) stage(r, FrameType::kLive, &word, 1);
+  }
+  pump(FrameType::kLive, expect);
+  std::size_t total = my_not_done;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    if (r == rank_) continue;
+    const Frame& f = peers_[r].ctrl;
+    DS_CHECK_MSG(f.payload.size() == 1, "malformed liveness frame");
+    total += static_cast<std::size_t>(f.payload[0]);
+  }
+  return total;
+}
+
+void TcpTransport::ship(const local::MessageSpan* local_arena,
+                        const std::uint64_t* bank_words, std::uint64_t epoch,
+                        const RoundTotals& mine) {
+  ++exchange_seq_;
+  const std::size_t ranks = peers_.size();
+  const std::size_t halo_base = part_->num_local_ports(rank_);
+  for (std::size_t d = 0; d < ranks; ++d) {
+    if (d == rank_) continue;
+    const dist::Partition::HaloLink& link = part_->link(rank_, d);
+    const std::size_t cut = link.src_out_slots.size();
+    stage_words_.clear();
+    stage_words_.push_back(mine.senders);
+    stage_words_.push_back(mine.messages);
+    stage_words_.push_back(mine.payload_words);
+    stage_words_.resize(3 + cut);
+    for (std::size_t i = 0; i < cut; ++i) {
+      const local::MessageSpan& span =
+          local_arena[halo_base + link.src_out_slots[i]];
+      stage_words_[3 + i] =
+          (span.epoch == epoch) ? span.length : 0;
+    }
+    for (std::size_t i = 0; i < cut; ++i) {
+      const std::uint64_t len = stage_words_[3 + i];
+      if (len == 0) continue;
+      const local::MessageSpan& span =
+          local_arena[halo_base + link.src_out_slots[i]];
+      stage_words_.insert(stage_words_.end(), bank_words + span.offset,
+                          bank_words + span.offset + len);
+    }
+    stage(d, FrameType::kHalo, stage_words_.data(), stage_words_.size());
+  }
+  std::vector<bool> expect(ranks, true);
+  pump(FrameType::kHalo, expect);
+
+  totals_ = mine;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    if (r == rank_) continue;
+    const Frame& f = peers_[r].halo;
+    DS_CHECK_MSG(f.payload.size() >= 3, "malformed halo frame");
+    totals_.senders += f.payload[0];
+    totals_.messages += f.payload[1];
+    totals_.payload_words += f.payload[2];
+  }
+}
+
+void TcpTransport::patch(local::MessageSpan* local_arena,
+                         std::uint64_t epoch) {
+  const std::size_t ranks = peers_.size();
+  for (std::size_t s = 0; s < ranks; ++s) {
+    if (s == rank_) continue;
+    const dist::Partition::HaloLink& link = part_->link(s, rank_);
+    const std::size_t cut = link.dst_slots.size();
+    const Frame& f = peers_[s].halo;
+    DS_CHECK_MSG(f.payload.size() >= 3 + cut, "malformed halo frame");
+    const std::uint64_t* lengths = f.payload.data() + 3;
+    std::uint64_t offset = 0;
+    const auto bank = static_cast<std::uint32_t>(1 + s);
+    for (std::size_t i = 0; i < cut; ++i) {
+      const std::uint64_t len = lengths[i];
+      if (len == 0) continue;  // stale span in the dst arena stays ignored
+      local_arena[link.dst_slots[i]] = local::MessageSpan{
+          offset, epoch, static_cast<std::uint32_t>(len), bank};
+      offset += len;
+    }
+    DS_CHECK_MSG(3 + cut + offset == f.payload.size(),
+                 "halo frame length mismatch");
+  }
+}
+
+void TcpTransport::update_bank_bases(
+    std::vector<const std::uint64_t*>& bases,
+    const std::uint64_t* own_bank) const {
+  const std::size_t ranks = peers_.size();
+  bases.assign(1 + ranks, nullptr);
+  bases[0] = own_bank;
+  for (std::size_t s = 0; s < ranks; ++s) {
+    if (s == rank_) continue;
+    const std::size_t cut = part_->link(s, rank_).dst_slots.size();
+    if (cut == 0) continue;  // no spans carry this bank index
+    // Payload area after the stats triple and the lengths header; the frame
+    // buffer is stable until the next ship's exchange parses into it.
+    bases[1 + s] = peers_[s].halo.payload.data() + 3 + cut;
+  }
+}
+
+void TcpTransport::gather(const std::vector<std::uint64_t>& words) {
+  const std::size_t ranks = peers_.size();
+  // Phase 1: everyone streams its rows to rank 0.
+  ++exchange_seq_;
+  std::vector<bool> expect(ranks, rank_ == 0);
+  if (rank_ != 0) {
+    stage(0, FrameType::kGather, words.data(), words.size());
+    std::fill(expect.begin(), expect.end(), false);
+  }
+  pump(FrameType::kGather, expect);
+
+  // Phase 2: rank 0 assembles and re-broadcasts the full table, so results
+  // are replicated SPMD-style — algorithms read outputs() on every rank.
+  ++exchange_seq_;
+  if (rank_ == 0) {
+    gather_rows_[0] = words;
+    for (std::size_t r = 1; r < ranks; ++r) {
+      gather_rows_[r] = peers_[r].ctrl.payload;
+    }
+    stage_words_.clear();
+    for (std::size_t r = 0; r < ranks; ++r) {
+      stage_words_.push_back(gather_rows_[r].size());
+    }
+    for (std::size_t r = 0; r < ranks; ++r) {
+      stage_words_.insert(stage_words_.end(), gather_rows_[r].begin(),
+                          gather_rows_[r].end());
+    }
+    // One framed copy of the table, shared by every peer's send cursor —
+    // not one staged duplicate per peer.
+    broadcast_bytes_.clear();
+    append_frame(broadcast_bytes_, FrameType::kOutputs, exchange_seq_,
+                 stage_words_.data(), stage_words_.size());
+    for (std::size_t r = 1; r < ranks; ++r) {
+      peers_[r].shared_out = &broadcast_bytes_;
+      peers_[r].shared_pos = 0;
+    }
+    std::fill(expect.begin(), expect.end(), false);
+    pump(FrameType::kOutputs, expect);
+  } else {
+    std::fill(expect.begin(), expect.end(), false);
+    expect[0] = true;
+    pump(FrameType::kOutputs, expect);
+    const Frame& f = peers_[0].ctrl;
+    DS_CHECK_MSG(f.payload.size() >= ranks, "malformed outputs frame");
+    std::size_t pos = ranks;
+    for (std::size_t r = 0; r < ranks; ++r) {
+      const auto count = static_cast<std::size_t>(f.payload[r]);
+      DS_CHECK_MSG(pos + count <= f.payload.size(),
+                   "malformed outputs frame");
+      gather_rows_[r].assign(f.payload.begin() + pos,
+                             f.payload.begin() + pos + count);
+      pos += count;
+    }
+    DS_CHECK_MSG(pos == f.payload.size(), "malformed outputs frame");
+  }
+}
+
+std::pair<const std::uint64_t*, std::size_t> TcpTransport::gathered(
+    std::size_t w) const {
+  DS_CHECK(w < gather_rows_.size());
+  return {gather_rows_[w].data(), gather_rows_[w].size()};
+}
+
+void TcpTransport::abort(const std::string& msg) {
+  if (abort_sent_) return;
+  abort_sent_ = true;
+  // Best effort with a short budget: the fleet is dying; never block the
+  // exception path on a peer that stopped reading.
+  std::vector<char> frame_bytes;
+  const auto words = pack_string(msg);
+  append_frame(frame_bytes, FrameType::kAbort, exchange_seq_, words.data(),
+               words.size());
+  const std::int64_t deadline = steady_now_ms() + 250;
+  for (std::size_t r = 0; r < peers_.size(); ++r) {
+    if (r == rank_ || !peers_[r].sock.valid()) continue;
+    std::size_t sent = 0;
+    while (sent < frame_bytes.size() && steady_now_ms() < deadline) {
+      const ssize_t n =
+          ::send(peers_[r].sock.fd(), frame_bytes.data() + sent,
+                 frame_bytes.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd pfd{peers_[r].sock.fd(), POLLOUT, 0};
+        ::poll(&pfd, 1, 20);
+      } else if (n < 0 && errno == EINTR) {
+        continue;
+      } else {
+        break;  // peer already gone; nothing to do
+      }
+    }
+  }
+}
+
+}  // namespace ds::net

@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file tcp_transport.hpp
+/// `net::TcpTransport` — the multi-host implementation of the abstract
+/// `dist::Transport`, carrying the halo protocol over per-ordered-pair TCP
+/// connections.
+///
+/// Where the shm transport writes into shared blocks and synchronizes with
+/// a barrier, this transport makes the frame exchange itself the barrier:
+/// each collective phase, every rank sends one frame to every peer and
+/// blocks (in a poll loop that writes and reads simultaneously, so an
+/// all-to-all burst larger than the socket buffers cannot deadlock) until
+/// every peer's frame of that phase arrived. TCP's per-connection ordering
+/// plus the SPMD-deterministic protocol mean the next frame on a connection
+/// is always the expected one; an exchange-sequence counter carried in
+/// every header turns any drift into a hard error.
+///
+/// A round's kHalo frame toward peer d carries this rank's send-phase stats
+/// and the cut traffic in the canonical `Partition::link(rank, d)` order —
+/// the same lengths-header + payload-words layout as the shm exchange
+/// blocks, so `patch` reuses the PR 2 arena path: received payloads stay in
+/// per-peer frame buffers and the destination span arena is patched onto
+/// them (bank index 1 + src), no per-message copying or routing metadata.
+///
+/// Failure handling is piggybacked on the same stream: an aborting rank
+/// best-effort sends kAbort on every connection, and a rank that observes
+/// EOF / a reset / a timeout raises the abort itself and forwards it to the
+/// remaining peers — so a SIGKILLed rank fails the whole run quickly
+/// instead of hanging it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/partition.hpp"
+#include "dist/transport.hpp"
+#include "local/topology.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace ds::net {
+
+/// Socket/timing knobs of one TcpTransport.
+struct TcpOptions {
+  /// Rendezvous budget: listen/connect/handshake of the whole fleet.
+  int handshake_timeout_ms = 30000;
+  /// Per-collective-phase budget; a peer that stays silent this long is
+  /// declared dead and the run aborts collectively.
+  int round_timeout_ms = 120000;
+  /// SO_SNDBUF / SO_RCVBUF (0 = OS default).
+  int sndbuf_bytes = 0;
+  int rcvbuf_bytes = 0;
+};
+
+class TcpTransport final : public dist::Transport {
+ public:
+  /// Establishes the full pair-connection mesh (see rendezvous.hpp): binds
+  /// `hosts[rank]` unless a pre-bound `listen` socket is supplied, then
+  /// handshakes with every peer. The listen socket is closed once the mesh
+  /// is up. Connections get TCP_NODELAY and the configured buffer sizes.
+  /// `topo` and `part` must outlive the transport.
+  TcpTransport(std::size_t rank, const std::vector<Endpoint>& hosts,
+               const local::NetworkTopology& topo,
+               const dist::Partition& part, TcpOptions opts,
+               Socket listen = {});
+
+  [[nodiscard]] std::size_t rank() const override { return rank_; }
+  [[nodiscard]] std::size_t num_ranks() const override {
+    return peers_.size();
+  }
+
+  std::size_t sync_liveness(std::size_t my_not_done) override;
+  void ship(const local::MessageSpan* local_arena,
+            const std::uint64_t* bank_words, std::uint64_t epoch,
+            const RoundTotals& mine) override;
+  [[nodiscard]] RoundTotals round_totals() const override {
+    return totals_;
+  }
+  void patch(local::MessageSpan* local_arena, std::uint64_t epoch) override;
+  void update_bank_bases(std::vector<const std::uint64_t*>& bases,
+                         const std::uint64_t* own_bank) const override;
+  void gather(const std::vector<std::uint64_t>& words) override;
+  [[nodiscard]] std::pair<const std::uint64_t*, std::size_t> gathered(
+      std::size_t w) const override;
+  void abort(const std::string& msg) override;
+
+ private:
+  /// Per-peer connection state. `halo` keeps the last kHalo frame alive
+  /// through the receive phase (Inbox spans point into its payload); all
+  /// other expected frames land in `ctrl`.
+  struct Peer {
+    Socket sock;
+    std::vector<char> out;     ///< staged outgoing bytes (per-peer frames)
+    std::size_t out_pos = 0;   ///< first unsent byte
+    /// Broadcast staging: when the same frame goes to every peer (the
+    /// gather re-broadcast), all peers share one buffer and keep only a
+    /// cursor — rank 0 must not hold N identical copies of the table.
+    const std::vector<char>* shared_out = nullptr;
+    std::size_t shared_pos = 0;
+    FrameReader reader;
+    Frame halo;
+    Frame ctrl;
+    bool got = false;          ///< expected frame of this exchange arrived
+  };
+
+  /// Appends one frame toward peer `d` for the current exchange.
+  void stage(std::size_t d, FrameType type, const std::uint64_t* words,
+             std::size_t count);
+
+  /// Drives the poll loop until every staged byte is flushed and every peer
+  /// in `expect_from` delivered its `expect` frame of the current exchange.
+  void pump(FrameType expect, const std::vector<bool>& expect_from);
+
+  /// Stores an arrived frame, enforcing type and sequence lockstep.
+  void handle_frame(std::size_t r, FrameType expect);
+
+  /// A peer's connection died: raise + forward the abort, then throw.
+  [[noreturn]] void peer_lost(std::size_t r, const std::string& why);
+
+  std::size_t rank_;
+  const dist::Partition* part_;
+  TcpOptions opts_;
+  std::vector<Peer> peers_;          ///< size ranks; own slot unused
+  std::uint64_t exchange_seq_ = 0;   ///< stepped once per collective phase
+  RoundTotals totals_;               ///< last shipped round, fleet-wide
+  std::vector<std::vector<std::uint64_t>> gather_rows_;  ///< per rank
+  std::vector<std::uint64_t> stage_words_;  ///< scratch payload builder
+  std::vector<char> broadcast_bytes_;       ///< shared kOutputs frame
+  Frame scratch_;                           ///< scratch parse target
+  bool abort_sent_ = false;
+};
+
+}  // namespace ds::net

@@ -2,9 +2,9 @@
 
 /// \file select.hpp
 /// Runtime selection of the LOCAL-model executor for experiment binaries:
-/// `--runtime=sequential|parallel|mp`, `--threads=N` (parallel) and
-/// `--workers=N` (mp) map to an `local::ExecutorFactory` that algorithm
-/// entry points accept.
+/// `--runtime=sequential|parallel|mp|tcp`, `--threads=N` (parallel),
+/// `--workers=N` (mp) and `--rank=R --ranks=N --hosts=FILE` (tcp) map to an
+/// `local::ExecutorFactory` that algorithm entry points accept.
 
 #include <cstddef>
 #include <string>
@@ -20,6 +20,7 @@ enum class RuntimeKind {
   kSequential,    ///< local::Network (the reference implementation)
   kParallel,      ///< runtime::ParallelNetwork (thread-sharded)
   kMultiProcess,  ///< dist::DistributedNetwork (forked workers + halo)
+  kTcp,           ///< net::TcpNetwork (one process per rank, TCP halo)
 };
 
 /// Executor choice of one binary invocation.
@@ -31,11 +32,21 @@ struct RuntimeConfig {
   /// when a run aborts with a halo/gather overflow naming these knobs.
   std::size_t halo_words = 0;
   std::size_t gather_words = 0;
+  /// tcp runtime: this process's rank, the expected fleet size (0 = take it
+  /// from the hosts file), and the rank-ordered hosts file path.
+  std::size_t rank = 0;
+  std::size_t ranks = 0;
+  std::string hosts;
+  /// tcp socket buffer sizes in bytes (0 = OS default).
+  std::size_t sndbuf = 0;
+  std::size_t rcvbuf = 0;
 };
 
-/// Parses `--runtime=sequential|parallel|mp` (default sequential),
-/// `--threads=N`, `--workers=N` and the mp overflow knobs `--halo-words=N`
-/// / `--gather-words=N`. Throws ds::CheckError on an unknown runtime name.
+/// Parses `--runtime=sequential|parallel|mp|tcp` (default sequential),
+/// `--threads=N`, `--workers=N`, the mp overflow knobs `--halo-words=N` /
+/// `--gather-words=N`, and the tcp launch flags `--rank=R --ranks=N
+/// --hosts=FILE [--sndbuf=BYTES --rcvbuf=BYTES]`. Throws ds::CheckError on
+/// an unknown runtime name.
 RuntimeConfig runtime_from_options(const Options& opts);
 
 /// Factory honoring `config`: an empty factory for the sequential runtime

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "dist/partition.hpp"
-#include "dist/transport.hpp"
+#include "dist/shm_transport.hpp"
 #include "graph/generators.hpp"
 #include "local/topology.hpp"
 #include "runtime/parallel_network.hpp"

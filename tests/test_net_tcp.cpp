@@ -1,0 +1,441 @@
+// Tests for the TCP runtime: the determinism contract — for a fixed
+// (graph, IdStrategy, seed), a loopback `net::TcpNetwork` fleet must
+// produce bit-identical per-node outputs, round counts and RoundStats to
+// the sequential Network at 2 and 4 ranks — plus the Luby / trial coloring
+// / sinkless algorithm plumbing through the ExecutorFactory, degenerate
+// instances (ranks > nodes, isolated nodes, empty graph), the rendezvous
+// digest handshake, and collective aborts. Mirrors tests/test_dist.cpp so
+// the shm and the TCP runtime suites cannot drift apart.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coloring/randcolor.hpp"
+#include "determinism_probe.hpp"
+#include "graph/generators.hpp"
+#include "local/network.hpp"
+#include "local/round_stats.hpp"
+#include "mis/mis.hpp"
+#include "net/loopback.hpp"
+#include "net/tcp_network.hpp"
+#include "orient/sinkless.hpp"
+#include "runtime/select.hpp"
+#include "support/check.hpp"
+
+namespace ds::net {
+namespace {
+
+using probes::probe_factory;
+
+// Tests must fail fast, not sit out the production rendezvous/round
+// budgets, when a protocol bug wedges a fleet.
+TcpOptions test_options() {
+  TcpOptions opts;
+  opts.handshake_timeout_ms = 20000;
+  opts.round_timeout_ms = 30000;
+  return opts;
+}
+
+local::OutputFn probe_output_fn() {
+  return [](graph::NodeId, const local::NodeProgram& p,
+            std::vector<std::uint64_t>& out) {
+    out.push_back(static_cast<const probes::ProbeBase&>(p).digest());
+  };
+}
+
+std::vector<std::uint64_t> probe_digests(local::Executor& exec,
+                                         std::size_t* rounds = nullptr) {
+  exec.set_output_fn(probe_output_fn());
+  const std::size_t r = exec.run(probe_factory(), 100);
+  if (rounds != nullptr) *rounds = r;
+  std::vector<std::uint64_t> digests(exec.graph().num_nodes());
+  for (graph::NodeId v = 0; v < digests.size(); ++v) {
+    digests[v] = exec.outputs().value(v);
+  }
+  return digests;
+}
+
+TcpNetworkConfig rank_config(LoopbackRank&& lr) {
+  TcpNetworkConfig config;
+  config.rank = lr.rank;
+  config.hosts = std::move(lr.hosts);
+  config.listen = std::move(lr.listen);
+  config.transport = test_options();
+  return config;
+}
+
+void expect_bit_identical(const graph::Graph& g, local::IdStrategy strategy,
+                          std::uint64_t seed,
+                          std::initializer_list<std::size_t> rank_counts = {
+                              2, 4}) {
+  local::Network sequential(g, strategy, seed);
+  std::size_t seq_rounds = 0;
+  const auto expected = probe_digests(sequential, &seq_rounds);
+  for (const std::size_t ranks : rank_counts) {
+    std::vector<std::uint64_t> got;
+    std::size_t got_rounds = 0;
+    const LoopbackReport report = run_loopback_ranks(
+        ranks, [&](LoopbackRank&& lr) -> int {
+          const std::size_t rank = lr.rank;
+          TcpNetwork net(g, strategy, seed, rank_config(std::move(lr)));
+          // Exit-code check, not EXPECT: on child ranks a gtest failure
+          // would die silently with the forked process.
+          if (net.uids() != sequential.uids()) return 6;
+          std::size_t r = 0;
+          const auto digests = probe_digests(net, &r);
+          if (rank == 0) {
+            got = digests;
+            got_rounds = r;
+            return 0;
+          }
+          // Child ranks verify the re-broadcast output table themselves:
+          // the gathered results must be the full, sequential-identical
+          // table on every rank, not just on rank 0.
+          return (digests == expected && r == seq_rounds) ? 0 : 7;
+        });
+    EXPECT_TRUE(report.all_ok()) << "ranks=" << ranks;
+    EXPECT_EQ(got_rounds, seq_rounds) << "ranks=" << ranks;
+    EXPECT_EQ(got, expected) << "ranks=" << ranks;
+  }
+}
+
+// ---- Determinism suite ---------------------------------------------------
+
+TEST(TcpDeterminism, Gnp) {
+  Rng rng(7);
+  const auto g = graph::gen::gnp(300, 0.03, rng);
+  expect_bit_identical(g, local::IdStrategy::kRandomPermutation, 11);
+}
+
+TEST(TcpDeterminism, Torus) {
+  const auto g = graph::gen::torus(20, 20);
+  expect_bit_identical(g, local::IdStrategy::kSequential, 3);
+}
+
+TEST(TcpDeterminism, RandomBiregular) {
+  Rng rng(5);
+  const auto b = graph::gen::random_biregular(120, 240, 6, rng);
+  expect_bit_identical(b.unified(), local::IdStrategy::kDegreeDescending, 9);
+}
+
+TEST(TcpDeterminism, BarabasiAlbertSkew) {
+  // Preferential attachment: hub nodes concentrate cut edges on one rank —
+  // the worst case for the per-pair frame sizes.
+  Rng rng(13);
+  const auto g = graph::gen::barabasi_albert(1200, 4, rng);
+  expect_bit_identical(g, local::IdStrategy::kRandomPermutation, 17);
+}
+
+// The probe's traffic shape with fat (64-word) per-port messages — the
+// pattern that trips the shm transport's fixed reservation.
+class ChattyProbe final : public probes::ProbeBase {
+ public:
+  using ProbeBase::ProbeBase;
+  void send(std::size_t, local::Outbox& out) override {
+    for (std::size_t p = 0; p < env_.degree; ++p) {
+      const std::vector<std::uint64_t> payload(64, env_.uid ^ p);
+      out.write(p, payload.data(), payload.size());
+    }
+  }
+  void receive(std::size_t round, const local::Inbox& inbox) override {
+    for (std::size_t p = 0; p < inbox.size(); ++p) {
+      for (std::uint64_t w : inbox[p]) absorb(p, w);
+    }
+    finish_round(round);
+  }
+};
+
+TEST(TcpDeterminism, ChattyMessagesNeedNoReservation) {
+  // The shm transport reserves halo capacity up front and aborts on
+  // overflow; TCP frames size themselves per round. The traffic pattern of
+  // the shm overflow regression must simply *work* here — and still match
+  // the sequential executor bit for bit.
+  const auto g = graph::gen::complete(16);
+  const local::ProgramFactory chatty =
+      [](const local::NodeEnv& env) -> std::unique_ptr<local::NodeProgram> {
+    return std::make_unique<ChattyProbe>(env);
+  };
+  local::Network sequential(g, local::IdStrategy::kSequential, 5);
+  sequential.set_output_fn(probe_output_fn());
+  const std::size_t seq_rounds = sequential.run(chatty, 100);
+  std::vector<std::uint64_t> expected(g.num_nodes());
+  for (graph::NodeId v = 0; v < expected.size(); ++v) {
+    expected[v] = sequential.outputs().value(v);
+  }
+  const LoopbackReport report = run_loopback_ranks(
+      2, [&](LoopbackRank&& lr) -> int {
+        TcpNetwork net(g, local::IdStrategy::kSequential, 5,
+                       rank_config(std::move(lr)));
+        net.set_output_fn(probe_output_fn());
+        if (net.run(chatty, 100) != seq_rounds) return 13;
+        for (graph::NodeId v = 0; v < expected.size(); ++v) {
+          if (net.outputs().value(v) != expected[v]) return 14;
+        }
+        return 0;
+      });
+  EXPECT_TRUE(report.all_ok()) << "rank0=" << report.rank0;
+}
+
+// Algorithm-level equality through the ExecutorFactory plumbing: Luby MIS,
+// trial coloring and the sinkless-orientation program, at 2 and 4 ranks.
+TEST(TcpDeterminism, LubyTrialColoringSinkless) {
+  Rng rng(2);
+  const auto g = graph::gen::random_regular(384, 8, rng);
+  const auto seq_mis = mis::luby(g, 77);
+  const auto seq_col = coloring::randomized_coloring(g, 78);
+  const auto seq_orient = orient::sinkless_program(g, 79, 3);
+  for (const std::size_t ranks : {2, 4}) {
+    const LoopbackReport report = run_loopback_ranks(
+        ranks, [&](LoopbackRank&& lr) -> int {
+          // Each algorithm invocation constructs a fresh TcpNetwork (the
+          // factory contract); the first reuses the pre-bound socket, the
+          // later ones rebind the now-known port.
+          Socket* first = &lr.listen;
+          const local::ExecutorFactory executor =
+              [&](const graph::Graph& fg, local::IdStrategy strategy,
+                  std::uint64_t seed) -> std::unique_ptr<local::Executor> {
+            TcpNetworkConfig config;
+            config.rank = lr.rank;
+            config.hosts = lr.hosts;
+            config.listen = std::move(*first);
+            config.transport = test_options();
+            return std::make_unique<TcpNetwork>(fg, strategy, seed,
+                                                std::move(config));
+          };
+
+          const auto mis_out =
+              mis::luby(g, 77, nullptr, 10000, local::IdStrategy::kSequential,
+                        executor);
+          if (mis_out.in_mis != seq_mis.in_mis ||
+              mis_out.executed_rounds != seq_mis.executed_rounds) {
+            return 10;
+          }
+          const auto col_out = coloring::randomized_coloring(
+              g, 78, nullptr, 10000, local::IdStrategy::kSequential,
+              executor);
+          if (col_out.colors != seq_col.colors ||
+              col_out.num_colors != seq_col.num_colors ||
+              col_out.executed_rounds != seq_col.executed_rounds) {
+            return 11;
+          }
+          const auto orient_out =
+              orient::sinkless_program(g, 79, 3, nullptr, 30, executor);
+          if (orient_out.toward_v != seq_orient.toward_v ||
+              orient_out.executed_rounds != seq_orient.executed_rounds ||
+              orient_out.trials != seq_orient.trials) {
+            return 12;
+          }
+          return 0;
+        });
+    EXPECT_TRUE(report.all_ok())
+        << "ranks=" << ranks << " rank0=" << report.rank0;
+  }
+}
+
+TEST(TcpRoundStats, MatchesSequentialExecutor) {
+  Rng rng(31);
+  const auto g = graph::gen::gnp(200, 0.03, rng);
+  local::Network seq(g, local::IdStrategy::kSequential, 8);
+  std::vector<local::RoundStats> seq_stats;
+  seq.set_stats_sink(
+      [&](const local::RoundStats& s) { seq_stats.push_back(s); });
+  const std::size_t seq_rounds = seq.run(probe_factory(), 100);
+  ASSERT_EQ(seq_stats.size(), seq_rounds);
+
+  const LoopbackReport report = run_loopback_ranks(
+      3, [&](LoopbackRank&& lr) -> int {
+        // The TCP transport aggregates totals on every rank (they ride in
+        // the halo frames), so every rank's sink must see the same trace.
+        TcpNetwork net(g, local::IdStrategy::kSequential, 8,
+                       rank_config(std::move(lr)));
+        std::vector<local::RoundStats> stats;
+        net.set_stats_sink(
+            [&](const local::RoundStats& s) { stats.push_back(s); });
+        const std::size_t rounds = net.run(probe_factory(), 100);
+        if (rounds != seq_rounds || stats.size() != seq_stats.size()) {
+          return 20;
+        }
+        for (std::size_t r = 0; r < stats.size(); ++r) {
+          if (stats[r].round != r ||
+              stats[r].live_nodes != seq_stats[r].live_nodes ||
+              stats[r].messages != seq_stats[r].messages ||
+              stats[r].payload_words != seq_stats[r].payload_words ||
+              stats[r].wall_seconds < 0.0) {
+            return 21;
+          }
+        }
+        return 0;
+      });
+  EXPECT_TRUE(report.all_ok()) << "rank0=" << report.rank0;
+}
+
+// ---- Executor behavior ---------------------------------------------------
+
+TEST(TcpNetwork, CostMeterAndReuse) {
+  const auto g = graph::gen::torus(8, 8);
+  local::Network sequential(g, local::IdStrategy::kSequential, 4);
+  const auto expected = probe_digests(sequential);
+  const LoopbackReport report = run_loopback_ranks(
+      2, [&](LoopbackRank&& lr) -> int {
+        TcpNetwork net(g, local::IdStrategy::kSequential, 4,
+                       rank_config(std::move(lr)));
+        local::CostMeter meter;
+        net.set_output_fn(probe_output_fn());
+        const std::size_t r1 = net.run(probe_factory(), 100, &meter);
+        if (meter.executed_rounds() != r1) return 30;
+        // Re-running the same executor reuses the standing connections; the
+        // result must stay bit-identical.
+        const auto first = probe_digests(net);
+        const auto second = probe_digests(net);
+        return (first == expected && second == expected) ? 0 : 31;
+      });
+  EXPECT_TRUE(report.all_ok()) << "rank0=" << report.rank0;
+}
+
+TEST(TcpNetwork, ProgramAccessorIsRankLocal) {
+  const auto g = graph::gen::torus(8, 8);
+  const LoopbackReport report = run_loopback_ranks(
+      2, [&](LoopbackRank&& lr) -> int {
+        const std::size_t rank = lr.rank;
+        TcpNetwork net(g, local::IdStrategy::kSequential, 4,
+                       rank_config(std::move(lr)));
+        net.run(probe_factory(), 100);
+        const graph::NodeId mine = net.partition().first_node(rank);
+        const graph::NodeId theirs = net.partition().first_node(1 - rank);
+        try {
+          (void)net.program(mine);
+        } catch (const ds::CheckError&) {
+          return 40;  // own range must be resident
+        }
+        try {
+          (void)net.program(theirs);
+          return 41;  // the peer's range must not be
+        } catch (const ds::CheckError&) {
+          return 0;
+        }
+      });
+  EXPECT_TRUE(report.all_ok()) << "rank0=" << report.rank0;
+}
+
+TEST(TcpNetwork, DegenerateInstances) {
+  // More ranks than nodes: a rank process cannot be clamped away like a
+  // fork worker, so empty ranges must simply work.
+  const auto small = graph::gen::cycle(3);
+  expect_bit_identical(small, local::IdStrategy::kSequential, 2, {2, 4});
+
+  // Isolated nodes only (no edges, nothing to exchange).
+  const graph::Graph isolated(5);
+  expect_bit_identical(isolated, local::IdStrategy::kSequential, 6, {2});
+
+  // Empty graph: zero rounds, empty output table, on every rank.
+  const graph::Graph empty(0);
+  const LoopbackReport report = run_loopback_ranks(
+      2, [&](LoopbackRank&& lr) -> int {
+        TcpNetwork net(empty, local::IdStrategy::kSequential, 1,
+                       rank_config(std::move(lr)));
+        net.set_output_fn(probe_output_fn());
+        if (net.run(probe_factory(), 10) != 0) return 50;
+        return net.outputs().size() == 0 ? 0 : 51;
+      });
+  EXPECT_TRUE(report.all_ok()) << "rank0=" << report.rank0;
+}
+
+TEST(TcpNetwork, SingleRankFleetRunsWithoutPeers) {
+  const auto g = graph::gen::torus(6, 6);
+  local::Network sequential(g, local::IdStrategy::kSequential, 9);
+  std::size_t seq_rounds = 0;
+  const auto expected = probe_digests(sequential, &seq_rounds);
+  const LoopbackReport report = run_loopback_ranks(
+      1, [&](LoopbackRank&& lr) -> int {
+        TcpNetwork net(g, local::IdStrategy::kSequential, 9,
+                       rank_config(std::move(lr)));
+        std::size_t r = 0;
+        return (probe_digests(net, &r) == expected && r == seq_rounds) ? 0
+                                                                       : 60;
+      });
+  EXPECT_TRUE(report.all_ok()) << "rank0=" << report.rank0;
+}
+
+TEST(TcpNetwork, MaxRoundsAbortsTheWholeFleet) {
+  const auto g = graph::gen::cycle(16);
+  const LoopbackReport report = run_loopback_ranks(
+      2, [&](LoopbackRank&& lr) -> int {
+        TcpNetwork net(g, local::IdStrategy::kSequential, 1,
+                       rank_config(std::move(lr)));
+        try {
+          net.run(probe_factory(), 2);
+          return 70;  // must throw on every rank
+        } catch (const ds::CheckError& e) {
+          return std::string(e.what()).find("max_rounds") !=
+                         std::string::npos
+                     ? 71
+                     : 72;
+        }
+      });
+  EXPECT_EQ(report.rank0, 71);
+  ASSERT_EQ(report.peer_exit_codes.size(), 1u);
+  EXPECT_EQ(report.peer_exit_codes[0], 71);
+}
+
+TEST(TcpRendezvous, RejectsMismatchedLaunches) {
+  // Rank 1 disagrees about the seed -> different UIDs -> different topology
+  // digest. Both sides must fail fast with the digest diagnosis instead of
+  // running to divergent results.
+  const auto g = graph::gen::torus(6, 6);
+  const LoopbackReport report = run_loopback_ranks(
+      2, [&](LoopbackRank&& lr) -> int {
+        const std::uint64_t seed = lr.rank == 0 ? 5 : 6;
+        try {
+          TcpNetwork net(g, local::IdStrategy::kSequential, seed,
+                         rank_config(std::move(lr)));
+          return 80;  // the handshake must refuse
+        } catch (const ds::CheckError& e) {
+          return std::string(e.what()).find("digest mismatch") !=
+                         std::string::npos
+                     ? 81
+                     : 82;
+        }
+      });
+  EXPECT_EQ(report.rank0, 81);
+  ASSERT_EQ(report.peer_exit_codes.size(), 1u);
+  EXPECT_EQ(report.peer_exit_codes[0], 81);
+}
+
+TEST(TcpRuntime, SelectParsesTcpFlags) {
+  const char* argv[] = {"x",        "--runtime=tcp", "--rank=1",
+                        "--ranks=4", "--hosts=h.txt", "--sndbuf=65536",
+                        "--rcvbuf=131072"};
+  const auto config = runtime::runtime_from_options(Options(7, argv));
+  EXPECT_EQ(config.kind, runtime::RuntimeKind::kTcp);
+  EXPECT_EQ(config.rank, 1u);
+  EXPECT_EQ(config.ranks, 4u);
+  EXPECT_EQ(config.hosts, "h.txt");
+  EXPECT_EQ(config.sndbuf, 65536u);
+  EXPECT_EQ(config.rcvbuf, 131072u);
+  EXPECT_NE(runtime::runtime_description(config).find("tcp"),
+            std::string::npos);
+}
+
+TEST(TcpNetwork, PartitionStatsExposed) {
+  // The partition layer is shared with the other executors; just pin that
+  // a TcpNetwork exposes it per launch size (no fleet needed: rank count 1
+  // keeps this test socket-free except for the unused listener).
+  const auto g = graph::gen::torus(16, 16);
+  const LoopbackReport report = run_loopback_ranks(
+      1, [&](LoopbackRank&& lr) -> int {
+        TcpNetwork net(g, local::IdStrategy::kSequential, 9,
+                       rank_config(std::move(lr)));
+        const dist::PartitionStats& stats = net.partition().stats();
+        return (stats.parts == 1 && stats.cut_edges == 0 &&
+                stats.internal_edges == g.num_edges())
+                   ? 0
+                   : 90;
+      });
+  EXPECT_TRUE(report.all_ok()) << "rank0=" << report.rank0;
+}
+
+}  // namespace
+}  // namespace ds::net

@@ -12,12 +12,15 @@
 ///   solve    --input=FILE [--rand] [--seed=S] [--dot=OUT.dot]
 ///            Solve weak splitting; print the selected algorithm, validity,
 ///            and the executed/charged round costs.
-///   mis      --input=FILE [--seed=S] [--runtime=sequential|parallel|mp]
+///   mis      --input=FILE [--seed=S] [--runtime=sequential|parallel|mp|tcp]
 ///            [--threads=N] [--workers=N]
+///            [--rank=R --ranks=N --hosts=FILE]
 ///            Treat FILE as a general-graph edge list; run Luby (on the
 ///            selected LOCAL executor — `mp` forks a multi-process worker
-///            fleet and prints its edge-cut stats) and the deterministic
-///            decomposition sweep; print both sizes.
+///            fleet and prints its edge-cut stats; `tcp` joins a multi-host
+///            rank fleet: launch the same command once per hosts-file line
+///            with the matching --rank) and the deterministic decomposition
+///            sweep; print both sizes.
 ///   color    --input=FILE
 ///            Deterministic (Δ+1)-coloring via ball-carving decomposition.
 ///
@@ -36,6 +39,7 @@
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "mis/mis.hpp"
+#include "net/socket.hpp"
 #include "netdecomp/decomposition.hpp"
 #include "netdecomp/derandomize.hpp"
 #include "runtime/select.hpp"
@@ -55,8 +59,9 @@ int usage() {
          "  stats  --input=FILE\n"
          "  solve  --input=FILE [--rand] [--seed=S] [--dot=OUT.dot]\n"
          "  mis    --input=FILE [--seed=S] "
-         "[--runtime=sequential|parallel|mp]\n"
+         "[--runtime=sequential|parallel|mp|tcp]\n"
          "         [--threads=N] [--workers=N]\n"
+         "         [--rank=R --ranks=N --hosts=FILE]\n"
          "  color  --input=FILE\n";
   return 1;
 }
@@ -155,22 +160,31 @@ int cmd_mis(const Options& opts) {
       mis::luby(g, opts.seed(), &luby_meter, 10000,
                 local::IdStrategy::kSequential,
                 runtime::make_executor_factory(runtime));
-  if (runtime.kind == runtime::RuntimeKind::kMultiProcess) {
-    // Report the partition the executor actually ran: the resolved worker
-    // count clamped to the node count. The split is a pure function of the
-    // CSR degree profile, so the stats line needs only the boundaries —
-    // not the executor's full topology, delivery tables or halo links.
-    const std::size_t workers = dist::DistributedNetwork::resolve_workers(
-        runtime.workers, g.num_nodes());
+  if (runtime.kind == runtime::RuntimeKind::kMultiProcess ||
+      runtime.kind == runtime::RuntimeKind::kTcp) {
+    // Report the partition the executor actually ran: for mp the resolved
+    // worker count clamped to the node count, for tcp the launched rank
+    // fleet. The split is a pure function of the CSR degree profile, so the
+    // stats line needs only the boundaries — not the executor's full
+    // topology, delivery tables or halo links.
+    std::size_t parts;
+    if (runtime.kind == runtime::RuntimeKind::kTcp) {
+      parts = net::read_hosts_file(runtime.hosts).size();
+      std::cout << "executor:      tcp(rank " << runtime.rank << " of "
+                << parts << ")\n";
+    } else {
+      parts = dist::DistributedNetwork::resolve_workers(runtime.workers,
+                                                        g.num_nodes());
+      std::cout << "executor:      mp(" << parts << " workers)\n";
+    }
     std::vector<std::size_t> offsets(g.num_nodes() + 1, 0);
     for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
       offsets[v + 1] = offsets[v] + g.degree(v);
     }
-    const auto bounds = dist::degree_balanced_boundaries(offsets, workers);
+    const auto bounds = dist::degree_balanced_boundaries(offsets, parts);
     const dist::PartitionStats stats =
         dist::partition_stats(g, offsets, bounds);
-    std::cout << "executor:      mp(" << workers << " workers)\n"
-              << "partition:     " << stats.cut_edges << " cut edges, "
+    std::cout << "partition:     " << stats.cut_edges << " cut edges, "
               << stats.internal_edges << " internal, balance "
               << stats.balance_factor << "\n";
   } else {

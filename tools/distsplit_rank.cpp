@@ -1,0 +1,172 @@
+/// \file distsplit_rank.cpp
+/// Multi-host rank launcher: runs one rank of a TCP-distributed LOCAL
+/// algorithm (or, with --local=N, a whole loopback fleet on this machine —
+/// the quickest way to smoke-test the wire path without a cluster).
+///
+/// Multi-host usage — run once per hosts-file line, anywhere the hosts
+/// resolve, in any order (the rendezvous retries until the fleet is up):
+///
+///     distsplit_rank --hosts=hosts.txt --rank=R --input=graph.txt
+///         [--algo=mis|color|sinkless] [--seed=S] [--max-rounds=N]
+///         [--sndbuf=BYTES] [--rcvbuf=BYTES]
+///
+/// hosts.txt: one `host port` per line, line i = rank i; `#` comments and
+/// blank lines ignored. Every rank must name the same instance, seed and
+/// algorithm — the rendezvous digest handshake rejects mismatched launches.
+///
+/// Loopback mode — spawns all N ranks as processes on 127.0.0.1 with
+/// kernel-assigned ports (rank 0 in this process):
+///
+///     distsplit_rank --local=N --input=graph.txt [--algo=...] [--seed=S]
+///
+/// Results are gathered to rank 0 and re-broadcast, so every rank prints
+/// the same summary (prefixed with its rank). Exit code 0 on success, 2 on
+/// a failed run (abort, dead peer, bad usage).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coloring/randcolor.hpp"
+#include "coloring/verify.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "local/executor.hpp"
+#include "mis/mis.hpp"
+#include "net/loopback.hpp"
+#include "net/socket.hpp"
+#include "net/tcp_network.hpp"
+#include "orient/sinkless.hpp"
+#include "support/check.hpp"
+#include "support/options.hpp"
+
+namespace {
+
+using namespace ds;
+
+int usage() {
+  std::cerr << "usage: distsplit_rank --input=FILE\n"
+               "         (--hosts=FILE --rank=R | --local=N)\n"
+               "         [--algo=mis|color|sinkless] [--seed=S]\n"
+               "         [--max-rounds=N] [--sndbuf=BYTES] [--rcvbuf=BYTES]\n";
+  return 2;
+}
+
+/// Runs the selected algorithm on one rank's executor factory and returns
+/// the per-rank summary line (identical on every rank by the determinism
+/// contract).
+std::string run_algorithm(const graph::Graph& g, const Options& opts,
+                          const local::ExecutorFactory& factory) {
+  const std::string algo = opts.get("algo", "mis");
+  const auto max_rounds =
+      static_cast<std::size_t>(opts.get_int("max-rounds", 10000));
+  std::ostringstream out;
+  if (algo == "mis") {
+    const auto outcome = mis::luby(g, opts.seed(), nullptr, max_rounds,
+                                   local::IdStrategy::kSequential, factory);
+    std::size_t size = 0;
+    for (const bool b : outcome.in_mis) size += b ? 1 : 0;
+    out << "luby mis: size " << size << ", " << outcome.executed_rounds
+        << " rounds";
+  } else if (algo == "color") {
+    const auto outcome =
+        coloring::randomized_coloring(g, opts.seed(), nullptr, max_rounds,
+                                      local::IdStrategy::kSequential, factory);
+    out << "randomized coloring: " << outcome.num_colors << " colors ("
+        << (coloring::is_proper_coloring(g, outcome.colors) ? "proper"
+                                                            : "IMPROPER")
+        << "), " << outcome.executed_rounds << " rounds";
+  } else if (algo == "sinkless") {
+    const auto outcome = orient::sinkless_program(
+        g, opts.seed(), 3, nullptr,
+        static_cast<std::size_t>(opts.get_int("max-rounds", 30)), factory);
+    out << "sinkless orientation: " << outcome.trials << " trials, "
+        << outcome.executed_rounds << " rounds";
+  } else {
+    DS_CHECK_MSG(false, "--algo must be 'mis', 'color' or 'sinkless'");
+  }
+  return out.str();
+}
+
+graph::Graph load_graph(const Options& opts) {
+  const std::string path = opts.get("input", "");
+  DS_CHECK_MSG(!path.empty(), "--input=FILE is required");
+  std::ifstream in(path);
+  DS_CHECK_MSG(in.good(), "cannot open input file: " + path);
+  return graph::io::read_edge_list(in);
+}
+
+net::TcpOptions transport_options(const Options& opts) {
+  net::TcpOptions topts;
+  topts.sndbuf_bytes = static_cast<int>(opts.get_int("sndbuf", 0));
+  topts.rcvbuf_bytes = static_cast<int>(opts.get_int("rcvbuf", 0));
+  return topts;
+}
+
+/// One rank's full run: build the executor factory for this rank and
+/// execute the algorithm. Returns the process exit code.
+int run_rank(const graph::Graph& g, const Options& opts, std::size_t rank,
+             std::vector<net::Endpoint> hosts, net::Socket listen) {
+  net::Socket* first_listen = &listen;
+  const local::ExecutorFactory factory =
+      [&](const graph::Graph& fg, local::IdStrategy strategy,
+          std::uint64_t seed) -> std::unique_ptr<local::Executor> {
+    net::TcpNetworkConfig config;
+    config.rank = rank;
+    config.hosts = hosts;
+    config.transport = transport_options(opts);
+    // The pre-bound socket (loopback mode) only serves the first executor;
+    // a later one rebinds the known port itself.
+    config.listen = std::move(*first_listen);
+    return std::make_unique<net::TcpNetwork>(fg, strategy, seed,
+                                             std::move(config));
+  };
+  const std::string summary = run_algorithm(g, opts, factory);
+  // Explicit flush: loopback child ranks leave via _exit, skipping stdio
+  // teardown, and their summary must not die in a buffer with them.
+  std::cout << "[rank " << rank << "/" << hosts.size() << "] " << summary
+            << std::endl;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    // Options skips argv[0] itself; this tool has no subcommand word.
+    const Options opts(argc, argv);
+    const auto local = opts.get_int("local", 0);
+    const graph::Graph g = load_graph(opts);
+    if (local > 0) {
+      // Loopback fleet: forked ranks on kernel-assigned 127.0.0.1 ports.
+      const auto report = net::run_loopback_ranks(
+          static_cast<std::size_t>(local), [&](net::LoopbackRank&& lr) {
+            return run_rank(g, opts, lr.rank, std::move(lr.hosts),
+                            std::move(lr.listen));
+          });
+      if (!report.all_ok()) {
+        std::cerr << "error: a rank failed (rank 0 -> " << report.rank0;
+        for (std::size_t r = 0; r < report.peer_exit_codes.size(); ++r) {
+          std::cerr << ", rank " << (r + 1) << " -> "
+                    << report.peer_exit_codes[r];
+        }
+        std::cerr << ")\n";
+        return 2;
+      }
+      return 0;
+    }
+    const std::string hosts_path = opts.get("hosts", "");
+    if (hosts_path.empty()) return usage();
+    const auto hosts = net::read_hosts_file(hosts_path);
+    const auto rank = static_cast<std::size_t>(opts.get_int("rank", 0));
+    DS_CHECK_MSG(rank < hosts.size(),
+                 "--rank must be < the hosts file size (" +
+                     std::to_string(hosts.size()) + ")");
+    return run_rank(g, opts, rank, hosts, net::Socket{});
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
