@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file registry.hpp
+/// The algorithm registry: every algorithm the library can run end to end
+/// is registered as an `algo::Spec` (see spec.hpp), and every driver —
+/// `distsplit_cli run`, `distsplit_rank --algo`, the registry bench, the
+/// cross-runtime conformance suite — dispatches through `find` + `execute`
+/// instead of hand-written per-algorithm switch statements. Usage text,
+/// parameter help and the README algorithm catalog are generated from the
+/// same data, so they cannot drift from the code.
+
+#include <string>
+#include <vector>
+
+#include "algo/spec.hpp"
+
+namespace ds::algo {
+
+/// All registered specs, in stable (alphabetical) order.
+const std::vector<Spec>& all_specs();
+
+/// Registered names, in registry order.
+std::vector<std::string> spec_names();
+
+/// The spec named `name`, or nullptr.
+const Spec* try_find(const std::string& name);
+
+/// The spec named `name`; throws ds::CheckError with a did-you-mean
+/// suggestion and the known names otherwise.
+const Spec& find(const std::string& name);
+
+/// Runs `spec` on `ctx` after the capability gate: a kSequentialOnly spec
+/// refuses a non-sequential runtime with a clear error instead of silently
+/// computing sequentially. Returns the verified Result (spec entry points
+/// throw on outputs their verifier rejects; `verified` is set on return).
+Result execute(const Spec& spec, const RunContext& ctx);
+
+/// One line per spec: "name  <input> <capability-summary>" — the
+/// machine-readable listing CI iterates (`distsplit_cli list --names`).
+std::string names_listing(bool scalable_only);
+
+/// Markdown catalog table (name, problem, input, params, runtimes,
+/// verifier) for the README; regenerate with `distsplit_cli list
+/// --markdown`.
+std::string catalog_markdown();
+
+/// Human-readable catalog + per-spec parameter help for usage text.
+/// `scalable_only` restricts it to the distributed-capable specs.
+std::string usage_catalog(bool scalable_only = false);
+
+}  // namespace ds::algo

@@ -42,4 +42,26 @@ std::vector<std::uint64_t> assign_ids(const graph::Graph& g,
   return ids;
 }
 
+IdStrategy id_strategy_from_name(const std::string& name) {
+  if (name == "sequential") return IdStrategy::kSequential;
+  if (name == "random") return IdStrategy::kRandomPermutation;
+  if (name == "degree") return IdStrategy::kDegreeDescending;
+  DS_CHECK_MSG(false,
+               "unknown id strategy '" + name +
+                   "' (expected sequential, random or degree)");
+  return IdStrategy::kSequential;  // unreachable
+}
+
+std::string id_strategy_name(IdStrategy strategy) {
+  switch (strategy) {
+    case IdStrategy::kSequential:
+      return "sequential";
+    case IdStrategy::kRandomPermutation:
+      return "random";
+    case IdStrategy::kDegreeDescending:
+      return "degree";
+  }
+  return "unknown";
+}
+
 }  // namespace ds::local

@@ -6,6 +6,7 @@
 /// relate to the topology (sequential, random, or degree-adversarial).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -27,5 +28,12 @@ enum class IdStrategy {
 /// Returns a vector of n distinct IDs (a permutation of {0,...,n-1}).
 std::vector<std::uint64_t> assign_ids(const graph::Graph& g,
                                       IdStrategy strategy, Rng& rng);
+
+/// Strategy for "sequential" / "random" / "degree" (the algorithm-registry
+/// `ids` parameter values); throws ds::CheckError on anything else.
+IdStrategy id_strategy_from_name(const std::string& name);
+
+/// The canonical name parsed by `id_strategy_from_name`.
+std::string id_strategy_name(IdStrategy strategy);
 
 }  // namespace ds::local

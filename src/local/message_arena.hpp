@@ -119,22 +119,28 @@ class Outbox {
   /// Sends the same message on every port, storing the payload words only
   /// once. Must be the only write of the round (call before any push/write;
   /// nothing may be written afterwards).
-  void broadcast(std::initializer_list<std::uint64_t> words) {
+  void broadcast(const std::uint64_t* words, std::size_t count) {
     DS_CHECK_MSG(open_ == nullptr && next_port_ == 0,
                  "Outbox::broadcast must be the round's only write");
     next_port_ = degree_;  // forbid any further writes
     if (degree_ == 0) return;
     const std::uint64_t offset = bank_->size();
-    bank_->insert(bank_->end(), words.begin(), words.end());
-    const auto length = static_cast<std::uint32_t>(words.size());
+    bank_->insert(bank_->end(), words, words + count);
+    const auto length = static_cast<std::uint32_t>(count);
     for (std::size_t p = 0; p < degree_; ++p) {
       spans_[slots_[p]] =
           MessageSpan{offset, epoch_, length, bank_index_};
     }
     if (length > 0) {
       messages_ += degree_;
-      payload_words_ += degree_ * words.size();
+      payload_words_ += degree_ * count;
     }
+  }
+  void broadcast(std::initializer_list<std::uint64_t> words) {
+    broadcast(words.begin(), words.size());
+  }
+  void broadcast(const std::vector<std::uint64_t>& words) {
+    broadcast(words.data(), words.size());
   }
 
   /// Non-empty messages written this round (delivered-message accounting:

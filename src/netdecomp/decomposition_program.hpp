@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file decomposition_program.hpp
+/// Genuine message-passing Linial–Saks network decomposition — the
+/// distributed port of `netdecomp::linial_saks`, runnable on every LOCAL
+/// executor through the `ExecutorFactory` + output-gather contract.
+///
+/// Protocol: blocks of exactly `radius_cap` rounds. At a block's first
+/// round every still-active node draws a geometric radius r ≤ radius_cap
+/// from its private stream and floods an announcement (uid, slack); slack
+/// decrements per hop and announcements travel only through active nodes
+/// (halted nodes are silent), so a node holding (y, p) knows center y's
+/// ball reaches it with p = r_y − d(v, y) hops to spare. Nodes forward
+/// each center's first (= maximal-slack) arrival once, skipping
+/// announcements dominated by a higher-UID center with at least the same
+/// slack (a dominated center can never win downstream either). At the
+/// block's last round each active node picks the highest-UID center
+/// covering it (slack ≥ 0); strictly-inside nodes (slack > 0) join that
+/// center's cluster for this block and halt. Deferred nodes run the next
+/// block. Same coverage rule as the sequential construction, so the same
+/// (O(log n), O(log n)) guarantees hold w.h.p.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+#include "local/executor.hpp"
+#include "local/ids.hpp"
+#include "netdecomp/decomposition.hpp"
+
+namespace ds::netdecomp {
+
+/// Outcome of a distributed decomposition execution.
+struct DecompProgramOutcome {
+  Decomposition decomposition;
+  std::size_t executed_rounds = 0;
+  std::size_t radius_cap = 0;
+};
+
+/// Runs the message-passing Linial–Saks program on the selected executor
+/// (empty factory = sequential `Network`); the outcome is bit-identical
+/// for every executor. `radius_cap` = 0 picks the standard
+/// 2·ceil(log2(n+1)) + 4. Verified before returning; throws if the
+/// 4·radius_cap + 8 block budget is exhausted (improbable).
+DecompProgramOutcome decomposition_program(
+    const graph::Graph& g, std::uint64_t seed, std::size_t radius_cap = 0,
+    local::IdStrategy ids = local::IdStrategy::kSequential,
+    local::CostMeter* meter = nullptr,
+    const local::ExecutorFactory& executor = {});
+
+}  // namespace ds::netdecomp

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file ruling_program.hpp
+/// Genuine message-passing (2, β)-ruling set — the distributed port of the
+/// bit-fixing construction in ruling_set.hpp, runnable on every LOCAL
+/// executor through the `ExecutorFactory` + output-gather contract.
+///
+/// Protocol (classic UID-bit competition): with B = number of bits of the
+/// largest UID, round t processes bit b = B−1−t. Every still-candidate node
+/// broadcasts its candidacy; a candidate whose bit b is 1 and that hears a
+/// candidate neighbor whose bit b is 0 drops out (and halts — its output is
+/// final). Two adjacent survivors would have to agree on every bit, which
+/// unique UIDs forbid, so the survivors are independent; a dropped node is
+/// adjacent to a candidate whose own drop (if any) happens at a strictly
+/// lower bit, so chains of drop witnesses reach a survivor within B hops —
+/// a (2, max(1, B))-ruling set in exactly B rounds.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/cost.hpp"
+#include "local/executor.hpp"
+#include "local/ids.hpp"
+#include "ruling/ruling_set.hpp"
+
+namespace ds::ruling {
+
+/// Outcome of a distributed ruling set execution.
+struct RulingProgramOutcome {
+  RulingSetResult result;
+  std::size_t executed_rounds = 0;
+};
+
+/// Runs the bit-competition program on the selected executor (empty
+/// factory = sequential `Network`); the outcome is bit-identical for every
+/// executor. Deterministic given (graph, ids, seed — the seed only feeds
+/// ID assignment for the non-sequential strategies). Verified before
+/// returning (throws on failure).
+RulingProgramOutcome ruling_set_program(
+    const graph::Graph& g, std::uint64_t seed,
+    local::IdStrategy ids = local::IdStrategy::kSequential,
+    local::CostMeter* meter = nullptr,
+    const local::ExecutorFactory& executor = {});
+
+}  // namespace ds::ruling

@@ -42,6 +42,19 @@ struct RuntimeConfig {
   std::size_t rcvbuf = 0;
 };
 
+/// One-line usage help for the flags `runtime_from_options` understands —
+/// shared by the tools so their usage text cannot drift from the parser.
+inline constexpr const char* kRuntimeFlagsHelp =
+    "[--runtime=sequential|parallel|mp|tcp] [--threads=N] [--workers=N]\n"
+    "  [--halo-words=N] [--gather-words=N]\n"
+    "  [--rank=R --ranks=N --hosts=FILE] [--sndbuf=BYTES] [--rcvbuf=BYTES]";
+
+/// True when `config` selects the sequential reference executor — the
+/// capability gate sequential-only registry specs check.
+inline bool is_sequential(const RuntimeConfig& config) {
+  return config.kind == RuntimeKind::kSequential;
+}
+
 /// Parses `--runtime=sequential|parallel|mp|tcp` (default sequential),
 /// `--threads=N`, `--workers=N`, the mp overflow knobs `--halo-words=N` /
 /// `--gather-words=N`, and the tcp launch flags `--rank=R --ranks=N

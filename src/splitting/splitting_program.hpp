@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file splitting_program.hpp
+/// Genuine message-passing weak splitting, runnable on every LOCAL
+/// executor through the `ExecutorFactory` + output-gather contract — the
+/// distributed counterpart of the whole-graph solver facade in solver.hpp.
+///
+/// The protocol is the natural LOCAL form of the §2.1 randomized algorithm
+/// plus local repair, run on the unified graph of the bipartite instance:
+/// on even rounds every right (variable) node announces its current color —
+/// initially a fair coin, later a fresh coin whenever a neighboring left
+/// node complained; on odd rounds every left (constraint) node with degree
+/// >= min_degree that misses a color broadcasts a complaint. Every repair
+/// round re-flips each violated constraint's neighborhood, so a constraint
+/// of degree d is satisfied with probability >= 1 − 2^{1−d} per attempt;
+/// global termination is not locally detectable, so each trial runs a fixed
+/// O(log n) budget and the driver verifies and retries with a fresh seed —
+/// the same Las Vegas wrapper as `orient::sinkless_program`.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "local/cost.hpp"
+#include "local/executor.hpp"
+#include "splitting/weak_splitting.hpp"
+
+namespace ds::splitting {
+
+/// Outcome of a message-passing weak splitting execution.
+struct SplitProgramOutcome {
+  Coloring colors;                  ///< one color per right node
+  std::size_t executed_rounds = 0;  ///< total simulator rounds (all trials)
+  std::size_t trials = 1;           ///< Las Vegas restarts used
+};
+
+/// Runs the coin + local-repair program on the selected executor (empty
+/// factory = sequential `Network`); the outcome is bit-identical for every
+/// executor. Only left nodes with degree >= `min_degree` are constrained
+/// (default 2 — a left node of degree < 2 can never see two colors, so
+/// under the strict Definition 1.1 such instances have no weak splitting
+/// at all). Verified against `is_weak_splitting(b, colors, min_degree)`;
+/// throws after `max_trials` failed trials.
+SplitProgramOutcome weak_splitting_program(
+    const graph::BipartiteGraph& b, std::uint64_t seed,
+    std::size_t min_degree = 2, local::CostMeter* meter = nullptr,
+    std::size_t max_trials = 40, const local::ExecutorFactory& executor = {});
+
+}  // namespace ds::splitting

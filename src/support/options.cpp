@@ -1,5 +1,6 @@
 #include "support/options.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "support/check.hpp"
@@ -14,36 +15,60 @@ Options::Options(int argc, const char* const* argv) {
     DS_CHECK_MSG(full.rfind("--", 0) == 0, "unrecognized argument: " + full);
     const std::string arg = full.substr(2);
     const auto eq = arg.find('=');
-    // insert_or_assign with string arguments: assigning a short char
-    // literal through operator[] trips GCC 12's bogus -Wrestrict (PR105329).
     if (eq == std::string::npos) {
-      values_.insert_or_assign(arg, std::string("1"));
+      items_.emplace_back(arg, std::string("1"));
     } else {
-      values_.insert_or_assign(arg.substr(0, eq), arg.substr(eq + 1));
+      items_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
     }
   }
 }
 
+const std::string* Options::last(const std::string& key) const {
+  const std::string* found = nullptr;
+  for (const auto& [k, v] : items_) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
 std::string Options::get(const std::string& key,
                          const std::string& fallback) const {
-  const auto it = values_.find(key);
-  return it == values_.end() ? fallback : it->second;
+  const std::string* value = last(key);
+  return value == nullptr ? fallback : *value;
 }
 
 long long Options::get_int(const std::string& key, long long fallback) const {
-  const auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
-  return std::stoll(it->second);
+  const std::string* value = last(key);
+  if (value == nullptr) return fallback;
+  return std::stoll(*value);
 }
 
 double Options::get_double(const std::string& key, double fallback) const {
-  const auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
-  return std::stod(it->second);
+  const std::string* value = last(key);
+  if (value == nullptr) return fallback;
+  return std::stod(*value);
 }
 
 bool Options::has(const std::string& key) const {
-  return values_.count(key) > 0;
+  return last(key) != nullptr;
+}
+
+std::vector<std::string> Options::get_all(const std::string& key) const {
+  std::vector<std::string> values;
+  for (const auto& [k, v] : items_) {
+    if (k == key) values.push_back(v);
+  }
+  return values;
+}
+
+std::vector<std::string> Options::keys() const {
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : items_) {
+    if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+      keys.push_back(k);
+    }
+  }
+  return keys;
 }
 
 std::uint64_t Options::seed() const {

@@ -6,8 +6,9 @@
 /// typos in sweep scripts fail loudly.
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace ds {
 
@@ -32,11 +33,26 @@ class Options {
   /// True if `--key` or `--key=...` was present.
   [[nodiscard]] bool has(const std::string& key) const;
 
+  /// All values of repeated `--key=...` occurrences, in command-line order
+  /// (`get` returns only the last one). Repeatable options — the algorithm
+  /// registry's `--param=k=v` — read this.
+  [[nodiscard]] std::vector<std::string> get_all(const std::string& key) const;
+
+  /// The distinct keys present, in first-occurrence order — lets commands
+  /// reject unknown flags with a suggestion instead of ignoring typos.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
   /// Seed convenience: `--seed=N`, default 1.
   [[nodiscard]] std::uint64_t seed() const;
 
  private:
-  std::map<std::string, std::string> values_;
+  /// The last occurrence of `key`, or nullptr. (`get` semantics: repeated
+  /// options override earlier ones.)
+  [[nodiscard]] const std::string* last(const std::string& key) const;
+
+  /// Every occurrence in command-line order; option counts are tiny, so
+  /// the single-value getters just scan for the last match.
+  std::vector<std::pair<std::string, std::string>> items_;
 };
 
 }  // namespace ds

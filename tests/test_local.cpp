@@ -92,14 +92,11 @@ class MaxFlood : public NodeProgram {
  public:
   explicit MaxFlood(const NodeEnv& env) : env_(env), best_(env.uid) {}
 
-  std::vector<Message> send_messages(std::size_t) override {
-    return std::vector<Message>(env_.degree, Message{best_});
-  }
+  void send(std::size_t, Outbox& out) override { out.broadcast({best_}); }
 
-  void receive_messages(std::size_t round,
-                        const std::vector<Message>& inbox) override {
-    for (const Message& m : inbox) {
-      if (!m.empty()) best_ = std::max(best_, m[0]);
+  void receive(std::size_t round, const Inbox& inbox) override {
+    for (std::size_t p = 0; p < inbox.size(); ++p) {
+      if (!inbox[p].empty()) best_ = std::max(best_, inbox[p][0]);
     }
     // A value being momentarily stable proves nothing in LOCAL (the true
     // max may still be several hops away); flood for n >= diameter rounds.
@@ -144,12 +141,11 @@ class PortChecker : public NodeProgram {
  public:
   explicit PortChecker(const NodeEnv& env) : env_(env) {}
 
-  std::vector<Message> send_messages(std::size_t) override {
-    return std::vector<Message>(env_.degree, Message{env_.uid});
+  void send(std::size_t, Outbox& out) override {
+    out.broadcast({env_.uid});
   }
 
-  void receive_messages(std::size_t,
-                        const std::vector<Message>& inbox) override {
+  void receive(std::size_t, const Inbox& inbox) override {
     for (std::size_t p = 0; p < inbox.size(); ++p) {
       ASSERT_EQ(inbox[p].size(), 1u);
       EXPECT_EQ(inbox[p][0], env_.neighbor_uids[p]);
@@ -176,25 +172,15 @@ TEST(Network, ThrowsOnRoundLimit) {
   /// A program that never halts.
   class Forever : public NodeProgram {
    public:
-    explicit Forever(std::size_t degree) : degree_(degree) {}
-    std::vector<Message> send_messages(std::size_t) override {
-      return std::vector<Message>(degree_);
-    }
-    void receive_messages(std::size_t, const std::vector<Message>&) override {
-    }
+    void send(std::size_t, Outbox&) override {}
+    void receive(std::size_t, const Inbox&) override {}
     [[nodiscard]] bool done() const override { return false; }
-
-   private:
-    std::size_t degree_;
   };
   const graph::Graph g = graph::gen::cycle(4);
   Network net(g, IdStrategy::kSequential, 1);
-  EXPECT_THROW(net.run(
-                   [](const NodeEnv& env) {
-                     return std::make_unique<Forever>(env.degree);
-                   },
-                   3),
-               ds::CheckError);
+  EXPECT_THROW(
+      net.run([](const NodeEnv&) { return std::make_unique<Forever>(); }, 3),
+      ds::CheckError);
 }
 
 TEST(Network, PerNodeRandomnessIsStable) {
@@ -210,11 +196,8 @@ TEST(Network, PerNodeRandomnessIsStable) {
            public:
             OneShot(NodeEnv env, std::vector<std::uint64_t>* sink)
                 : env_(std::move(env)), sink_(sink) {}
-            std::vector<Message> send_messages(std::size_t) override {
-              return std::vector<Message>(env_.degree);
-            }
-            void receive_messages(std::size_t,
-                                  const std::vector<Message>&) override {
+            void send(std::size_t, Outbox&) override {}
+            void receive(std::size_t, const Inbox&) override {
               sink_->push_back(env_.rng.next_raw());
               done_ = true;
             }

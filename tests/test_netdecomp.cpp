@@ -10,6 +10,7 @@
 #include "coloring/verify.hpp"
 #include "graph/generators.hpp"
 #include "netdecomp/decomposition.hpp"
+#include "netdecomp/decomposition_program.hpp"
 #include "netdecomp/derandomize.hpp"
 #include "support/rng.hpp"
 
@@ -172,6 +173,55 @@ TEST(Derandomize, ChargedCostIsBlocksTimesDiameter) {
   EXPECT_DOUBLE_EQ(meter.charged_rounds(),
                    static_cast<double>(d.num_blocks) *
                        static_cast<double>(d.max_weak_diameter + 2));
+}
+
+// ---- Message-passing Linial–Saks program (registry port) -----------------
+
+TEST(Program, DecomposesAssortedInstances) {
+  Rng rng(10);
+  for (const graph::Graph& g :
+       {graph::gen::gnp(80, 0.08, rng), graph::gen::torus(8, 7),
+        graph::gen::barabasi_albert(70, 3, rng)}) {
+    const auto outcome = decomposition_program(g, 5);
+    const Decomposition& d = outcome.decomposition;
+    EXPECT_TRUE(is_network_decomposition(g, d, 4 * outcome.radius_cap,
+                                         d.num_blocks));
+    // The block budget of the sequential construction holds here too.
+    EXPECT_LE(d.num_blocks, 4 * outcome.radius_cap + 8);
+    EXPECT_EQ(outcome.executed_rounds % outcome.radius_cap, 0u);
+  }
+}
+
+TEST(Program, HonorsExplicitRadiusCap) {
+  Rng rng(11);
+  const auto g = graph::gen::gnp(50, 0.12, rng);
+  const auto outcome = decomposition_program(g, 3, /*radius_cap=*/5);
+  EXPECT_EQ(outcome.radius_cap, 5u);
+  EXPECT_TRUE(is_network_decomposition(g, outcome.decomposition, 20,
+                                       outcome.decomposition.num_blocks));
+}
+
+TEST(Program, DegenerateInstances) {
+  const auto empty = decomposition_program(graph::Graph(0), 1);
+  EXPECT_EQ(empty.decomposition.num_clusters, 0u);
+  EXPECT_EQ(empty.executed_rounds, 0u);
+  // Isolated nodes: every node eventually clusters alone.
+  const auto isolated = decomposition_program(graph::Graph(4), 1);
+  EXPECT_EQ(isolated.decomposition.num_clusters, 4u);
+  EXPECT_EQ(isolated.decomposition.max_weak_diameter, 0u);
+}
+
+TEST(Program, DeterministicAcrossRepeats) {
+  Rng rng(12);
+  const auto g = graph::gen::gnp(60, 0.1, rng);
+  const auto a = decomposition_program(g, 7);
+  const auto b = decomposition_program(g, 7);
+  EXPECT_EQ(a.decomposition.cluster, b.decomposition.cluster);
+  EXPECT_EQ(a.decomposition.block, b.decomposition.block);
+  EXPECT_EQ(a.executed_rounds, b.executed_rounds);
+  // A different seed explores different radii (overwhelmingly likely).
+  const auto c = decomposition_program(g, 8);
+  EXPECT_NE(a.decomposition.cluster, c.decomposition.cluster);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 // Tests for (α, β)-ruling sets: the verifier, the power-graph MIS
-// construction, and the deterministic bitwise construction.
+// construction, the deterministic bitwise construction, and the
+// message-passing bit-competition program behind the algorithm registry.
 
 #include <gtest/gtest.h>
 
@@ -7,6 +8,8 @@
 #include <tuple>
 
 #include "graph/generators.hpp"
+#include "local/ids.hpp"
+#include "ruling/ruling_program.hpp"
 #include "ruling/ruling_set.hpp"
 #include "support/rng.hpp"
 
@@ -125,6 +128,60 @@ TEST(Bitwise, AdversarialIdOrdersStillVerify) {
     const auto result = ruling_set_bitwise(g, ids);
     EXPECT_TRUE(is_ruling_set(g, result.in_set, 2, result.beta));
   }
+}
+
+// ---- Message-passing program (registry port) -----------------------------
+
+TEST(Program, RulesAssortedInstances) {
+  Rng rng(6);
+  for (const graph::Graph& g :
+       {graph::gen::gnp(90, 0.08, rng), graph::gen::torus(8, 7),
+        graph::gen::barabasi_albert(80, 3, rng), graph::gen::cycle(17)}) {
+    const auto outcome = ruling_set_program(g, 1);
+    EXPECT_TRUE(is_ruling_set(g, outcome.result.in_set, 2,
+                              outcome.result.beta));
+    // One round per UID bit, plus none when a drop empties a whole bit.
+    EXPECT_LE(outcome.executed_rounds, outcome.result.beta);
+  }
+}
+
+TEST(Program, AllIdStrategiesVerify) {
+  Rng rng(7);
+  const auto g = graph::gen::gnp(70, 0.1, rng);
+  for (local::IdStrategy ids :
+       {local::IdStrategy::kSequential, local::IdStrategy::kRandomPermutation,
+        local::IdStrategy::kDegreeDescending}) {
+    const auto outcome = ruling_set_program(g, 11, ids);
+    EXPECT_TRUE(is_ruling_set(g, outcome.result.in_set, 2,
+                              outcome.result.beta));
+  }
+}
+
+TEST(Program, DegenerateInstances) {
+  // Single node: rules itself in zero rounds.
+  const auto single = ruling_set_program(graph::Graph(1), 1);
+  EXPECT_EQ(single.result.in_set, std::vector<bool>{true});
+  EXPECT_EQ(single.executed_rounds, 0u);
+  // Empty graph.
+  const auto empty = ruling_set_program(graph::Graph(0), 1);
+  EXPECT_TRUE(empty.result.in_set.empty());
+  // Isolated nodes all rule (no edges to separate them).
+  const auto isolated = ruling_set_program(graph::Graph(5), 1);
+  for (const bool in : isolated.result.in_set) EXPECT_TRUE(in);
+  // Two adjacent nodes: exactly one survives.
+  graph::Graph pair(2);
+  pair.add_edge(0, 1);
+  const auto two = ruling_set_program(pair, 1);
+  EXPECT_NE(two.result.in_set[0], two.result.in_set[1]);
+}
+
+TEST(Program, DeterministicAcrossRepeats) {
+  Rng rng(8);
+  const auto g = graph::gen::gnp(60, 0.1, rng);
+  const auto a = ruling_set_program(g, 3, local::IdStrategy::kRandomPermutation);
+  const auto b = ruling_set_program(g, 3, local::IdStrategy::kRandomPermutation);
+  EXPECT_EQ(a.result.in_set, b.result.in_set);
+  EXPECT_EQ(a.executed_rounds, b.executed_rounds);
 }
 
 }  // namespace

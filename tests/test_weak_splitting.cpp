@@ -1,6 +1,7 @@
 // Tests for the weak splitting problem definition, verifier, trivial
-// randomized algorithm, basic derandomization (Lemma 2.1), and truncation
-// (Lemma 2.2).
+// randomized algorithm, basic derandomization (Lemma 2.1), truncation
+// (Lemma 2.2), and the message-passing coin + local-repair program behind
+// the algorithm registry.
 
 #include <gtest/gtest.h>
 
@@ -8,6 +9,7 @@
 
 #include "graph/generators.hpp"
 #include "splitting/basic_derand.hpp"
+#include "splitting/splitting_program.hpp"
 #include "splitting/trivial_random.hpp"
 #include "splitting/truncate.hpp"
 #include "splitting/weak_splitting.hpp"
@@ -182,6 +184,55 @@ TEST_P(TrivialSweep, FailureRateTracksUnionBound) {
 
 INSTANTIATE_TEST_SUITE_P(DegreeGrid, TrivialSweep,
                          ::testing::Values(2, 4, 8, 16, 24));
+
+// ---- Message-passing program (registry port) -----------------------------
+
+TEST(Program, SplitsBiregularInstances) {
+  Rng rng(31);
+  for (const std::size_t delta : {4, 6, 8}) {
+    const auto b = graph::gen::random_biregular(32, 64, delta, rng);
+    const auto outcome = weak_splitting_program(b, 7);
+    EXPECT_TRUE(is_weak_splitting(b, outcome.colors, 2)) << delta;
+    EXPECT_GE(outcome.trials, 1u);
+    for (const Color c : outcome.colors) {
+      EXPECT_NE(c, Color::kUncolored);
+    }
+  }
+}
+
+TEST(Program, MinDegreeRelaxationIsHonored) {
+  // u0 ~ {v0}: degree 1 can never see both colors; with min_degree 2 the
+  // program must still satisfy the remaining constraints.
+  graph::BipartiteGraph b(2, 3);
+  b.add_edge(0, 0);
+  b.add_edge(1, 0);
+  b.add_edge(1, 1);
+  b.add_edge(1, 2);
+  const auto outcome = weak_splitting_program(b, 5, /*min_degree=*/2);
+  EXPECT_TRUE(is_weak_splitting(b, outcome.colors, 2));
+  EXPECT_FALSE(is_weak_splitting(b, outcome.colors, 0));
+}
+
+TEST(Program, StrictDefinitionOnDegreeOneInstanceExhaustsTrials) {
+  // Under min_degree = 0 a degree-1 constraint is unsatisfiable, so every
+  // Las Vegas trial fails and the driver throws (small budget keeps the
+  // test fast).
+  graph::BipartiteGraph b(1, 1);
+  b.add_edge(0, 0);
+  EXPECT_THROW(weak_splitting_program(b, 5, /*min_degree=*/0, nullptr,
+                                      /*max_trials=*/2),
+               ds::CheckError);
+}
+
+TEST(Program, DeterministicAcrossRepeats) {
+  Rng rng(32);
+  const auto b = graph::gen::random_biregular(24, 48, 6, rng);
+  const auto x = weak_splitting_program(b, 9);
+  const auto y = weak_splitting_program(b, 9);
+  EXPECT_EQ(x.colors, y.colors);
+  EXPECT_EQ(x.executed_rounds, y.executed_rounds);
+  EXPECT_EQ(x.trials, y.trials);
+}
 
 }  // namespace
 }  // namespace ds::splitting

@@ -3,48 +3,40 @@
 /// run the solvers on their own instances without writing C++.
 ///
 /// Subcommands (first positional argument):
-///   gen      --nu=N --nv=N --delta=D --rank=R [--seed=S] [--unified]
+///   gen      --nu=N --nv=N --delta=D [--seed=S] [--unified]
 ///            Generate a random (δ, r)-biregular bipartite instance and
 ///            write it to stdout in the edge-list format of graph/io.hpp
-///            (--unified: the unified general graph instead, for `mis`).
+///            (--unified: the unified general graph instead, for the
+///            general-input algorithms).
 ///   stats    --input=FILE
 ///            Print instance parameters (n, m, δ, Δ, r, girth).
-///   solve    --input=FILE [--rand] [--seed=S] [--dot=OUT.dot]
-///            Solve weak splitting; print the selected algorithm, validity,
-///            and the executed/charged round costs.
-///   mis      --input=FILE [--seed=S] [--runtime=sequential|parallel|mp|tcp]
-///            [--threads=N] [--workers=N]
-///            [--rank=R --ranks=N --hosts=FILE]
-///            Treat FILE as a general-graph edge list; run Luby (on the
-///            selected LOCAL executor — `mp` forks a multi-process worker
-///            fleet and prints its edge-cut stats; `tcp` joins a multi-host
-///            rank fleet: launch the same command once per hosts-file line
-///            with the matching --rank) and the deterministic decomposition
-///            sweep; print both sizes.
-///   color    --input=FILE
-///            Deterministic (Δ+1)-coloring via ball-carving decomposition.
+///   list     [--names] [--scalable] [--markdown]
+///            The algorithm catalog, straight from the registry: the
+///            human-readable form, a machine-readable name listing for
+///            scripts/CI, or the README markdown table.
+///   run      --algo=NAME --input=FILE [--seed=S] [--param=key=value ...]
+///            + the runtime flags below
+///            Run any registered algorithm on any runtime. Dispatch, usage
+///            text and parameter help all come from the registry — there
+///            is no per-algorithm code in this tool.
 ///
-/// Exit code 0 on success, 1 on bad usage or I/O failure, 2 if a solver
-/// rejected the instance.
+/// Exit code 0 on success, 1 on bad usage (unknown subcommand, algorithm,
+/// flag or parameter — with a did-you-mean suggestion where possible),
+/// 2 on an execution failure (I/O, solver rejection, aborted fleet).
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "coloring/reduce.hpp"
-#include "coloring/verify.hpp"
+#include "algo/registry.hpp"
 #include "dist/distributed_network.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
-#include "mis/mis.hpp"
 #include "net/socket.hpp"
-#include "netdecomp/decomposition.hpp"
-#include "netdecomp/derandomize.hpp"
 #include "runtime/select.hpp"
-#include "splitting/solver.hpp"
-#include "splitting/weak_splitting.hpp"
 #include "support/check.hpp"
 #include "support/options.hpp"
 
@@ -54,15 +46,16 @@ using namespace ds;
 
 int usage() {
   std::cerr
-      << "usage: distsplit_cli <gen|stats|solve|mis|color> [--key=value...]\n"
+      << "usage: distsplit_cli <gen|stats|list|run> [--key=value...]\n"
          "  gen    --nu=N --nv=N --delta=D [--seed=S] [--unified]\n"
          "  stats  --input=FILE\n"
-         "  solve  --input=FILE [--rand] [--seed=S] [--dot=OUT.dot]\n"
-         "  mis    --input=FILE [--seed=S] "
-         "[--runtime=sequential|parallel|mp|tcp]\n"
-         "         [--threads=N] [--workers=N]\n"
-         "         [--rank=R --ranks=N --hosts=FILE]\n"
-         "  color  --input=FILE\n";
+         "  list   [--names] [--scalable] [--markdown]\n"
+         "  run    --algo=NAME --input=FILE [--seed=S] "
+         "[--param=key=value ...]\n"
+         "         "
+      << runtime::kRuntimeFlagsHelp
+      << "\n\nregistered algorithms (see also: distsplit_cli list):\n"
+      << algo::usage_catalog();
   return 1;
 }
 
@@ -91,7 +84,7 @@ int cmd_gen(const Options& opts) {
   const auto b = graph::gen::random_biregular(nu, nv, delta, rng);
   if (opts.has("unified")) {
     // General-graph edge list of the unified instance, consumable by the
-    // `mis` and `color` subcommands.
+    // general-input algorithms (`run --algo=mis` etc.).
     graph::io::write_edge_list(std::cout, b.unified());
   } else {
     graph::io::write_bipartite(std::cout, b);
@@ -118,112 +111,112 @@ int cmd_stats(const Options& opts) {
   return 0;
 }
 
-int cmd_solve(const Options& opts) {
-  const auto b = load_bipartite(opts);
-  splitting::SolverOptions sopts;
-  sopts.deterministic = !opts.has("rand");
-  Rng rng(opts.seed());
-  const auto result = splitting::solve_weak_splitting(b, sopts, rng);
-  std::cout << "algorithm:      " << splitting::algorithm_name(result.algorithm)
-            << "\n"
-            << "valid:          "
-            << (splitting::is_weak_splitting(b, result.colors) ? "yes" : "no")
-            << "\n"
-            << "executed rounds: " << result.meter.executed_rounds() << "\n"
-            << "charged rounds:  " << result.meter.charged_rounds() << "\n";
-  for (const auto& [label, rounds] : result.meter.breakdown()) {
-    std::cout << "  " << label << ": " << rounds << "\n";
-  }
-  const std::string dot_path = opts.get("dot", "");
-  if (!dot_path.empty()) {
-    std::ofstream out(dot_path);
-    DS_CHECK_MSG(out.good(), "cannot open dot output: " + dot_path);
-    std::vector<std::string> colors(b.num_right());
-    for (std::size_t v = 0; v < b.num_right(); ++v) {
-      colors[v] =
-          result.colors[v] == splitting::Color::kRed ? "red" : "blue";
-    }
-    out << graph::io::to_dot(b, colors);
-    std::cout << "wrote " << dot_path << "\n";
-  }
-  return 0;
-}
-
-int cmd_mis(const Options& opts) {
-  const auto g = load_graph(opts);
-  // --runtime=parallel [--threads=N] executes Luby on the sharded runtime,
-  // --runtime=mp [--workers=N] on the forked multi-process one; the MIS and
-  // round count are bit-identical to the sequential executor either way.
-  const auto runtime = runtime::runtime_from_options(opts);
-  local::CostMeter luby_meter;
-  const auto rand_outcome =
-      mis::luby(g, opts.seed(), &luby_meter, 10000,
-                local::IdStrategy::kSequential,
-                runtime::make_executor_factory(runtime));
-  if (runtime.kind == runtime::RuntimeKind::kMultiProcess ||
-      runtime.kind == runtime::RuntimeKind::kTcp) {
-    // Report the partition the executor actually ran: for mp the resolved
-    // worker count clamped to the node count, for tcp the launched rank
-    // fleet. The split is a pure function of the CSR degree profile, so the
-    // stats line needs only the boundaries — not the executor's full
-    // topology, delivery tables or halo links.
-    std::size_t parts;
-    if (runtime.kind == runtime::RuntimeKind::kTcp) {
-      parts = net::read_hosts_file(runtime.hosts).size();
-      std::cout << "executor:      tcp(rank " << runtime.rank << " of "
-                << parts << ")\n";
-    } else {
-      parts = dist::DistributedNetwork::resolve_workers(runtime.workers,
-                                                        g.num_nodes());
-      std::cout << "executor:      mp(" << parts << " workers)\n";
-    }
-    std::vector<std::size_t> offsets(g.num_nodes() + 1, 0);
-    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-      offsets[v + 1] = offsets[v] + g.degree(v);
-    }
-    const auto bounds = dist::degree_balanced_boundaries(offsets, parts);
-    const dist::PartitionStats stats =
-        dist::partition_stats(g, offsets, bounds);
-    std::cout << "partition:     " << stats.cut_edges << " cut edges, "
-              << stats.internal_edges << " internal, balance "
-              << stats.balance_factor << "\n";
+int cmd_list(const Options& opts) {
+  if (opts.has("markdown")) {
+    std::cout << algo::catalog_markdown();
+  } else if (opts.has("names")) {
+    std::cout << algo::names_listing(opts.has("scalable"));
   } else {
-    std::cout << "executor:      " << runtime::runtime_description(runtime)
-              << "\n";
+    std::cout << algo::usage_catalog(opts.has("scalable"));
   }
-  const auto decomp = netdecomp::ball_carving(g);
-  local::CostMeter det_meter;
-  const auto det_mis = netdecomp::mis_via_decomposition(g, decomp, &det_meter);
-  auto count = [](const std::vector<bool>& s) {
-    std::size_t c = 0;
-    for (bool b : s) c += b ? 1 : 0;
-    return c;
-  };
-  std::cout << "luby:          size " << count(rand_outcome.in_mis) << ", "
-            << rand_outcome.executed_rounds << " executed rounds\n"
-            << "decomposition: size " << count(det_mis) << ", "
-            << det_meter.charged_rounds() << " charged rounds ("
-            << decomp.num_blocks << " blocks, weak diameter "
-            << decomp.max_weak_diameter << ")\n";
   return 0;
 }
 
-int cmd_color(const Options& opts) {
-  const auto g = load_graph(opts);
-  const auto decomp = netdecomp::ball_carving(g);
-  std::uint32_t palette = 0;
-  local::CostMeter meter;
-  const auto colors =
-      netdecomp::coloring_via_decomposition(g, decomp, &palette, &meter);
-  std::size_t max_degree = 0;
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    max_degree = std::max(max_degree, g.degree(v));
+/// The `run` flags that belong to the driver itself (everything else must
+/// be a registered algorithm parameter passed as --param=key=value).
+const std::vector<std::string> kRunFlags = {
+    "algo",       "input", "seed",   "param",        "runtime",
+    "threads",    "workers", "halo-words", "gather-words", "rank",
+    "ranks",      "hosts", "sndbuf", "rcvbuf",
+};
+
+/// Resolution phase of `run`: anything wrong here is a usage error (exit
+/// 1). Throws ds::CheckError with a did-you-mean suggestion on unknown
+/// flags, algorithm names and parameter keys.
+struct RunPlan {
+  const algo::Spec* spec = nullptr;
+  algo::Params params;
+  runtime::RuntimeConfig runtime;
+};
+
+RunPlan resolve_run(const Options& opts) {
+  for (const std::string& key : opts.keys()) {
+    if (std::find(kRunFlags.begin(), kRunFlags.end(), key) !=
+        kRunFlags.end()) {
+      continue;
+    }
+    std::string msg = "unknown flag '--" + key + "'";
+    const std::string hint = algo::suggest(key, kRunFlags);
+    if (!hint.empty()) msg += "; did you mean '--" + hint + "'?";
+    msg += " (algorithm parameters go through --param=key=value)";
+    DS_CHECK_MSG(false, msg);
   }
-  std::cout << "colors used:    " << palette << " (max degree " << max_degree
-            << ")\n"
-            << "proper:         "
-            << (coloring::is_proper_coloring(g, colors) ? "yes" : "no") << "\n"
-            << "charged rounds: " << meter.charged_rounds() << "\n";
+  RunPlan plan;
+  const std::string name = opts.get("algo", "");
+  DS_CHECK_MSG(!name.empty(), "--algo=NAME is required (see: list)");
+  plan.spec = &algo::find(name);
+  plan.params = algo::Params::parse(
+      plan.spec->params, algo::parse_param_overrides(opts.get_all("param")));
+  plan.runtime = runtime::runtime_from_options(opts);
+  return plan;
+}
+
+/// Edge-cut stats of the partition the distributed executors actually ran
+/// — a pure function of the CSR degree profile and the part count.
+void print_partition_stats(const graph::Graph& g, std::size_t parts) {
+  std::vector<std::size_t> offsets(g.num_nodes() + 1, 0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    offsets[v + 1] = offsets[v] + g.degree(v);
+  }
+  const auto bounds = dist::degree_balanced_boundaries(offsets, parts);
+  const dist::PartitionStats stats = dist::partition_stats(g, offsets, bounds);
+  std::cout << "partition: " << stats.cut_edges << " cut edges, "
+            << stats.internal_edges << " internal, balance "
+            << stats.balance_factor << "\n";
+}
+
+int cmd_run(const RunPlan& plan, const Options& opts) {
+  const algo::Spec& spec = *plan.spec;
+  algo::RunContext ctx;
+  ctx.seed = opts.seed();
+  ctx.params = plan.params;
+  ctx.factory = runtime::make_executor_factory(plan.runtime);
+  ctx.sequential_runtime = runtime::is_sequential(plan.runtime);
+
+  graph::Graph g;
+  graph::BipartiteGraph b;
+  if (spec.input == algo::InputKind::kGeneralGraph) {
+    g = load_graph(opts);
+    ctx.graph = &g;
+  } else {
+    b = load_bipartite(opts);
+    ctx.bipartite = &b;
+  }
+
+  std::cout << "algorithm: " << spec.name << "\n";
+  if (plan.runtime.kind == runtime::RuntimeKind::kTcp) {
+    const std::size_t parts = net::read_hosts_file(plan.runtime.hosts).size();
+    std::cout << "executor: tcp(rank " << plan.runtime.rank << " of " << parts
+              << ")\n";
+    if (ctx.graph != nullptr) print_partition_stats(*ctx.graph, parts);
+  } else {
+    std::cout << "executor: " << runtime::runtime_description(plan.runtime)
+              << "\n";
+    if (plan.runtime.kind == runtime::RuntimeKind::kMultiProcess &&
+        ctx.graph != nullptr) {
+      print_partition_stats(*ctx.graph,
+                            dist::DistributedNetwork::resolve_workers(
+                                plan.runtime.workers, g.num_nodes()));
+    }
+  }
+
+  const algo::Result result = algo::execute(spec, ctx);
+  for (const auto& [key, value] : result.summary) {
+    std::cout << key << ": " << value << "\n";
+  }
+  std::cout << "verified: " << (result.verified ? "yes" : "no") << "\n";
+  std::cout << "output-digest: " << std::hex << result.output_digest()
+            << std::dec << "\n";
   return 0;
 }
 
@@ -236,9 +229,21 @@ int main(int argc, char** argv) {
     const Options opts(argc - 1, argv + 1);
     if (cmd == "gen") return cmd_gen(opts);
     if (cmd == "stats") return cmd_stats(opts);
-    if (cmd == "solve") return cmd_solve(opts);
-    if (cmd == "mis") return cmd_mis(opts);
-    if (cmd == "color") return cmd_color(opts);
+    if (cmd == "list") return cmd_list(opts);
+    if (cmd == "run") {
+      // Resolution errors (unknown algo/flag/param, bad values) are usage
+      // errors: exit 1, with the did-you-mean text on stderr. Execution
+      // errors keep the historical exit code 2.
+      RunPlan plan;
+      try {
+        plan = resolve_run(opts);
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+      }
+      return cmd_run(plan, opts);
+    }
+    std::cerr << "error: unknown subcommand '" << cmd << "'\n";
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

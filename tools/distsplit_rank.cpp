@@ -1,13 +1,15 @@
 /// \file distsplit_rank.cpp
 /// Multi-host rank launcher: runs one rank of a TCP-distributed LOCAL
 /// algorithm (or, with --local=N, a whole loopback fleet on this machine —
-/// the quickest way to smoke-test the wire path without a cluster).
+/// the quickest way to smoke-test the wire path without a cluster). The
+/// algorithm is any distributed-capable entry of the algorithm registry
+/// (`distsplit_cli list`); there is no per-algorithm code in this tool.
 ///
 /// Multi-host usage — run once per hosts-file line, anywhere the hosts
 /// resolve, in any order (the rendezvous retries until the fleet is up):
 ///
 ///     distsplit_rank --hosts=hosts.txt --rank=R --input=graph.txt
-///         [--algo=mis|color|sinkless] [--seed=S] [--max-rounds=N]
+///         [--algo=NAME] [--seed=S] [--param=key=value ...]
 ///         [--sndbuf=BYTES] [--rcvbuf=BYTES]
 ///
 /// hosts.txt: one `host port` per line, line i = rank i; `#` comments and
@@ -23,22 +25,20 @@
 /// the same summary (prefixed with its rank). Exit code 0 on success, 2 on
 /// a failed run (abort, dead peer, bad usage).
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "coloring/randcolor.hpp"
-#include "coloring/verify.hpp"
+#include "algo/registry.hpp"
+#include "graph/bipartite.hpp"
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
 #include "local/executor.hpp"
-#include "mis/mis.hpp"
 #include "net/loopback.hpp"
 #include "net/socket.hpp"
 #include "net/tcp_network.hpp"
-#include "orient/sinkless.hpp"
 #include "support/check.hpp"
 #include "support/options.hpp"
 
@@ -49,53 +49,61 @@ using namespace ds;
 int usage() {
   std::cerr << "usage: distsplit_rank --input=FILE\n"
                "         (--hosts=FILE --rank=R | --local=N)\n"
-               "         [--algo=mis|color|sinkless] [--seed=S]\n"
-               "         [--max-rounds=N] [--sndbuf=BYTES] [--rcvbuf=BYTES]\n";
+               "         [--algo=NAME] [--seed=S] [--param=key=value ...]\n"
+               "         [--sndbuf=BYTES] [--rcvbuf=BYTES]\n"
+               "algorithms (distributed-capable registry entries):\n"
+            << algo::names_listing(/*scalable_only=*/true);
   return 2;
 }
 
-/// Runs the selected algorithm on one rank's executor factory and returns
-/// the per-rank summary line (identical on every rank by the determinism
-/// contract).
-std::string run_algorithm(const graph::Graph& g, const Options& opts,
-                          const local::ExecutorFactory& factory) {
-  const std::string algo = opts.get("algo", "mis");
-  const auto max_rounds =
-      static_cast<std::size_t>(opts.get_int("max-rounds", 10000));
-  std::ostringstream out;
-  if (algo == "mis") {
-    const auto outcome = mis::luby(g, opts.seed(), nullptr, max_rounds,
-                                   local::IdStrategy::kSequential, factory);
-    std::size_t size = 0;
-    for (const bool b : outcome.in_mis) size += b ? 1 : 0;
-    out << "luby mis: size " << size << ", " << outcome.executed_rounds
-        << " rounds";
-  } else if (algo == "color") {
-    const auto outcome =
-        coloring::randomized_coloring(g, opts.seed(), nullptr, max_rounds,
-                                      local::IdStrategy::kSequential, factory);
-    out << "randomized coloring: " << outcome.num_colors << " colors ("
-        << (coloring::is_proper_coloring(g, outcome.colors) ? "proper"
-                                                            : "IMPROPER")
-        << "), " << outcome.executed_rounds << " rounds";
-  } else if (algo == "sinkless") {
-    const auto outcome = orient::sinkless_program(
-        g, opts.seed(), 3, nullptr,
-        static_cast<std::size_t>(opts.get_int("max-rounds", 30)), factory);
-    out << "sinkless orientation: " << outcome.trials << " trials, "
-        << outcome.executed_rounds << " rounds";
-  } else {
-    DS_CHECK_MSG(false, "--algo must be 'mis', 'color' or 'sinkless'");
-  }
-  return out.str();
-}
+/// Resolves --algo and --param against the registry; bipartite-input specs
+/// read the input file in the bipartite format, general ones as an edge
+/// list.
+struct RankPlan {
+  const algo::Spec* spec = nullptr;
+  algo::Params params;
+  graph::Graph graph;
+  graph::BipartiteGraph bipartite;
+};
 
-graph::Graph load_graph(const Options& opts) {
+/// The flags this launcher understands itself; anything else must be an
+/// algorithm parameter passed as --param=key=value (silently dropping a
+/// typo'd or stale flag would change the run's meaning).
+const std::vector<std::string> kRankFlags = {
+    "input", "hosts", "rank", "local", "algo", "seed",
+    "param", "sndbuf", "rcvbuf",
+};
+
+RankPlan resolve(const Options& opts) {
+  for (const std::string& key : opts.keys()) {
+    if (std::find(kRankFlags.begin(), kRankFlags.end(), key) !=
+        kRankFlags.end()) {
+      continue;
+    }
+    std::string msg = "unknown flag '--" + key + "'";
+    const std::string hint = algo::suggest(key, kRankFlags);
+    if (!hint.empty()) msg += "; did you mean '--" + hint + "'?";
+    msg += " (algorithm parameters go through --param=key=value)";
+    DS_CHECK_MSG(false, msg);
+  }
+  RankPlan plan;
+  plan.spec = &algo::find(opts.get("algo", "mis"));
+  DS_CHECK_MSG(plan.spec->capability == algo::Capability::kAnyRuntime,
+               "algorithm '" + plan.spec->name +
+                   "' is sequential-only and cannot run on a rank fleet");
+  plan.params = algo::Params::parse(
+      plan.spec->params, algo::parse_param_overrides(opts.get_all("param")));
+
   const std::string path = opts.get("input", "");
   DS_CHECK_MSG(!path.empty(), "--input=FILE is required");
   std::ifstream in(path);
   DS_CHECK_MSG(in.good(), "cannot open input file: " + path);
-  return graph::io::read_edge_list(in);
+  if (plan.spec->input == algo::InputKind::kGeneralGraph) {
+    plan.graph = graph::io::read_edge_list(in);
+  } else {
+    plan.bipartite = graph::io::read_bipartite(in);
+  }
+  return plan;
 }
 
 net::TcpOptions transport_options(const Options& opts) {
@@ -105,14 +113,17 @@ net::TcpOptions transport_options(const Options& opts) {
   return topts;
 }
 
-/// One rank's full run: build the executor factory for this rank and
-/// execute the algorithm. Returns the process exit code.
-int run_rank(const graph::Graph& g, const Options& opts, std::size_t rank,
+/// One rank's full run: build this rank's executor factory and execute the
+/// registry spec through it. Returns the process exit code.
+int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
              std::vector<net::Endpoint> hosts, net::Socket listen) {
   net::Socket* first_listen = &listen;
-  const local::ExecutorFactory factory =
-      [&](const graph::Graph& fg, local::IdStrategy strategy,
-          std::uint64_t seed) -> std::unique_ptr<local::Executor> {
+  algo::RunContext ctx;
+  ctx.seed = opts.seed();
+  ctx.params = plan.params;
+  ctx.sequential_runtime = false;
+  ctx.factory = [&](const graph::Graph& fg, local::IdStrategy strategy,
+                    std::uint64_t seed) -> std::unique_ptr<local::Executor> {
     net::TcpNetworkConfig config;
     config.rank = rank;
     config.hosts = hosts;
@@ -123,11 +134,16 @@ int run_rank(const graph::Graph& g, const Options& opts, std::size_t rank,
     return std::make_unique<net::TcpNetwork>(fg, strategy, seed,
                                              std::move(config));
   };
-  const std::string summary = run_algorithm(g, opts, factory);
+  if (plan.spec->input == algo::InputKind::kGeneralGraph) {
+    ctx.graph = &plan.graph;
+  } else {
+    ctx.bipartite = &plan.bipartite;
+  }
+  const algo::Result result = algo::execute(*plan.spec, ctx);
   // Explicit flush: loopback child ranks leave via _exit, skipping stdio
   // teardown, and their summary must not die in a buffer with them.
-  std::cout << "[rank " << rank << "/" << hosts.size() << "] " << summary
-            << std::endl;
+  std::cout << "[rank " << rank << "/" << hosts.size() << "] "
+            << plan.spec->name << ": " << result.brief() << std::endl;
   return 0;
 }
 
@@ -138,12 +154,12 @@ int main(int argc, char** argv) {
     // Options skips argv[0] itself; this tool has no subcommand word.
     const Options opts(argc, argv);
     const auto local = opts.get_int("local", 0);
-    const graph::Graph g = load_graph(opts);
+    const RankPlan plan = resolve(opts);
     if (local > 0) {
       // Loopback fleet: forked ranks on kernel-assigned 127.0.0.1 ports.
       const auto report = net::run_loopback_ranks(
           static_cast<std::size_t>(local), [&](net::LoopbackRank&& lr) {
-            return run_rank(g, opts, lr.rank, std::move(lr.hosts),
+            return run_rank(plan, opts, lr.rank, std::move(lr.hosts),
                             std::move(lr.listen));
           });
       if (!report.all_ok()) {
@@ -164,7 +180,7 @@ int main(int argc, char** argv) {
     DS_CHECK_MSG(rank < hosts.size(),
                  "--rank must be < the hosts file size (" +
                      std::to_string(hosts.size()) + ")");
-    return run_rank(g, opts, rank, hosts, net::Socket{});
+    return run_rank(plan, opts, rank, hosts, net::Socket{});
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
