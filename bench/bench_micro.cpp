@@ -20,6 +20,7 @@
 #include "local/network.hpp"
 #include "net/loopback.hpp"
 #include "net/tcp_network.hpp"
+#include "obs/recorder.hpp"
 #include "orient/euler.hpp"
 #include "runtime/parallel_network.hpp"
 #include "splitting/trivial_random.hpp"
@@ -324,6 +325,31 @@ BENCHMARK(BM_DistributedRounds)
     ->Args({256, 2})->Args({256, 4})
     ->Args({1024, 2})->Args({1024, 4})
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Observability overhead on the sequential round loop: Arg 1 runs with a
+// recorder installed (counters + phase spans tick every round), Arg 0 the
+// plain disabled path. The disabled path must stay within noise of the
+// pre-observability numbers — the handles are null and every metric call
+// is one branch — while the delta between the two rows is the cost a
+// --metrics/--trace run pays.
+void BM_MetricsOverhead(benchmark::State& state) {
+  const auto g = graph::gen::torus(64, 64);
+  local::Network net(g, local::IdStrategy::kSequential, 42);
+  obs::Recorder recorder;
+  if (state.range(0) != 0) net.set_recorder(&recorder);
+  for (auto _ : state) {
+    net.run(gossip_factory(), kGossipRounds + 1);
+    // Keep the run-to-run state bounded: drain the span buffer so the
+    // instrumented rows measure steady-state recording, not vector growth
+    // over thousands of iterations.
+    if (state.range(0) != 0) benchmark::DoNotOptimize(recorder.drain_words());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(g.num_nodes() * kGossipRounds));
+}
+BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 // The socket-path overhead of the same gossip rounds: a loopback TCP rank
 // fleet per iteration (fork + rendezvous + rounds + teardown — the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/recorder.hpp"
 #include "support/check.hpp"
 
 namespace ds::algo {
@@ -76,6 +77,9 @@ Result execute(const Spec& spec, const RunContext& ctx) {
   // Spec entry points verify before returning (they throw otherwise), so a
   // normal return means the verifier accepted the output.
   result.verified = true;
+  if (ctx.recorder != nullptr) {
+    result.metrics = ctx.recorder->metrics().snapshot();
+  }
   return result;
 }
 

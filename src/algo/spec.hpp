@@ -24,6 +24,11 @@
 #include "graph/bipartite.hpp"
 #include "graph/graph.hpp"
 #include "local/executor.hpp"
+#include "obs/metrics.hpp"
+
+namespace ds::obs {
+class Recorder;
+}  // namespace ds::obs
 
 namespace ds::algo {
 
@@ -113,6 +118,11 @@ struct RunContext {
   /// the capability gate for kSequentialOnly specs. A caller installing a
   /// merely-instrumented sequential factory still sets this.
   bool sequential_runtime = true;
+  /// Observability recorder, or null for an uninstrumented run. The
+  /// factory is responsible for handing it to the executors it builds
+  /// (runtime::make_executor_factory does when given the same pointer);
+  /// `execute` snapshots it into `Result::metrics` after the run.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// What a Spec run returns.
@@ -127,6 +137,10 @@ struct Result {
   std::vector<std::pair<std::string, std::string>> summary;
   /// Set by `execute` after the spec's verifier accepted the output.
   bool verified = false;
+  /// Aggregated metrics snapshot of the run, filled by `execute` when
+  /// RunContext::recorder was set (fleet-wide totals on distributed
+  /// runtimes — each rank's drained block merged in). Empty otherwise.
+  std::vector<obs::MetricSnapshot> metrics;
 
   void add(const std::string& key, const std::string& value) {
     summary.emplace_back(key, value);

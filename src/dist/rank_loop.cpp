@@ -12,7 +12,8 @@ std::size_t run_rank_loop(
     Transport& transport, const local::ProgramFactory& factory,
     std::size_t max_rounds, std::uint64_t& epoch,
     const local::RoundStatsSink& sink, const local::OutputFn& output_fn,
-    std::vector<std::unique_ptr<local::NodeProgram>>& programs) {
+    std::vector<std::unique_ptr<local::NodeProgram>>& programs,
+    obs::Recorder* recorder) {
   const graph::Graph& g = topo.graph();
   const std::size_t n = g.num_nodes();
   const std::size_t w = transport.rank();
@@ -48,12 +49,22 @@ std::size_t run_rank_loop(
     return c;
   };
 
+  obs::RoundInstruments ins;
+  if (recorder != nullptr) {
+    ins = obs::RoundInstruments::create(recorder->metrics());
+    recorder->set_lane(static_cast<std::uint32_t>(w));
+  }
+  const bool timed = recorder != nullptr || sink;
+  const auto us_now = [&] { return recorder != nullptr ? recorder->now_us()
+                                                       : std::uint64_t{0}; };
+
   std::size_t alive = transport.sync_liveness(count_alive());
   std::size_t rounds = 0;
   while (alive > 0) {
     DS_CHECK_MSG(rounds < max_rounds,
                  "distributed run exceeded max_rounds");
     const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t us0 = us_now();
     // Send phase: owned live nodes serialize into the private arena; the
     // local delivery table routes cut ports into the out-halo staging area.
     ++epoch;
@@ -71,18 +82,27 @@ std::size_t run_rank_loop(
       mine.messages += out.messages();
       mine.payload_words += out.payload_words();
     }
+    const auto t_sent = timed ? std::chrono::steady_clock::now() : t0;
+    const std::uint64_t us_sent = us_now();
     transport.ship(arena.data(), bank.data(), epoch, mine);
+    const auto t_shipped = timed ? std::chrono::steady_clock::now() : t0;
+    const std::uint64_t us_shipped = us_now();
 
     // Receive phase: patch the arena onto the shipped payloads, then run
     // the unmodified Inbox path over the owned live nodes.
     transport.patch(arena.data(), epoch);
     transport.update_bank_bases(bases, bank.data());
+    const auto t_patched = timed ? std::chrono::steady_clock::now() : t0;
+    const std::uint64_t us_patched = us_now();
     local::RoundStats stats;
     if (sink) {
       // Totals are only stable between ship and the liveness sync (on the
       // shm transport a fast peer may overwrite its counter slot right
       // after the latter) — read them here.
       const Transport::RoundTotals totals = transport.round_totals();
+      DS_CHECK_MSG(totals.aggregated,
+                   "stats sink installed on a rank whose transport does not "
+                   "aggregate round totals — the sink would report zeros");
       stats.round = rounds;
       stats.live_nodes = static_cast<std::size_t>(totals.senders);
       stats.messages = static_cast<std::size_t>(totals.messages);
@@ -95,19 +115,66 @@ std::size_t run_rank_loop(
                          g.degree(v), bases.data(), epoch);
       prog.receive(rounds, inbox);
     }
+    const auto t_received = timed ? std::chrono::steady_clock::now() : t0;
+    const std::uint64_t us_received = us_now();
     alive = transport.sync_liveness(count_alive());
     ++rounds;
+    const auto t_end = std::chrono::steady_clock::now();
+    if (recorder != nullptr) {
+      // Deterministic counters take only this rank's share (`mine`): the
+      // post-gather merge of every rank's block then reconstructs the same
+      // fleet totals the sequential executor counts.
+      ins.live_nodes.add(mine.senders);
+      ins.messages.add(mine.messages);
+      ins.payload_words.add(mine.payload_words);
+      const std::uint64_t us_end = us_now();
+      ins.send_us.record(us_sent - us0);
+      ins.ship_us.record(us_shipped - us_sent);
+      ins.patch_us.record(us_patched - us_shipped);
+      ins.receive_us.record(us_received - us_patched);
+      ins.barrier_us.record(us_end - us_received);
+      ins.round_us.record(us_end - us0);
+      const std::uint64_t r = rounds - 1;
+      recorder->add_span(obs::Phase::kSend, r, us0, us_sent - us0);
+      recorder->add_span(obs::Phase::kShip, r, us_sent, us_shipped - us_sent);
+      recorder->add_span(obs::Phase::kPatch, r, us_shipped,
+                         us_patched - us_shipped);
+      recorder->add_span(obs::Phase::kReceive, r, us_patched,
+                         us_received - us_patched);
+      recorder->add_span(obs::Phase::kBarrier, r, us_received,
+                         us_end - us_received);
+      recorder->add_span(obs::Phase::kRound, r, us0, us_end - us0);
+    }
     if (sink) {
-      stats.wall_seconds = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count();
+      stats.wall_seconds =
+          std::chrono::duration<double>(t_end - t0).count();
+      stats.send_seconds =
+          std::chrono::duration<double>(t_sent - t0).count();
+      stats.ship_seconds =
+          std::chrono::duration<double>(t_shipped - t_sent).count();
+      stats.patch_seconds =
+          std::chrono::duration<double>(t_patched - t_shipped).count();
+      stats.receive_seconds =
+          std::chrono::duration<double>(t_received - t_patched).count();
+      stats.barrier_seconds =
+          std::chrono::duration<double>(t_end - t_received).count();
       sink(stats);
     }
   }
 
-  // Output gather: serialize the owned programs' rows ([length, words...]
-  // per node) and publish them through the transport.
+  // Output gather: this rank's drained observability block, then the owned
+  // programs' serialized rows ([length, words...] per node) — see the file
+  // comment in rank_loop.hpp for the layout.
   std::vector<std::uint64_t> gathered;
+  const std::uint64_t us_gather = us_now();
+  if (recorder != nullptr) {
+    ins.rounds_executed.set(rounds);
+    const std::vector<std::uint64_t> obs_block = recorder->drain_words();
+    gathered.push_back(obs_block.size());
+    gathered.insert(gathered.end(), obs_block.begin(), obs_block.end());
+  } else {
+    gathered.push_back(0);
+  }
   if (output_fn) {
     std::vector<std::uint64_t> row;
     for (graph::NodeId v = first; v < last; ++v) {
@@ -118,8 +185,26 @@ std::size_t run_rank_loop(
     }
   }
   transport.gather(gathered);
+  if (recorder != nullptr) {
+    // The gather span lands *after* the drain, so it stays in the local
+    // recorder and is reported by the rank that merges the fleet's blocks.
+    recorder->add_span(obs::Phase::kGather, rounds, us_gather,
+                       us_now() - us_gather);
+  }
   return rounds;
 }
+
+namespace {
+
+/// Skips rank `w`'s leading observability block, returning the row start.
+std::size_t skip_obs_block(const std::uint64_t* words, std::size_t count) {
+  DS_CHECK_MSG(count >= 1, "gather block missing the obs header");
+  const auto obs_words = static_cast<std::size_t>(words[0]);
+  DS_CHECK_MSG(1 + obs_words <= count, "gather block truncated (obs)");
+  return 1 + obs_words;
+}
+
+}  // namespace
 
 void assemble_outputs(const Transport& transport, const Partition& part,
                       local::OutputTable& out) {
@@ -127,7 +212,7 @@ void assemble_outputs(const Transport& transport, const Partition& part,
   out.start(part.last_node(part.num_workers() - 1));
   for (std::size_t w = 0; w < part.num_workers(); ++w) {
     const auto [words, count] = transport.gathered(w);
-    std::size_t pos = 0;
+    std::size_t pos = skip_obs_block(words, count);
     for (std::size_t i = 0; i < part.num_nodes(w); ++i) {
       DS_CHECK_MSG(pos < count, "gather block truncated");
       const auto len = static_cast<std::size_t>(words[pos]);
@@ -137,6 +222,14 @@ void assemble_outputs(const Transport& transport, const Partition& part,
       pos += len;
     }
     DS_CHECK_MSG(pos == count, "gather block has trailing words");
+  }
+}
+
+void collect_fleet_obs(const Transport& transport, obs::Recorder& recorder) {
+  for (std::size_t w = 0; w < transport.num_ranks(); ++w) {
+    const auto [words, count] = transport.gathered(w);
+    const std::size_t end = skip_obs_block(words, count);
+    if (end > 1) recorder.merge_words(words + 1, end - 1);
   }
 }
 

@@ -18,7 +18,19 @@
 ///      receive through the unmodified `local::Inbox` ->
 ///      `Transport::sync_liveness`;
 ///   3. after the last round: serialize the owned programs' output rows and
-///      `Transport::gather` them.
+///      `Transport::gather` them, prefixed by this rank's drained
+///      observability block (see below).
+///
+/// # Gather payload layout (per rank)
+///
+///     [obs_word_count, obs words..., (row_length, row words...)*]
+///
+/// The leading observability block is always present (count 0 when no
+/// recorder is installed); `assemble_outputs` skips it and
+/// `collect_fleet_obs` merges every rank's block into one recorder. Keeping
+/// the block inside the existing gather stream means per-rank metrics and
+/// trace spans ride the same frames/shared blocks as the output rows — no
+/// second protocol.
 
 #include <cstdint>
 #include <memory>
@@ -30,6 +42,7 @@
 #include "local/program.hpp"
 #include "local/round_stats.hpp"
 #include "local/topology.hpp"
+#include "obs/recorder.hpp"
 
 namespace ds::dist {
 
@@ -43,6 +56,9 @@ namespace ds::dist {
 /// range) and stays alive for the caller's `program()` accessor. Throws
 /// ds::CheckError when `max_rounds` is hit with unhalted nodes — the caller
 /// is responsible for turning that into a collective `Transport::abort`.
+/// `recorder`, when non-null, receives this rank's phase spans and round
+/// counters and is *drained* into the gather payload (see the file
+/// comment); merge the fleet's blocks back with `collect_fleet_obs`.
 std::size_t run_rank_loop(const local::NetworkTopology& topo,
                           const Partition& part, Transport& transport,
                           const local::ProgramFactory& factory,
@@ -50,13 +66,21 @@ std::size_t run_rank_loop(const local::NetworkTopology& topo,
                           const local::RoundStatsSink& sink,
                           const local::OutputFn& output_fn,
                           std::vector<std::unique_ptr<local::NodeProgram>>&
-                              programs);
+                              programs,
+                          obs::Recorder* recorder = nullptr);
 
 /// Assembles the gathered per-node rows ([length, words...] per node, ranks
-/// in order) into `out`. Call after `run_rank_loop` on a rank where
-/// `Transport::gathered` is valid for every worker; throws on a truncated
-/// or trailing-garbage gather stream.
+/// in order) into `out`, skipping each rank's leading observability block.
+/// Call after `run_rank_loop` on a rank where `Transport::gathered` is
+/// valid for every worker; throws on a truncated or trailing-garbage gather
+/// stream.
 void assemble_outputs(const Transport& transport, const Partition& part,
                       local::OutputTable& out);
+
+/// Merges every rank's gathered observability block into `recorder` (which
+/// each rank drained into its payload — including the caller's own rank, so
+/// merging all blocks reconstructs exact fleet totals without double
+/// counting). Call wherever `Transport::gathered` is valid for every rank.
+void collect_fleet_obs(const Transport& transport, obs::Recorder& recorder);
 
 }  // namespace ds::dist

@@ -67,10 +67,11 @@ std::uint64_t* HaloTransport::block(std::size_t src, std::size_t dst) const {
   return region_.as<std::uint64_t>() + block_offset_[src * num_workers_ + dst];
 }
 
-void HaloTransport::ship(std::size_t src,
-                         const local::MessageSpan* local_arena,
-                         const std::uint64_t* bank_words,
-                         std::uint64_t epoch) const {
+std::size_t HaloTransport::ship(std::size_t src,
+                                const local::MessageSpan* local_arena,
+                                const std::uint64_t* bank_words,
+                                std::uint64_t epoch) const {
+  std::size_t total_words = 0;
   const std::size_t halo_base = part_->num_local_ports(src);
   // One round's payload demand toward worker d (only epoch-current spans).
   const auto pair_demand = [&](std::size_t d) {
@@ -128,7 +129,9 @@ void HaloTransport::ship(std::size_t src,
                   span.length * sizeof(std::uint64_t));
       used += span.length;
     }
+    total_words += used;
   }
+  return total_words;
 }
 
 void HaloTransport::patch(std::size_t dst, local::MessageSpan* local_arena,
@@ -191,7 +194,24 @@ std::pair<const std::uint64_t*, std::size_t> HaloTransport::read_gather(
 
 // ---- ShmTransport: the per-worker Transport view -------------------------
 
-void ShmTransport::barrier() const {
+void ShmTransport::set_recorder(obs::Recorder* rec) {
+  recorder_ = rec;
+  if (rec != nullptr) {
+    barrier_wait_us_ = rec->metrics().histogram("shm.barrier.wait.us");
+    halo_words_ = rec->metrics().counter("shm.halo.words");
+  } else {
+    barrier_wait_us_ = obs::Histogram{};
+    halo_words_ = obs::Counter{};
+  }
+}
+
+void ShmTransport::barrier() {
+  if (recorder_ != nullptr) {
+    const std::uint64_t t0 = recorder_->now_us();
+    control_->barrier.wait(control_->abort_flag, idle_poll_);
+    barrier_wait_us_.record(recorder_->now_us() - t0);
+    return;
+  }
   control_->barrier.wait(control_->abort_flag, idle_poll_);
 }
 
@@ -209,7 +229,9 @@ std::size_t ShmTransport::sync_liveness(std::size_t my_not_done) {
 void ShmTransport::ship(const local::MessageSpan* local_arena,
                         const std::uint64_t* bank_words, std::uint64_t epoch,
                         const RoundTotals& mine) {
-  blocks_->ship(worker_, local_arena, bank_words, epoch);
+  const std::size_t shipped =
+      blocks_->ship(worker_, local_arena, bank_words, epoch);
+  halo_words_.add(shipped);
   WorkerCounters* counters = control_->counters(worker_);
   counters->senders.store(mine.senders, std::memory_order_relaxed);
   counters->messages.store(mine.messages, std::memory_order_relaxed);
@@ -228,6 +250,9 @@ Transport::RoundTotals ShmTransport::round_totals() const {
     totals.messages += c->messages.load(std::memory_order_relaxed);
     totals.payload_words += c->payload_words.load(std::memory_order_relaxed);
   }
+  // Every worker reads the same shared counter slots, so the sums are
+  // fleet-wide on any rank.
+  totals.aggregated = true;
   return totals;
 }
 

@@ -45,6 +45,7 @@
 #include "dist/shm.hpp"
 #include "dist/transport.hpp"
 #include "local/message_arena.hpp"
+#include "obs/recorder.hpp"
 
 namespace ds::dist {
 
@@ -63,8 +64,10 @@ class HaloTransport {
   /// blocks. `local_arena` is src's local span arena (out-halo slots start
   /// at `part.num_local_ports(src)`), `bank_words` its word bank base, and
   /// `epoch` the current round tag (spans with another tag ship length 0).
-  void ship(std::size_t src, const local::MessageSpan* local_arena,
-            const std::uint64_t* bank_words, std::uint64_t epoch) const;
+  /// Returns the total payload words copied across all pairs (the halo
+  /// traffic this worker put on the "wire" this round).
+  std::size_t ship(std::size_t src, const local::MessageSpan* local_arena,
+                   const std::uint64_t* bank_words, std::uint64_t epoch) const;
 
   /// Delivers every peer's shipped messages into worker dst's local span
   /// arena (zero-copy: spans point into the shared payload areas, tagged
@@ -143,14 +146,21 @@ class ShmTransport final : public Transport {
       std::size_t w) const override;
   void abort(const std::string& msg) override;
 
+  /// Hooks this worker's transport counters (`shm.barrier.wait.us`,
+  /// `shm.halo.words`) into `rec`; nullptr detaches. Call before the run.
+  void set_recorder(obs::Recorder* rec);
+
  private:
-  void barrier() const;
+  void barrier();
 
   std::size_t worker_;
   const Partition* part_;
   HaloTransport* blocks_;
   ControlBlock* control_;
   const std::function<void()>* idle_poll_;
+  obs::Recorder* recorder_ = nullptr;
+  obs::Histogram barrier_wait_us_;
+  obs::Counter halo_words_;
 };
 
 }  // namespace ds::dist

@@ -55,6 +55,12 @@ class Transport {
     std::uint64_t senders = 0;
     std::uint64_t messages = 0;
     std::uint64_t payload_words = 0;
+    /// True iff the three counters really are fleet-wide sums. Every
+    /// implementation of `round_totals()` must set it where its values are
+    /// valid; the rank loop refuses to report stats from a transport that
+    /// left it false, so a future transport cannot silently feed zeros into
+    /// RoundStats (the shm/tcp parity contract).
+    bool aggregated = false;
   };
 
   virtual ~Transport() = default;

@@ -26,6 +26,10 @@
 #include "local/round_stats.hpp"
 #include "local/topology.hpp"
 
+namespace ds::obs {
+class Recorder;
+}  // namespace ds::obs
+
 namespace ds::local {
 
 /// Serializes the output of one node's final program state, appending words
@@ -107,6 +111,13 @@ class Executor {
   /// Installs (or clears, with {}) the per-round stats hook for future runs.
   virtual void set_stats_sink(RoundStatsSink sink) = 0;
 
+  /// Installs (or clears, with nullptr) the observability recorder for
+  /// future runs. Not owned; must outlive the runs it observes. When set,
+  /// executors register phase metrics and emit trace spans into it; when
+  /// null, the instrumentation is a no-op (see obs/metrics.hpp).
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+  [[nodiscard]] obs::Recorder* recorder() const { return recorder_; }
+
   /// Installs (or clears, with {}) the per-node output serializer applied
   /// at the end of future runs; read the result via `outputs()`. This is
   /// the only result channel that works on every executor — the
@@ -138,6 +149,7 @@ class Executor {
 
   OutputFn output_fn_;
   OutputTable outputs_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 /// Factory producing an executor for a concrete (graph, strategy, seed).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/recorder.hpp"
 #include "support/check.hpp"
 
 namespace ds::local {
@@ -24,6 +25,13 @@ std::size_t Network::run(const ProgramFactory& factory, std::size_t max_rounds,
     programs[v] = factory(topology_.make_env(v));
     DS_CHECK(programs[v] != nullptr);
   }
+
+  obs::Recorder* const rec = recorder();
+  obs::RoundInstruments ins;
+  if (rec != nullptr) ins = obs::RoundInstruments::create(rec->metrics());
+  // Phase timing runs when either consumer is present; the fully disabled
+  // path keeps the historical single clock read per round.
+  const bool timed = rec != nullptr || sink_;
 
   std::size_t round = 0;
   auto all_done = [&] {
@@ -51,6 +59,7 @@ std::size_t Network::run(const ProgramFactory& factory, std::size_t max_rounds,
       messages += out.messages();
       payload_words += out.payload_words();
     }
+    const auto t_sent = timed ? std::chrono::steady_clock::now() : t0;
     // Receive phase. The bank stops growing once sends are done, so the
     // base pointer is stable for every borrowed view.
     const std::uint64_t* bases[1] = {bank_.data()};
@@ -60,19 +69,45 @@ std::size_t Network::run(const ProgramFactory& factory, std::size_t max_rounds,
                   bases, epoch_);
       programs[v]->receive(round, inbox);
     }
-    if (sink_) {
-      RoundStats stats;
-      stats.round = round;
-      stats.wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-      stats.live_nodes = live;
-      stats.messages = messages;
-      stats.payload_words = payload_words;
-      sink_(stats);
+    if (timed) {
+      const auto t_end = std::chrono::steady_clock::now();
+      const double send_s = std::chrono::duration<double>(t_sent - t0).count();
+      const double recv_s =
+          std::chrono::duration<double>(t_end - t_sent).count();
+      if (rec != nullptr) {
+        ins.live_nodes.add(live);
+        ins.messages.add(messages);
+        ins.payload_words.add(payload_words);
+        const auto us0 = static_cast<std::uint64_t>(send_s * 1e6);
+        const auto us1 = static_cast<std::uint64_t>(recv_s * 1e6);
+        ins.send_us.record(us0);
+        ins.receive_us.record(us1);
+        ins.round_us.record(us0 + us1);
+        // Span timestamps come from the recorder clock so every executor's
+        // trace shares one timebase convention; phase durations reuse the
+        // measured values.
+        const std::uint64_t now = rec->now_us();
+        const std::uint64_t start = now - us0 - us1;
+        rec->add_span(obs::Phase::kSend, round, start, us0);
+        rec->add_span(obs::Phase::kReceive, round, start + us0, us1);
+        rec->add_span(obs::Phase::kRound, round, start, us0 + us1);
+      }
+      if (sink_) {
+        RoundStats stats;
+        stats.round = round;
+        stats.wall_seconds =
+            std::chrono::duration<double>(t_end - t0).count();
+        stats.live_nodes = live;
+        stats.messages = messages;
+        stats.payload_words = payload_words;
+        stats.send_seconds = send_s;
+        stats.receive_seconds = recv_s;
+        sink_(stats);
+      }
     }
     ++round;
   }
+  if (rec != nullptr) ins.rounds_executed.set(round);
   collect_outputs_from_programs();
   if (meter != nullptr) meter->add_executed(round);
   return round;

@@ -19,7 +19,10 @@
 ///             [senders, messages, payload_words(stats),
 ///              lengths[cut]..., message words...]
 ///   kLive     round-closing liveness: [not_done]
-///   kGather   end-of-run output rows toward rank 0
+///   kGather   end-of-run gather toward rank 0: the sender's observability
+///             block ([obs_word_count, obs words...], count 0 when
+///             observability is off) followed by its output rows — see
+///             dist/rank_loop.hpp for the layout
 ///   kOutputs  rank 0's re-broadcast of the assembled output table
 ///   kAbort    collective abort; payload is the reason string packed into
 ///             words (see pack_string/unpack_string)
@@ -44,7 +47,8 @@ namespace ds::net {
 constexpr std::uint32_t kFrameMagic = 0x44534E54;  // "DSNT"
 
 /// Wire protocol version; bumped on any layout change.
-constexpr std::uint64_t kProtocolVersion = 1;
+/// v2: kGather/kOutputs payloads carry a leading observability block.
+constexpr std::uint64_t kProtocolVersion = 2;
 
 /// Upper bound on one frame's payload (2^31 words = 16 GiB) — far above
 /// any legitimate round's traffic. A header claiming more is corruption or

@@ -30,9 +30,22 @@ std::size_t TcpNetwork::run(const local::ProgramFactory& factory,
                             std::size_t max_rounds, local::CostMeter* meter) {
   std::size_t rounds = 0;
   try {
+    // Observability agreement: one pre-round collective sums every rank's
+    // "recorder installed" bit. Ranks are launched independently, so only
+    // some may carry --trace/--metrics; when anyone observes, everyone
+    // must record — the observing rank's merged export needs one lane per
+    // rank, not a lone local lane. Every rank runs this exchange
+    // unconditionally to stay in lockstep.
+    const std::size_t observers =
+        transport_.sync_liveness(recorder() != nullptr ? 1 : 0);
+    if (observers != 0 && recorder() == nullptr) {
+      fleet_recorder_ = std::make_unique<obs::Recorder>();
+      set_recorder(fleet_recorder_.get());
+    }
+    transport_.set_recorder(recorder());
     rounds = dist::run_rank_loop(topology_, partition_, transport_, factory,
                                  max_rounds, epoch_, sink_, output_fn_,
-                                 programs_);
+                                 programs_, recorder());
   } catch (const std::exception& e) {
     // Locally raised failures (max_rounds, a throwing program, a gather
     // protocol error) must fail the whole fleet, not just this rank — the
@@ -48,6 +61,9 @@ std::size_t TcpNetwork::run(const local::ProgramFactory& factory,
   } else {
     outputs_.clear();
   }
+  // The kOutputs re-broadcast replicated every rank's gather payload, so
+  // each rank can merge the whole fleet's observability blocks locally.
+  if (recorder() != nullptr) dist::collect_fleet_obs(transport_, *recorder());
   if (meter != nullptr) meter->add_executed(rounds);
   return rounds;
 }

@@ -101,6 +101,13 @@ class TcpNetwork final : public local::Executor {
   /// Monotone round tag; never reset across runs.
   std::uint64_t epoch_ = 0;
   local::RoundStatsSink sink_;
+  /// Fleet-installed recorder: when the pre-round observability collective
+  /// reports that *some* rank wants observability but this rank was
+  /// launched without the flags, this rank still has to record (the
+  /// observing rank's merged trace needs one lane per rank, not a lone
+  /// local lane). Owned here so the transport's counter handles stay valid
+  /// for the executor's lifetime.
+  std::unique_ptr<obs::Recorder> fleet_recorder_;
 };
 
 }  // namespace ds::net

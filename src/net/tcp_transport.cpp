@@ -67,8 +67,37 @@ TcpTransport::TcpTransport(std::size_t rank,
   }
 }
 
+void TcpTransport::set_recorder(obs::Recorder* rec) {
+  const std::size_t ranks = peers_.size();
+  for (std::size_t r = 0; r < ranks; ++r) {
+    Peer& p = peers_[r];
+    if (rec == nullptr || r == rank_) {
+      p.tx_frames = obs::Counter{};
+      p.tx_bytes = obs::Counter{};
+      p.rx_frames = obs::Counter{};
+      p.rx_bytes = obs::Counter{};
+      continue;
+    }
+    obs::Metrics& m = rec->metrics();
+    p.tx_frames = m.counter("tcp.tx.frames", ranks, r);
+    p.tx_bytes = m.counter("tcp.tx.bytes", ranks, r);
+    p.rx_frames = m.counter("tcp.rx.frames", ranks, r);
+    p.rx_bytes = m.counter("tcp.rx.bytes", ranks, r);
+  }
+  if (rec == nullptr) {
+    poll_iterations_ = obs::Counter{};
+    send_retries_ = obs::Counter{};
+    recv_retries_ = obs::Counter{};
+  } else {
+    poll_iterations_ = rec->metrics().counter("tcp.poll.iterations");
+    send_retries_ = rec->metrics().counter("tcp.send.retries");
+    recv_retries_ = rec->metrics().counter("tcp.recv.retries");
+  }
+}
+
 void TcpTransport::stage(std::size_t d, FrameType type,
                          const std::uint64_t* words, std::size_t count) {
+  peers_[d].tx_frames.add(1);
   append_frame(peers_[d].out, type, exchange_seq_, words, count);
 }
 
@@ -100,6 +129,7 @@ void TcpTransport::handle_frame(std::size_t r, FrameType expect) {
   Frame& target = (expect == FrameType::kHalo) ? p.halo : p.ctrl;
   target.header = scratch_.header;
   std::swap(target.payload, scratch_.payload);
+  p.rx_frames.add(1);
   p.got = true;
 }
 
@@ -182,6 +212,7 @@ void TcpTransport::pump(FrameType expect,
     // Short poll slices keep the deadline honest even if the clock source
     // and poll disagree about elapsed time.
     const int slice = static_cast<int>(std::min<std::int64_t>(left, 200));
+    poll_iterations_.add(1);
     const int rc = ::poll(pfds.data(), pfds.size(), slice);
     if (rc < 0) {
       DS_CHECK_MSG(errno == EINTR,
@@ -200,6 +231,7 @@ void TcpTransport::pump(FrameType expect,
         const auto [buf, capacity] = p.reader.recv_buffer(64 * 1024);
         const ssize_t n = ::recv(p.sock.fd(), buf, capacity, 0);
         if (n > 0) {
+          p.rx_bytes.add(static_cast<std::uint64_t>(n));
           p.reader.commit(static_cast<std::size_t>(n));
           while (!p.got && p.reader.next_frame(scratch_)) {
             handle_frame(r, expect);
@@ -209,6 +241,8 @@ void TcpTransport::pump(FrameType expect,
         } else if (errno != EINTR && errno != EAGAIN &&
                    errno != EWOULDBLOCK) {
           peer_lost(r, std::string("recv: ") + std::strerror(errno));
+        } else {
+          recv_retries_.add(1);
         }
       } else if ((re & (POLLHUP | POLLERR)) != 0) {
         peer_lost(r, "connection reset");
@@ -218,10 +252,13 @@ void TcpTransport::pump(FrameType expect,
         const ssize_t n = ::send(p.sock.fd(), send_ptr, send_len,
                                  MSG_NOSIGNAL);
         if (n > 0) {
+          p.tx_bytes.add(static_cast<std::uint64_t>(n));
           advance_sent(p, static_cast<std::size_t>(n));
         } else if (n < 0 && errno != EINTR && errno != EAGAIN &&
                    errno != EWOULDBLOCK) {
           peer_lost(r, std::string("send: ") + std::strerror(errno));
+        } else if (n < 0) {
+          send_retries_.add(1);
         }
       }
     }
@@ -290,6 +327,9 @@ void TcpTransport::ship(const local::MessageSpan* local_arena,
     totals_.messages += f.payload[1];
     totals_.payload_words += f.payload[2];
   }
+  // Every rank sums its own share plus every peer's stats triple, so the
+  // totals are fleet-wide on every rank.
+  totals_.aggregated = true;
 }
 
 void TcpTransport::patch(local::MessageSpan* local_arena,
@@ -367,6 +407,7 @@ void TcpTransport::gather(const std::vector<std::uint64_t>& words) {
     for (std::size_t r = 1; r < ranks; ++r) {
       peers_[r].shared_out = &broadcast_bytes_;
       peers_[r].shared_pos = 0;
+      peers_[r].tx_frames.add(1);  // the shared kOutputs frame, per peer
     }
     std::fill(expect.begin(), expect.end(), false);
     pump(FrameType::kOutputs, expect);

@@ -37,6 +37,7 @@
 #include "local/topology.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/recorder.hpp"
 
 namespace ds::net {
 
@@ -84,6 +85,13 @@ class TcpTransport final : public dist::Transport {
       std::size_t w) const override;
   void abort(const std::string& msg) override;
 
+  /// Hooks this rank's transport counters into `rec` (nullptr detaches):
+  /// per-peer `tcp.tx.frames` / `tcp.tx.bytes` / `tcp.rx.frames` /
+  /// `tcp.rx.bytes` (slot = peer rank) plus `tcp.poll.iterations` and
+  /// `tcp.send.retries` / `tcp.recv.retries` (EAGAIN backoffs). Call before
+  /// the run; counters tick from then on.
+  void set_recorder(obs::Recorder* rec);
+
  private:
   /// Per-peer connection state. `halo` keeps the last kHalo frame alive
   /// through the receive phase (Inbox spans point into its payload); all
@@ -101,6 +109,12 @@ class TcpTransport final : public dist::Transport {
     Frame halo;
     Frame ctrl;
     bool got = false;          ///< expected frame of this exchange arrived
+    // Per-peer transport counters (slot = this peer's rank); null no-ops
+    // until set_recorder hooks them up.
+    obs::Counter tx_frames;
+    obs::Counter tx_bytes;
+    obs::Counter rx_frames;
+    obs::Counter rx_bytes;
   };
 
   /// Appends one frame toward peer `d` for the current exchange.
@@ -128,6 +142,9 @@ class TcpTransport final : public dist::Transport {
   std::vector<char> broadcast_bytes_;       ///< shared kOutputs frame
   Frame scratch_;                           ///< scratch parse target
   bool abort_sent_ = false;
+  obs::Counter poll_iterations_;
+  obs::Counter send_retries_;
+  obs::Counter recv_retries_;
 };
 
 }  // namespace ds::net

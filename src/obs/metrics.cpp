@@ -1,0 +1,112 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace ds::obs {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kCounter:
+      return "counter";
+    case Kind::kGauge:
+      return "gauge";
+    case Kind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Metrics::Metric& Metrics::find_or_create(const std::string& name, Kind kind,
+                                         std::size_t slots) {
+  DS_CHECK(slots > 0);
+  for (Metric& m : metrics_) {
+    if (m.name != name) continue;
+    DS_CHECK_MSG(m.kind == kind,
+                 "metric '" + name + "' re-registered as a different kind (" +
+                     kind_name(m.kind) + " vs " + kind_name(kind) + ")");
+    while (m.cells.size() < slots) m.cells.emplace_back();
+    return m;
+  }
+  Metric& m = metrics_.emplace_back();
+  m.name = name;
+  m.kind = kind;
+  m.cells.resize(slots);
+  return m;
+}
+
+Counter Metrics::counter(const std::string& name, std::size_t slots,
+                         std::size_t slot) {
+  DS_CHECK(slot < slots);
+  return Counter(&find_or_create(name, Kind::kCounter, slots).cells[slot]);
+}
+
+Gauge Metrics::gauge(const std::string& name) {
+  return Gauge(&find_or_create(name, Kind::kGauge, 1).cells[0]);
+}
+
+Histogram Metrics::histogram(const std::string& name, std::size_t slots,
+                             std::size_t slot) {
+  DS_CHECK(slot < slots);
+  return Histogram(&find_or_create(name, Kind::kHistogram, slots).cells[slot]);
+}
+
+std::vector<MetricSnapshot> Metrics::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  out.reserve(metrics_.size());
+  for (const Metric& m : metrics_) {
+    MetricSnapshot s;
+    s.name = m.name;
+    s.kind = m.kind;
+    for (const Cell& c : m.cells) {
+      switch (m.kind) {
+        case Kind::kCounter:
+        case Kind::kHistogram:
+          s.count += c.count;
+          s.sum += c.sum;
+          s.min = std::min(s.min, c.min);
+          s.max = std::max(s.max, c.max);
+          break;
+        case Kind::kGauge:
+          // Deterministic gauges agree across slots/ranks; max keeps the
+          // set value without caring which slot wrote it.
+          s.count = std::max(s.count, c.count);
+          s.sum = std::max(s.sum, c.sum);
+          s.min = std::min(s.min, c.min);
+          s.max = std::max(s.max, c.max);
+          break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Metrics::reset() {
+  for (Metric& m : metrics_) {
+    for (Cell& c : m.cells) c = Cell{};
+  }
+}
+
+void Metrics::merge(const MetricSnapshot& s) {
+  Metric& m = find_or_create(s.name, s.kind, 1);
+  Cell& c = m.cells[0];
+  switch (s.kind) {
+    case Kind::kCounter:
+    case Kind::kHistogram:
+      c.count += s.count;
+      c.sum += s.sum;
+      c.min = std::min(c.min, s.min);
+      c.max = std::max(c.max, s.max);
+      break;
+    case Kind::kGauge:
+      c.count = std::max(c.count, s.count);
+      c.sum = std::max(c.sum, s.sum);
+      c.min = std::min(c.min, s.min);
+      c.max = std::max(c.max, s.max);
+      break;
+  }
+}
+
+}  // namespace ds::obs

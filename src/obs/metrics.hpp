@@ -1,0 +1,171 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Named-metric registry of the observability layer (obs/).
+///
+/// A `Metrics` owns a set of named metrics — counters, gauges and summary
+/// histograms — each backed by one or more `Cell` slots. Slots exist so
+/// concurrent writers (shards of the parallel executor, per-peer counters of
+/// the TCP transport) can increment without synchronization: every slot has
+/// exactly one writing thread, and `snapshot()` aggregates the slots on the
+/// reading thread.
+///
+/// Instrumented code holds `Counter` / `Gauge` / `Histogram` *handles*: one
+/// raw cell pointer each. A default-constructed handle is null and every
+/// operation on it is a no-op behind a single branch — that is the entire
+/// disabled path, so code can unconditionally call `counter.add(x)` in a hot
+/// loop and pay (nearly) nothing when observability is off
+/// (bench_micro's BM_MetricsOverhead asserts this stays in the noise).
+///
+/// Histograms are *summary* histograms (count/sum/min/max), not bucketed —
+/// enough for per-phase timing reports and stragglers without committing to
+/// a bucket layout in the wire format.
+///
+/// Registration (`counter()` / `gauge()` / `histogram()`) is not thread-safe
+/// and must happen before concurrent writers start; the returned handles are
+/// stable for the lifetime of the registry (metrics live in a deque and are
+/// never erased).
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace ds::obs {
+
+/// What a metric's cell aggregates as.
+enum class Kind : std::uint8_t {
+  kCounter = 0,    ///< monotone sum (add); merges by summing
+  kGauge = 1,      ///< last-set value (set); merges by max — deterministic
+                   ///  gauges agree across ranks, so max is the identity
+  kHistogram = 2,  ///< summary histogram (record); merges component-wise
+};
+
+[[nodiscard]] const char* kind_name(Kind k);
+
+/// One slot's accumulator. All three kinds share the layout; the kind
+/// decides which fields are meaningful and how slots merge.
+struct Cell {
+  std::uint64_t count = 0;  ///< samples (histogram) / add() calls (counter)
+  std::uint64_t sum = 0;    ///< total (counter/histogram) / value (gauge)
+  std::uint64_t min = UINT64_MAX;  ///< histogram only
+  std::uint64_t max = 0;           ///< histogram only
+};
+
+/// Aggregated view of one metric, all slots merged.
+struct MetricSnapshot {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = UINT64_MAX;
+  std::uint64_t max = 0;
+
+  /// The headline value: the sum for counters/histograms, the (max-merged)
+  /// set value for gauges.
+  [[nodiscard]] std::uint64_t value() const { return sum; }
+};
+
+/// Monotone counter handle. Null (default-constructed) = disabled no-op.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t v) {
+    if (cell_ != nullptr) {
+      cell_->sum += v;
+      ++cell_->count;
+    }
+  }
+  [[nodiscard]] bool enabled() const { return cell_ != nullptr; }
+
+ private:
+  friend class Metrics;
+  explicit Counter(Cell* cell) : cell_(cell) {}
+  Cell* cell_ = nullptr;
+};
+
+/// Last-value gauge handle. Null (default-constructed) = disabled no-op.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::uint64_t v) {
+    if (cell_ != nullptr) {
+      cell_->sum = v;
+      cell_->count = 1;
+      cell_->min = v;
+      cell_->max = v;
+    }
+  }
+  [[nodiscard]] bool enabled() const { return cell_ != nullptr; }
+
+ private:
+  friend class Metrics;
+  explicit Gauge(Cell* cell) : cell_(cell) {}
+  Cell* cell_ = nullptr;
+};
+
+/// Summary-histogram handle. Null (default-constructed) = disabled no-op.
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(std::uint64_t v) {
+    if (cell_ != nullptr) {
+      ++cell_->count;
+      cell_->sum += v;
+      if (v < cell_->min) cell_->min = v;
+      if (v > cell_->max) cell_->max = v;
+    }
+  }
+  [[nodiscard]] bool enabled() const { return cell_ != nullptr; }
+
+ private:
+  friend class Metrics;
+  explicit Histogram(Cell* cell) : cell_(cell) {}
+  Cell* cell_ = nullptr;
+};
+
+/// The registry. See the file comment for the threading contract.
+class Metrics {
+ public:
+  /// Handle to slot `slot` of counter `name`, creating the metric with
+  /// `slots` slots on first registration. Re-registration of an existing
+  /// name must agree on the kind (throws otherwise) and never shrinks the
+  /// slot count.
+  Counter counter(const std::string& name, std::size_t slots = 1,
+                  std::size_t slot = 0);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name, std::size_t slots = 1,
+                      std::size_t slot = 0);
+
+  /// All metrics with their slots aggregated, in registration order.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// Zeroes every cell (registrations and handles stay valid).
+  void reset();
+
+  [[nodiscard]] std::size_t num_metrics() const { return metrics_.size(); }
+
+  /// Merges an aggregated snapshot into this registry by name: counters and
+  /// histograms accumulate, gauges keep the max. Creates single-slot
+  /// metrics for names not registered here. The merge target is always slot
+  /// 0 — local writers keep their own slots.
+  void merge(const MetricSnapshot& s);
+
+ private:
+  struct Metric {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    /// Deque, not vector: a later registration may grow the slot count, and
+    /// outstanding handles point at individual cells.
+    std::deque<Cell> cells;
+  };
+
+  Metric& find_or_create(const std::string& name, Kind kind,
+                         std::size_t slots);
+
+  /// Deque: stable Metric addresses under growth.
+  std::deque<Metric> metrics_;
+};
+
+}  // namespace ds::obs

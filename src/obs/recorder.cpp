@@ -1,0 +1,311 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <set>
+
+#include "support/check.hpp"
+
+namespace ds::obs {
+
+namespace {
+
+/// Leading word of a drained block ("ds_obs_1" as big-endian bytes) — a
+/// format tag, so a misaligned or foreign block fails loudly in merge.
+constexpr std::uint64_t kObsMagic = 0x64735f6f62735f31ull;
+
+/// Appends [byte_length, packed chars...] — obs deliberately has its own
+/// tiny string codec rather than depending on net/frame.hpp.
+void pack_string(std::vector<std::uint64_t>& out, const std::string& s) {
+  out.push_back(s.size());
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    word |= static_cast<std::uint64_t>(static_cast<unsigned char>(s[i]))
+            << (8 * (i % 8));
+    if (i % 8 == 7) {
+      out.push_back(word);
+      word = 0;
+    }
+  }
+  if (s.size() % 8 != 0) out.push_back(word);
+}
+
+std::string unpack_string(const std::uint64_t* words, std::size_t count,
+                          std::size_t& pos) {
+  DS_CHECK_MSG(pos < count, "obs block truncated (string length)");
+  const auto len = static_cast<std::size_t>(words[pos++]);
+  const std::size_t nwords = (len + 7) / 8;
+  DS_CHECK_MSG(pos + nwords <= count, "obs block truncated (string bytes)");
+  std::string s(len, '\0');
+  for (std::size_t i = 0; i < len; ++i) {
+    s[i] = static_cast<char>((words[pos + i / 8] >> (8 * (i % 8))) & 0xff);
+  }
+  pos += nwords;
+  return s;
+}
+
+/// Minimal JSON string escaper — metric names are identifiers, but a stray
+/// quote must not produce an unparseable file.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kRound:
+      return "round";
+    case Phase::kSend:
+      return "send";
+    case Phase::kShip:
+      return "ship";
+    case Phase::kBarrier:
+      return "barrier";
+    case Phase::kPatch:
+      return "patch";
+    case Phase::kReceive:
+      return "receive";
+    case Phase::kEpoch:
+      return "epoch";
+    case Phase::kGather:
+      return "gather";
+  }
+  return "?";
+}
+
+Recorder::Recorder() {
+  t0_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t Recorder::now_us() const {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return (now - t0_ns_) / 1000;
+}
+
+std::vector<std::uint64_t> Recorder::drain_words() {
+  const std::vector<MetricSnapshot> snaps = metrics_.snapshot();
+  std::vector<std::uint64_t> out;
+  out.push_back(kObsMagic);
+  out.push_back(snaps.size());
+  out.push_back(events_.size());
+  for (const MetricSnapshot& s : snaps) {
+    pack_string(out, s.name);
+    out.push_back(static_cast<std::uint64_t>(s.kind));
+    out.push_back(s.count);
+    out.push_back(s.sum);
+    out.push_back(s.min);
+    out.push_back(s.max);
+  }
+  for (const TraceEvent& e : events_) {
+    out.push_back(e.lane);
+    out.push_back(static_cast<std::uint64_t>(e.phase));
+    out.push_back(e.round);
+    out.push_back(e.ts_us);
+    out.push_back(e.dur_us);
+  }
+  metrics_.reset();
+  events_.clear();
+  return out;
+}
+
+void Recorder::merge_words(const std::uint64_t* words, std::size_t count) {
+  std::size_t pos = 0;
+  DS_CHECK_MSG(count >= 3 && words[pos] == kObsMagic,
+               "obs block has a bad magic word");
+  ++pos;
+  const auto num_metrics = static_cast<std::size_t>(words[pos++]);
+  const auto num_events = static_cast<std::size_t>(words[pos++]);
+  for (std::size_t i = 0; i < num_metrics; ++i) {
+    MetricSnapshot s;
+    s.name = unpack_string(words, count, pos);
+    DS_CHECK_MSG(pos + 5 <= count, "obs block truncated (metric)");
+    DS_CHECK_MSG(words[pos] <= static_cast<std::uint64_t>(Kind::kHistogram),
+                 "obs block has an unknown metric kind");
+    s.kind = static_cast<Kind>(words[pos]);
+    s.count = words[pos + 1];
+    s.sum = words[pos + 2];
+    s.min = words[pos + 3];
+    s.max = words[pos + 4];
+    pos += 5;
+    metrics_.merge(s);
+  }
+  for (std::size_t i = 0; i < num_events; ++i) {
+    DS_CHECK_MSG(pos + 5 <= count, "obs block truncated (event)");
+    TraceEvent e;
+    e.lane = static_cast<std::uint32_t>(words[pos]);
+    DS_CHECK_MSG(words[pos + 1] <= static_cast<std::uint64_t>(Phase::kGather),
+                 "obs block has an unknown phase");
+    e.phase = static_cast<Phase>(words[pos + 1]);
+    e.round = words[pos + 2];
+    e.ts_us = words[pos + 3];
+    e.dur_us = words[pos + 4];
+    pos += 5;
+    events_.push_back(e);
+  }
+  DS_CHECK_MSG(pos == count, "obs block has trailing words");
+}
+
+void Recorder::write_trace_json(std::ostream& out) const {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  ";
+  };
+  // Metadata: one process row per lane, one named thread track per phase
+  // seen on that lane. Sort indices keep lanes in rank order and phases in
+  // protocol order.
+  std::set<std::uint32_t> lanes;
+  std::set<std::pair<std::uint32_t, std::uint8_t>> tracks;
+  for (const TraceEvent& e : events_) {
+    lanes.insert(e.lane);
+    tracks.insert({e.lane, static_cast<std::uint8_t>(e.phase)});
+  }
+  for (const std::uint32_t lane : lanes) {
+    sep();
+    out << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << lane
+        << ", \"args\": {\"name\": \"" << json_escape(lane_kind_) << " "
+        << lane << "\"}}";
+    sep();
+    out << "{\"ph\": \"M\", \"name\": \"process_sort_index\", \"pid\": "
+        << lane << ", \"args\": {\"sort_index\": " << lane << "}}";
+  }
+  for (const auto& [lane, phase] : tracks) {
+    sep();
+    out << "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " << lane
+        << ", \"tid\": " << static_cast<int>(phase)
+        << ", \"args\": {\"name\": \""
+        << phase_name(static_cast<Phase>(phase)) << "\"}}";
+    sep();
+    out << "{\"ph\": \"M\", \"name\": \"thread_sort_index\", \"pid\": "
+        << lane << ", \"tid\": " << static_cast<int>(phase)
+        << ", \"args\": {\"sort_index\": " << static_cast<int>(phase)
+        << "}}";
+  }
+  for (const TraceEvent& e : events_) {
+    sep();
+    out << "{\"ph\": \"X\", \"name\": \"" << phase_name(e.phase)
+        << "\", \"pid\": " << e.lane
+        << ", \"tid\": " << static_cast<int>(e.phase) << ", \"ts\": "
+        << e.ts_us << ", \"dur\": " << e.dur_us
+        << ", \"args\": {\"round\": " << e.round << "}}";
+  }
+  out << "\n]}\n";
+}
+
+void Recorder::write_metrics_json(
+    std::ostream& out,
+    const std::vector<std::pair<std::string, std::string>>& context) const {
+  const std::vector<MetricSnapshot> snaps = metrics_.snapshot();
+  out << "{\n  \"context\": {";
+  for (std::size_t i = 0; i < context.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n    \"" << json_escape(context[i].first) << "\": \""
+        << json_escape(context[i].second) << "\"";
+  }
+  out << (context.empty() ? "}" : "\n  }");
+  const auto write_section = [&](const char* title, Kind kind) {
+    out << ",\n  \"" << title << "\": {";
+    bool first = true;
+    for (const MetricSnapshot& s : snaps) {
+      if (s.kind != kind) continue;
+      if (!first) out << ",";
+      first = false;
+      out << "\n    \"" << json_escape(s.name) << "\": ";
+      if (kind == Kind::kHistogram) {
+        out << "{\"count\": " << s.count << ", \"sum\": " << s.sum
+            << ", \"min\": " << (s.count == 0 ? 0 : s.min)
+            << ", \"max\": " << s.max << "}";
+      } else {
+        out << s.value();
+      }
+    }
+    out << (first ? "}" : "\n  }");
+  };
+  write_section("counters", Kind::kCounter);
+  write_section("gauges", Kind::kGauge);
+  write_section("histograms", Kind::kHistogram);
+  out << "\n}\n";
+}
+
+void Recorder::write_stats_table(std::ostream& out) const {
+  const std::vector<MetricSnapshot> snaps = metrics_.snapshot();
+  out << "-- stats ------------------------------------------------------\n";
+  std::size_t width = 24;
+  for (const MetricSnapshot& s : snaps) {
+    width = std::max(width, s.name.size() + 2);
+  }
+  for (const MetricSnapshot& s : snaps) {
+    if (s.kind == Kind::kHistogram) continue;
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << s.name
+        << std::right << std::setw(14) << s.value() << "\n";
+  }
+  bool any_hist = false;
+  for (const MetricSnapshot& s : snaps) {
+    if (s.kind == Kind::kHistogram) any_hist = true;
+  }
+  if (any_hist) {
+    out << "  " << std::left << std::setw(static_cast<int>(width))
+        << "(histogram)" << std::right << std::setw(10) << "count"
+        << std::setw(12) << "sum" << std::setw(12) << "min" << std::setw(12)
+        << "max" << std::setw(12) << "mean" << "\n";
+    for (const MetricSnapshot& s : snaps) {
+      if (s.kind != Kind::kHistogram) continue;
+      out << "  " << std::left << std::setw(static_cast<int>(width)) << s.name
+          << std::right << std::setw(10) << s.count << std::setw(12) << s.sum
+          << std::setw(12) << (s.count == 0 ? 0 : s.min) << std::setw(12)
+          << s.max << std::setw(12) << (s.count == 0 ? 0 : s.sum / s.count)
+          << "\n";
+    }
+  }
+  out << "---------------------------------------------------------------\n";
+}
+
+RoundInstruments RoundInstruments::create(Metrics& m) {
+  RoundInstruments r;
+  r.live_nodes = m.counter("rounds.live_nodes");
+  r.messages = m.counter("rounds.messages");
+  r.payload_words = m.counter("rounds.payload_words");
+  r.rounds_executed = m.gauge("rounds.executed");
+  r.send_us = m.histogram("phase.send.us");
+  r.ship_us = m.histogram("phase.ship.us");
+  r.barrier_us = m.histogram("phase.barrier.us");
+  r.patch_us = m.histogram("phase.patch.us");
+  r.receive_us = m.histogram("phase.receive.us");
+  r.round_us = m.histogram("phase.round.us");
+  return r;
+}
+
+}  // namespace ds::obs

@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file recorder.hpp
+/// Per-run observability recorder: a `Metrics` registry plus a buffer of
+/// phase-scoped trace spans, with (a) a word-level drain/merge codec so
+/// distributed runtimes can ship every rank's data through the existing
+/// gather machinery, and (b) Chrome trace-event / metrics JSON writers.
+///
+/// One `Recorder` exists per observed run, owned by whoever requested
+/// observability (the CLI tools, a test) and handed to executors via
+/// `local::Executor::set_recorder`. Executors that fan out (threads, forked
+/// workers, TCP ranks) attribute events to *lanes*: lane = shard for the
+/// parallel executor, lane = worker/rank for the distributed ones. In the
+/// exported Chrome trace each lane is one process row and each `Phase` one
+/// named thread track, so Perfetto renders rank 3's barrier wait as its own
+/// timeline.
+///
+/// Timebase: `now_us()` is microseconds since the recorder's construction on
+/// the steady clock. Forked workers inherit t0 (fork copies the recorder),
+/// so multi-process lanes share a timebase; TCP ranks each construct their
+/// own recorder, so cross-rank alignment is approximate (per-lane ordering
+/// is still exact — that is what the monotone-timestamp test asserts).
+///
+/// Drain/merge: `drain_words()` serializes the aggregated metrics and the
+/// event buffer into 64-bit words and *zeroes* the local state (handles stay
+/// valid). Each rank appends its drained block to the gather payload; the
+/// assembling side calls `merge_words()` on every rank's block — including
+/// its own, which is why draining zeroes: local totals are reconstructed by
+/// the merge instead of being counted twice.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ds::obs {
+
+/// The instrumented phases of a synchronous round. Values are part of the
+/// drain/merge wire format (and the trace's thread-track ids).
+enum class Phase : std::uint8_t {
+  kRound = 0,    ///< whole round (send..liveness), the outermost span
+  kSend = 1,     ///< local send phase: programs serialize into the arena
+  kShip = 2,     ///< transport ship (includes its internal barrier/frames)
+  kBarrier = 3,  ///< explicit synchronization waits outside ship
+  kPatch = 4,    ///< patching received payloads into the local arena
+  kReceive = 5,  ///< local receive phase: programs consume inboxes
+  kEpoch = 6,    ///< one shard's fused epoch (parallel executor)
+  kGather = 7,   ///< end-of-run output gather
+};
+
+[[nodiscard]] const char* phase_name(Phase p);
+
+/// One completed span. `lane` is the rank/worker/shard the span ran on.
+struct TraceEvent {
+  std::uint32_t lane = 0;
+  Phase phase = Phase::kRound;
+  std::uint64_t round = 0;
+  std::uint64_t ts_us = 0;   ///< start, µs since the recorder's t0
+  std::uint64_t dur_us = 0;  ///< duration, µs
+};
+
+class Recorder {
+ public:
+  Recorder();
+
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+
+  /// Microseconds since construction (steady clock).
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// The default lane of spans recorded through `add_span` — distributed
+  /// workers set this to their rank right after fork/connect.
+  void set_lane(std::uint32_t lane) { lane_ = lane; }
+  [[nodiscard]] std::uint32_t lane() const { return lane_; }
+
+  /// What a lane *is* in this run ("rank", "worker", "shard") — used for
+  /// the trace's process names.
+  void set_lane_kind(std::string kind) { lane_kind_ = std::move(kind); }
+  [[nodiscard]] const std::string& lane_kind() const { return lane_kind_; }
+
+  void add_span(Phase phase, std::uint64_t round, std::uint64_t ts_us,
+                std::uint64_t dur_us) {
+    events_.push_back({lane_, phase, round, ts_us, dur_us});
+  }
+  void add_span_on(std::uint32_t lane, Phase phase, std::uint64_t round,
+                   std::uint64_t ts_us, std::uint64_t dur_us) {
+    events_.push_back({lane, phase, round, ts_us, dur_us});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+
+  /// Serializes the aggregated metrics + events into words and clears the
+  /// local state (cells zeroed, events dropped; handles and registrations
+  /// stay valid). See the file comment for why draining zeroes.
+  [[nodiscard]] std::vector<std::uint64_t> drain_words();
+
+  /// Merges a `drain_words()` block back in: metrics accumulate by name,
+  /// events append. Throws ds::CheckError on a malformed block.
+  void merge_words(const std::uint64_t* words, std::size_t count);
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}), loadable in
+  /// Perfetto / chrome://tracing: one process per lane, one thread per
+  /// phase.
+  void write_trace_json(std::ostream& out) const;
+
+  /// Metrics snapshot JSON: {"context": {...}, "counters": {...},
+  /// "gauges": {...}, "histograms": {...}}. Counters and gauges are bare
+  /// integers, so deterministic counters compare bit-identically across
+  /// runtimes; histograms expose count/sum/min/max/mean.
+  void write_metrics_json(
+      std::ostream& out,
+      const std::vector<std::pair<std::string, std::string>>& context) const;
+
+  /// Human-readable summary table (the CLI's --stats view).
+  void write_stats_table(std::ostream& out) const;
+
+ private:
+  Metrics metrics_;
+  std::vector<TraceEvent> events_;
+  std::uint32_t lane_ = 0;
+  std::string lane_kind_ = "rank";
+  std::uint64_t t0_ns_ = 0;  ///< steady-clock origin, ns
+};
+
+/// The standard per-round instruments every executor records — bundled so
+/// the four runtimes register the same metric names. The `rounds.*` counters
+/// are the *deterministic* set: for a fixed (graph, strategy, seed) their
+/// totals are bit-identical across runtimes (distributed ranks each add only
+/// their own share; the drain/merge reconstructs the global sums).
+struct RoundInstruments {
+  Counter live_nodes;     ///< rounds.live_nodes
+  Counter messages;       ///< rounds.messages
+  Counter payload_words;  ///< rounds.payload_words
+  Gauge rounds_executed;  ///< rounds.executed
+  Histogram send_us;      ///< phase.send.us
+  Histogram ship_us;      ///< phase.ship.us
+  Histogram barrier_us;   ///< phase.barrier.us
+  Histogram patch_us;     ///< phase.patch.us
+  Histogram receive_us;   ///< phase.receive.us
+  Histogram round_us;     ///< phase.round.us
+
+  /// Registers (or re-finds) the standard names in `m`.
+  static RoundInstruments create(Metrics& m);
+};
+
+}  // namespace ds::obs

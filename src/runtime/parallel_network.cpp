@@ -5,9 +5,24 @@
 #include <functional>
 #include <thread>
 
+#include "obs/recorder.hpp"
 #include "support/check.hpp"
 
 namespace ds::runtime {
+
+namespace {
+
+/// Steady-clock µs for shard timing when only a RoundStatsSink (no
+/// recorder) is installed — the absolute base is irrelevant, only busy_us
+/// differences are read.
+std::uint64_t tick_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 std::size_t ParallelNetwork::resolve_threads(std::size_t num_threads) {
   if (num_threads != 0) return num_threads;
@@ -40,6 +55,10 @@ void ParallelNetwork::run_epoch_shard(std::size_t s) {
   const graph::NodeId first = bounds_[s];
   const graph::NodeId last = bounds_[s + 1];
   ShardCounters c;
+  // Workers only call the const now_us() on the shared recorder — safe
+  // concurrently; each shard writes its own counters_ slot.
+  obs::Recorder* const rec = recorder();
+  if (plan.timed) c.start_us = rec != nullptr ? rec->now_us() : tick_us();
   local::WordBank* bank = nullptr;
   if (plan.send) {
     // Bump-reset this shard's write bank; capacity is kept, so rounds past
@@ -68,6 +87,9 @@ void ParallelNetwork::run_epoch_shard(std::size_t s) {
       c.payload_words += out.payload_words();
     }
     if (!prog.done()) ++c.not_done;
+  }
+  if (plan.timed) {
+    c.busy_us = (rec != nullptr ? rec->now_us() : tick_us()) - c.start_us;
   }
   counters_[s] = c;
 }
@@ -99,32 +121,33 @@ std::size_t ParallelNetwork::run(const local::ProgramFactory& factory,
     run_epoch_shard(s);
   };
 
+  obs::Recorder* const rec = recorder();
+  obs::RoundInstruments ins;
+  obs::Histogram epoch_us;
+  obs::Histogram straggler_us;
+  if (rec != nullptr) {
+    ins = obs::RoundInstruments::create(rec->metrics());
+    epoch_us = rec->metrics().histogram("phase.epoch.us");
+    straggler_us = rec->metrics().histogram("shard.straggler.us");
+    rec->set_lane_kind("shard");
+  }
+
   pool_.parallel_for(num_shards, count_fn);
   std::size_t alive = 0;
   for (const ShardCounters& c : counters_) alive += c.not_done;
   if (alive == 0) {
+    if (rec != nullptr) ins.rounds_executed.set(0);
     collect_outputs_from_programs();
     if (meter != nullptr) meter->add_executed(0);
     return 0;
   }
   DS_CHECK_MSG(max_rounds > 0, "ParallelNetwork::run exceeded max_rounds");
 
-  const auto emit_stats = [&](std::size_t round, double wall,
-                              std::size_t senders, std::size_t messages,
-                              std::size_t payload_words) {
-    local::RoundStats stats;
-    stats.round = round;
-    stats.wall_seconds = wall;
-    stats.live_nodes = senders;
-    stats.messages = messages;
-    stats.payload_words = payload_words;
-    sink_(stats);
-  };
-
   // Fused rounds: epoch r = receive(r-1) against the previous arena (epoch
   // 0 is the degenerate case with nothing to receive), then send(r) into
   // the current one — one barrier per round.
   plan_ = EpochPlan{};
+  plan_.timed = rec != nullptr || static_cast<bool>(sink_);
   for (std::size_t r = 0;; ++r) {
     const bool sending = r < max_rounds;
     plan_.recv = r > 0;
@@ -150,24 +173,55 @@ std::size_t ParallelNetwork::run(const local::ProgramFactory& factory,
     std::size_t messages = 0;
     std::size_t payload_words = 0;
     std::size_t not_done = 0;
+    std::uint64_t straggler = 0;
     for (const ShardCounters& c : counters_) {
       senders += c.senders;
       messages += c.messages;
       payload_words += c.payload_words;
       not_done += c.not_done;
+      straggler = std::max(straggler, c.busy_us);
+    }
+    // A senders == 0 epoch is the trailing receive-only flush past the last
+    // round; the sequential executor has no such round, so neither counters
+    // nor stats may record it (the cross-runtime determinism of the
+    // `rounds.*` metrics depends on this).
+    if (rec != nullptr && senders > 0) {
+      ins.live_nodes.add(senders);
+      ins.messages.add(messages);
+      ins.payload_words.add(payload_words);
+      straggler_us.record(straggler);
+      std::uint64_t round_start = UINT64_MAX;
+      std::uint64_t round_end = 0;
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        const ShardCounters& c = counters_[s];
+        epoch_us.record(c.busy_us);
+        rec->add_span_on(static_cast<std::uint32_t>(s), obs::Phase::kEpoch,
+                         r, c.start_us, c.busy_us);
+        round_start = std::min(round_start, c.start_us);
+        round_end = std::max(round_end, c.start_us + c.busy_us);
+      }
+      ins.round_us.record(round_end - round_start);
+      rec->add_span(obs::Phase::kRound, r, round_start,
+                    round_end - round_start);
     }
     if (sink_ && senders > 0) {
-      emit_stats(r,
-                 std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - t0)
-                     .count(),
-                 senders, messages, payload_words);
+      local::RoundStats stats;
+      stats.round = r;
+      stats.wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+      stats.live_nodes = senders;
+      stats.messages = messages;
+      stats.payload_words = payload_words;
+      stats.max_shard_seconds = static_cast<double>(straggler) / 1e6;
+      sink_(stats);
     }
     if (not_done == 0) {
       // Round r executed iff anything was sent in it (a program may halt
       // only after a final send — the sequential executor then counts that
       // farewell round too).
       const std::size_t rounds = senders > 0 ? r + 1 : r;
+      if (rec != nullptr) ins.rounds_executed.set(rounds);
       collect_outputs_from_programs();
       if (meter != nullptr) meter->add_executed(rounds);
       return rounds;

@@ -122,12 +122,18 @@ class ParallelNetwork final : public local::Executor {
     std::size_t messages = 0;
     std::size_t payload_words = 0;
     std::size_t not_done = 0;
+    /// Epoch busy time of this shard (µs), measured only when the plan is
+    /// `timed` — the straggler gap between max and min busy_us is the
+    /// imbalance the degree-balanced split is supposed to bound.
+    std::uint64_t start_us = 0;
+    std::uint64_t busy_us = 0;
   };
   /// What one fused pool epoch does; written by run() before the epoch,
   /// read by the workers (the pool's epoch handoff orders the accesses).
   struct EpochPlan {
     bool recv = false;   ///< run receive(round - 1) first
     bool send = false;   ///< then run send(round)
+    bool timed = false;  ///< measure per-shard busy time (stats/obs on)
     std::size_t round = 0;          ///< the round being *sent*
     std::uint64_t send_epoch = 0;   ///< tag for spans written this epoch
     std::uint64_t recv_epoch = 0;   ///< tag the received round's writers used

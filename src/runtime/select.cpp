@@ -116,6 +116,22 @@ local::ExecutorFactory make_executor_factory(const RuntimeConfig& config,
   };
 }
 
+local::ExecutorFactory make_executor_factory(const RuntimeConfig& config,
+                                             local::RoundStatsSink sink,
+                                             obs::Recorder* recorder) {
+  if (recorder == nullptr) {
+    return make_executor_factory(config, std::move(sink));
+  }
+  return [config, sink = std::move(sink), recorder](
+             const graph::Graph& g, local::IdStrategy strategy,
+             std::uint64_t seed) -> std::unique_ptr<local::Executor> {
+    auto exec = build_executor(config, g, strategy, seed);
+    if (sink) exec->set_stats_sink(sink);
+    exec->set_recorder(recorder);
+    return exec;
+  };
+}
+
 std::string runtime_description(const RuntimeConfig& config) {
   switch (config.kind) {
     case RuntimeKind::kParallel:

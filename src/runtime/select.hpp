@@ -75,6 +75,16 @@ local::ExecutorFactory make_executor_factory(const RuntimeConfig& config);
 local::ExecutorFactory make_executor_factory(const RuntimeConfig& config,
                                              local::RoundStatsSink sink);
 
+/// Like the above, but every executor additionally gets `recorder`
+/// installed (see local::Executor::set_recorder) — phase timings,
+/// deterministic round counters and transport counters of the run land in
+/// it, fleet-wide on the distributed runtimes. A null recorder degrades to
+/// the two-argument overload; with a recorder the factory is always
+/// non-empty. The recorder must outlive every executor the factory builds.
+local::ExecutorFactory make_executor_factory(const RuntimeConfig& config,
+                                             local::RoundStatsSink sink,
+                                             obs::Recorder* recorder);
+
 /// Human-readable description of the *requested* config, e.g. "sequential",
 /// "parallel(8 threads)" or "mp(4 workers)". The mp executor additionally
 /// clamps its worker count to each instance's node count — use

@@ -15,10 +15,16 @@
 ///            human-readable form, a machine-readable name listing for
 ///            scripts/CI, or the README markdown table.
 ///   run      --algo=NAME --input=FILE [--seed=S] [--param=key=value ...]
+///            [--metrics=FILE] [--trace=FILE] [--stats]
 ///            + the runtime flags below
 ///            Run any registered algorithm on any runtime. Dispatch, usage
 ///            text and parameter help all come from the registry — there
-///            is no per-algorithm code in this tool.
+///            is no per-algorithm code in this tool. The observability
+///            flags instrument the run: --metrics writes the aggregated
+///            counter/histogram snapshot as JSON, --trace writes a Chrome
+///            trace (open in Perfetto), --stats prints a summary table.
+///            On the distributed runtimes the recorder merges every
+///            rank's drained block, so the files hold fleet-wide data.
 ///
 /// Exit code 0 on success, 1 on bad usage (unknown subcommand, algorithm,
 /// flag or parameter — with a did-you-mean suggestion where possible),
@@ -36,6 +42,7 @@
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "net/socket.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/select.hpp"
 #include "support/check.hpp"
 #include "support/options.hpp"
@@ -52,6 +59,7 @@ int usage() {
          "  list   [--names] [--scalable] [--markdown]\n"
          "  run    --algo=NAME --input=FILE [--seed=S] "
          "[--param=key=value ...]\n"
+         "         [--metrics=FILE] [--trace=FILE] [--stats]\n"
          "         "
       << runtime::kRuntimeFlagsHelp
       << "\n\nregistered algorithms (see also: distsplit_cli list):\n"
@@ -125,9 +133,10 @@ int cmd_list(const Options& opts) {
 /// The `run` flags that belong to the driver itself (everything else must
 /// be a registered algorithm parameter passed as --param=key=value).
 const std::vector<std::string> kRunFlags = {
-    "algo",       "input", "seed",   "param",        "runtime",
+    "algo",       "input",   "seed",       "param",        "runtime",
     "threads",    "workers", "halo-words", "gather-words", "rank",
-    "ranks",      "hosts", "sndbuf", "rcvbuf",
+    "ranks",      "hosts",   "sndbuf",     "rcvbuf",       "metrics",
+    "trace",      "stats",
 };
 
 /// Resolution phase of `run`: anything wrong here is a usage error (exit
@@ -175,13 +184,33 @@ void print_partition_stats(const graph::Graph& g, std::size_t parts) {
             << stats.balance_factor << "\n";
 }
 
+/// Writes `body(out)` to `path`, failing loudly on I/O errors.
+template <typename Body>
+void write_file(const std::string& path, const char* what, Body body) {
+  std::ofstream out(path);
+  DS_CHECK_MSG(out.good(), std::string("cannot open ") + what +
+                               " output file: " + path);
+  body(out);
+  out.flush();
+  DS_CHECK_MSG(out.good(), std::string("failed writing ") + what +
+                               " output file: " + path);
+}
+
 int cmd_run(const RunPlan& plan, const Options& opts) {
   const algo::Spec& spec = *plan.spec;
+  // Observability: one recorder for the whole run when any of
+  // --metrics/--trace/--stats asks for it; the factory installs it on the
+  // executor and `execute` snapshots it into the result.
+  const bool observe =
+      opts.has("metrics") || opts.has("trace") || opts.has("stats");
+  obs::Recorder recorder;
+  obs::Recorder* const rec = observe ? &recorder : nullptr;
   algo::RunContext ctx;
   ctx.seed = opts.seed();
   ctx.params = plan.params;
-  ctx.factory = runtime::make_executor_factory(plan.runtime);
+  ctx.factory = runtime::make_executor_factory(plan.runtime, {}, rec);
   ctx.sequential_runtime = runtime::is_sequential(plan.runtime);
+  ctx.recorder = rec;
 
   graph::Graph g;
   graph::BipartiteGraph b;
@@ -217,6 +246,29 @@ int cmd_run(const RunPlan& plan, const Options& opts) {
   std::cout << "verified: " << (result.verified ? "yes" : "no") << "\n";
   std::cout << "output-digest: " << std::hex << result.output_digest()
             << std::dec << "\n";
+
+  if (rec != nullptr) {
+    const std::string metrics_path = opts.get("metrics", "");
+    if (!metrics_path.empty()) {
+      const std::vector<std::pair<std::string, std::string>> context = {
+          {"algo", spec.name},
+          {"runtime", runtime::runtime_description(plan.runtime)},
+          {"seed", std::to_string(ctx.seed)},
+      };
+      write_file(metrics_path, "metrics", [&](std::ostream& out) {
+        rec->write_metrics_json(out, context);
+      });
+      std::cout << "metrics: " << metrics_path << "\n";
+    }
+    const std::string trace_path = opts.get("trace", "");
+    if (!trace_path.empty()) {
+      write_file(trace_path, "trace", [&](std::ostream& out) {
+        rec->write_trace_json(out);
+      });
+      std::cout << "trace: " << trace_path << "\n";
+    }
+    if (opts.has("stats")) rec->write_stats_table(std::cout);
+  }
   return 0;
 }
 

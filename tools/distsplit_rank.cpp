@@ -11,6 +11,13 @@
 ///     distsplit_rank --hosts=hosts.txt --rank=R --input=graph.txt
 ///         [--algo=NAME] [--seed=S] [--param=key=value ...]
 ///         [--sndbuf=BYTES] [--rcvbuf=BYTES]
+///         [--metrics=FILE] [--trace=FILE] [--stats]
+///
+/// Observability: --metrics/--trace/--stats instrument the run (see
+/// src/obs/). Every rank merges the whole fleet's drained blocks through
+/// the gather re-broadcast, but only rank 0 writes the files / prints the
+/// table — in loopback mode all ranks share a working directory and the
+/// children would clobber the same paths.
 ///
 /// hosts.txt: one `host port` per line, line i = rank i; `#` comments and
 /// blank lines ignored. Every rank must name the same instance, seed and
@@ -39,6 +46,7 @@
 #include "net/loopback.hpp"
 #include "net/socket.hpp"
 #include "net/tcp_network.hpp"
+#include "obs/recorder.hpp"
 #include "support/check.hpp"
 #include "support/options.hpp"
 
@@ -51,6 +59,7 @@ int usage() {
                "         (--hosts=FILE --rank=R | --local=N)\n"
                "         [--algo=NAME] [--seed=S] [--param=key=value ...]\n"
                "         [--sndbuf=BYTES] [--rcvbuf=BYTES]\n"
+               "         [--metrics=FILE] [--trace=FILE] [--stats]\n"
                "algorithms (distributed-capable registry entries):\n"
             << algo::names_listing(/*scalable_only=*/true);
   return 2;
@@ -70,8 +79,8 @@ struct RankPlan {
 /// algorithm parameter passed as --param=key=value (silently dropping a
 /// typo'd or stale flag would change the run's meaning).
 const std::vector<std::string> kRankFlags = {
-    "input", "hosts", "rank", "local", "algo", "seed",
-    "param", "sndbuf", "rcvbuf",
+    "input",  "hosts",  "rank",    "local", "algo",  "seed",
+    "param",  "sndbuf", "rcvbuf",  "metrics", "trace", "stats",
 };
 
 RankPlan resolve(const Options& opts) {
@@ -118,10 +127,16 @@ net::TcpOptions transport_options(const Options& opts) {
 int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
              std::vector<net::Endpoint> hosts, net::Socket listen) {
   net::Socket* first_listen = &listen;
+  const bool observe =
+      opts.has("metrics") || opts.has("trace") || opts.has("stats");
+  obs::Recorder recorder;
+  obs::Recorder* const rec = observe ? &recorder : nullptr;
+  if (rec != nullptr) rec->set_lane(static_cast<std::uint32_t>(rank));
   algo::RunContext ctx;
   ctx.seed = opts.seed();
   ctx.params = plan.params;
   ctx.sequential_runtime = false;
+  ctx.recorder = rec;
   ctx.factory = [&](const graph::Graph& fg, local::IdStrategy strategy,
                     std::uint64_t seed) -> std::unique_ptr<local::Executor> {
     net::TcpNetworkConfig config;
@@ -131,8 +146,10 @@ int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
     // The pre-bound socket (loopback mode) only serves the first executor;
     // a later one rebinds the known port itself.
     config.listen = std::move(*first_listen);
-    return std::make_unique<net::TcpNetwork>(fg, strategy, seed,
-                                             std::move(config));
+    auto exec = std::make_unique<net::TcpNetwork>(fg, strategy, seed,
+                                                  std::move(config));
+    exec->set_recorder(rec);
+    return exec;
   };
   if (plan.spec->input == algo::InputKind::kGeneralGraph) {
     ctx.graph = &plan.graph;
@@ -144,6 +161,36 @@ int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
   // teardown, and their summary must not die in a buffer with them.
   std::cout << "[rank " << rank << "/" << hosts.size() << "] "
             << plan.spec->name << ": " << result.brief() << std::endl;
+  // Every rank merged the fleet's observability blocks, but only rank 0
+  // writes — loopback children would clobber the same paths.
+  if (rec != nullptr && rank == 0) {
+    const std::string metrics_path = opts.get("metrics", "");
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      DS_CHECK_MSG(out.good(),
+                   "cannot open metrics output file: " + metrics_path);
+      rec->write_metrics_json(
+          out, {{"algo", plan.spec->name},
+                {"runtime", "tcp(" + std::to_string(hosts.size()) + " ranks)"},
+                {"seed", std::to_string(ctx.seed)}});
+      out.flush();
+      DS_CHECK_MSG(out.good(),
+                   "failed writing metrics output file: " + metrics_path);
+    }
+    const std::string trace_path = opts.get("trace", "");
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      DS_CHECK_MSG(out.good(), "cannot open trace output file: " + trace_path);
+      rec->write_trace_json(out);
+      out.flush();
+      DS_CHECK_MSG(out.good(),
+                   "failed writing trace output file: " + trace_path);
+    }
+    if (opts.has("stats")) {
+      rec->write_stats_table(std::cout);
+      std::cout.flush();
+    }
+  }
   return 0;
 }
 
