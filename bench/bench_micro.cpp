@@ -10,7 +10,9 @@
 #include "coloring/distance_coloring.hpp"
 #include "derand/engine.hpp"
 #include "derand/events.hpp"
+#include "graph/format.hpp"
 #include "graph/generators.hpp"
+#include "graph/insitu.hpp"
 #include "mis/mis.hpp"
 #include "netdecomp/decomposition.hpp"
 #include "orient/euler.hpp"
@@ -385,5 +387,35 @@ BENCHMARK(BM_TcpLoopbackRounds)
     ->Args({64, 2})->Args({64, 4})
     ->Args({256, 2})->Args({256, 4})
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// The scale-path input question: how much faster is mmap-loading a packed
+// .dsg file than regenerating the instance in memory? Arg pair: torus side,
+// source (0 = in-memory generation through the deterministic
+// DistributedGenerator, 1 = load_dsg of a pre-packed file). The mapped load
+// is O(1) — header validation plus mmap — so the gap widens linearly with
+// the instance; bench-smoke records both rows. The loaded graph's CSR is
+// touched once per iteration (degree sum) so the mapped rows pay their
+// first page faults instead of benchmarking a lazy no-op.
+void BM_MmapLoadVsGenerate(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const bool mapped = state.range(1) != 0;
+  const graph::GenSpec spec = graph::GenSpec::parse(
+      "torus:w=" + std::to_string(side) + ",h=" + std::to_string(side));
+  const graph::DistributedGenerator dg(spec, 42);
+  const std::string path = "/tmp/bench_mmap_torus.dsg";
+  if (mapped) graph::write_dsg(dg.generate_full(), path, 0, dg.seed());
+  for (auto _ : state) {
+    const graph::Graph g = mapped ? graph::load_dsg(path) : dg.generate_full();
+    std::size_t ports = 0;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) ports += g.degree(v);
+    benchmark::DoNotOptimize(ports);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dg.num_nodes()));
+}
+BENCHMARK(BM_MmapLoadVsGenerate)
+    ->Args({256, 0})->Args({256, 1})
+    ->Args({1024, 0})->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -65,6 +65,41 @@ Spec mis_spec() {
     result.add("rounds", outcome.executed_rounds);
     return result;
   };
+  auto hooks = std::make_shared<InsituHooks>();
+  hooks->make_factory = [](const Params& params, std::uint64_t) {
+    DS_CHECK_MSG(params.get("ids") == "sequential",
+                 "the in-situ path supports ids=sequential only (other "
+                 "strategies need the whole UID table on every rank)");
+    return mis::luby_program_factory();
+  };
+  hooks->output = mis::luby_output_fn();
+  hooks->max_rounds = [](const Params& params) {
+    return static_cast<std::size_t>(params.get_int("max-rounds"));
+  };
+  hooks->verify_node =
+      [](graph::NodeId v, std::uint64_t value, const graph::NodeId* neighbors,
+         std::size_t degree,
+         const std::function<std::uint64_t(graph::NodeId)>& value_of) {
+        bool dominated = value != 0;
+        for (std::size_t p = 0; p < degree; ++p) {
+          const std::uint64_t w = value_of(neighbors[p]);
+          DS_CHECK_MSG(!(value != 0 && w != 0),
+                       "MIS violation: adjacent nodes " + std::to_string(v) +
+                           " and " + std::to_string(neighbors[p]) +
+                           " both joined");
+          dominated = dominated || w != 0;
+        }
+        DS_CHECK_MSG(dominated, "MIS violation: node " + std::to_string(v) +
+                                    " is neither in the set nor dominated");
+      };
+  hooks->summarize = [](std::uint64_t sum, std::size_t rounds) {
+    return std::vector<std::pair<std::string, std::string>>{
+        {"mis-size", std::to_string(sum)},
+        {"phases", std::to_string((rounds + 1) / 2)},
+        {"rounds", std::to_string(rounds)},
+    };
+  };
+  spec.insitu = std::move(hooks);
   return spec;
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -158,6 +159,39 @@ struct Result {
   [[nodiscard]] std::string brief() const;
 };
 
+/// The pieces of an algorithm the in-situ scale path needs *unbundled*:
+/// `Spec::run` drives a whole materialized instance, but a rank that only
+/// holds its own node range needs the bare program factory, the per-node
+/// output hook, and a node-local verifier it can apply with nothing beyond
+/// its own range plus halo values. Specs that support the scale path attach
+/// one of these to `Spec::insitu`.
+struct InsituHooks {
+  /// The per-node program factory for the given validated params and seed.
+  /// Must be *pure per node* — bit-identical regardless of which other
+  /// nodes' environments the calling rank constructs (the in-situ runner
+  /// only constructs its own range). May DS_CHECK params it cannot honor
+  /// in-situ (e.g. a non-sequential ID strategy).
+  std::function<local::ProgramFactory(const Params&, std::uint64_t)>
+      make_factory;
+  /// Output hook writing *exactly one word* per node — the scale path's
+  /// streamed-digest and halo-exchange layout depends on fixed-width rows.
+  local::OutputFn output;
+  /// Round budget for the given params.
+  std::function<std::size_t(const Params&)> max_rounds;
+  /// Node-local verification: `value` is node v's output word, `neighbors`
+  /// its adjacency row, `value_of` resolves any neighbor's word (own range
+  /// or halo). Throws ds::CheckError on a violated constraint.
+  std::function<void(graph::NodeId, std::uint64_t, const graph::NodeId*,
+                     std::size_t,
+                     const std::function<std::uint64_t(graph::NodeId)>&)>
+      verify_node;
+  /// Summary lines from the fleet-wide output-word sum and round count —
+  /// must reproduce `Spec::run`'s summary so `brief()` lines diff cleanly.
+  std::function<std::vector<std::pair<std::string, std::string>>(
+      std::uint64_t, std::size_t)>
+      summarize;
+};
+
 /// One registered algorithm.
 struct Spec {
   std::string name;         ///< stable registry key (CLI --algo=<name>)
@@ -172,6 +206,9 @@ struct Spec {
   /// invalid output), and fills Result. `execute` wraps this with the
   /// capability gate; call that, not `run`, from drivers.
   std::function<Result(const RunContext&)> run;
+  /// In-situ scale-path hooks; null when the spec cannot run without the
+  /// materialized instance.
+  std::shared_ptr<const InsituHooks> insitu;
 };
 
 }  // namespace ds::algo

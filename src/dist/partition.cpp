@@ -145,4 +145,90 @@ std::size_t Partition::owner(graph::NodeId v) const {
   return owner_of(bounds_, v);
 }
 
+Partition Partition::rank_local(const std::vector<graph::NodeId>& bounds,
+                                std::size_t rank,
+                                const graph::LocalCsr& csr) {
+  DS_CHECK_MSG(bounds.size() >= 2, "bounds must have num_workers + 1 entries");
+  const std::size_t workers = bounds.size() - 1;
+  DS_CHECK(rank < workers);
+  DS_CHECK(csr.first == bounds[rank] && csr.last == bounds[rank + 1]);
+  const graph::NodeId first = csr.first;
+  const graph::NodeId last = csr.last;
+  const std::size_t local_ports = csr.offsets.back();
+  DS_CHECK_MSG(local_ports < std::numeric_limits<std::uint32_t>::max(),
+               "Partition supports < 2^32 directed ports");
+
+  Partition part;
+  part.num_workers_ = workers;
+  part.bounds_ = bounds;
+  part.stats_.parts = workers;  // cut/balance need the whole instance
+  // With local offsets serving as arena slots, the own rank's port base is
+  // 0; later ranks' bases only need num_local_ports(rank) to come out right.
+  part.port_base_.resize(workers + 1);
+  for (std::size_t w = 0; w <= workers; ++w) {
+    part.port_base_[w] = w <= rank ? 0 : local_ports;
+  }
+  part.out_halo_counts_.assign(workers, 0);
+  part.local_delivery_.resize(workers);
+  part.links_.assign(workers * workers, {});
+
+  const auto owned = [&](graph::NodeId v) { return v >= first && v < last; };
+  // Reverse-port lookup: ascending rows make the neighbor index a binary
+  // search — this is where the canonical sorted-adjacency invariant earns
+  // its keep.
+  const auto local_slot = [&](graph::NodeId of, graph::NodeId target) {
+    const std::size_t row = csr.offsets[of - first];
+    const std::size_t row_end = csr.offsets[of - first + 1];
+    const auto* begin = csr.adjacency.data() + row;
+    const auto* end = csr.adjacency.data() + row_end;
+    const auto* it = std::lower_bound(begin, end, target);
+    DS_CHECK_MSG(it != end && *it == target,
+                 "rank-local CSR rows are inconsistent");
+    return row + static_cast<std::size_t>(it - begin);
+  };
+
+  std::vector<std::size_t>& table = part.local_delivery_[rank];
+  table.resize(local_ports);
+  std::uint32_t out_index = 0;
+  // (remote u, owned v) pairs per source rank, for the incoming dst columns.
+  std::vector<std::vector<graph::Edge>> incoming(workers);
+  for (graph::NodeId v = first; v < last; ++v) {
+    const std::size_t row = csr.offsets[v - first];
+    const std::size_t deg = csr.offsets[v - first + 1] - row;
+    for (std::size_t p = 0; p < deg; ++p) {
+      const graph::NodeId u = csr.adjacency[row + p];
+      if (owned(u)) {
+        table[row + p] = local_slot(u, v);
+      } else {
+        // Same (node asc, port asc) staging order as the full constructor.
+        const std::size_t d = owner_of(bounds, u);
+        table[row + p] = local_ports + out_index;
+        part.links_[rank * workers + d].src_out_slots.push_back(out_index);
+        ++out_index;
+        incoming[d].push_back(graph::Edge{u, v});
+      }
+    }
+  }
+  part.out_halo_counts_[rank] = out_index;
+
+  // Incoming link(s, rank) dst columns: source s walks its own nodes u
+  // ascending with ascending rows, so its send order restricted to us is
+  // exactly (u, v) lexicographic.
+  for (std::size_t s = 0; s < workers; ++s) {
+    if (s == rank || incoming[s].empty()) continue;
+    std::vector<graph::Edge>& pairs = incoming[s];
+    std::sort(pairs.begin(), pairs.end(),
+              [](const graph::Edge& a, const graph::Edge& b) {
+                return a.u != b.u ? a.u < b.u : a.v < b.v;
+              });
+    HaloLink& link = part.links_[s * workers + rank];
+    link.dst_slots.reserve(pairs.size());
+    for (const graph::Edge& e : pairs) {
+      link.dst_slots.push_back(
+          static_cast<std::uint32_t>(local_slot(e.v, e.u)));
+    }
+  }
+  return part;
+}
+
 }  // namespace ds::dist

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/insitu.hpp"
 #include "local/topology.hpp"
 
 namespace ds::dist {
@@ -80,6 +81,19 @@ class Partition {
   /// Partitions `topo` into `num_workers` >= 1 degree-balanced ranges.
   Partition(const local::NetworkTopology& topo, std::size_t num_workers);
 
+  /// Builds rank `rank`'s slice of the partition from *local knowledge
+  /// only*: the global range boundaries plus the rank-local CSR (full
+  /// adjacency rows of the owned nodes, each ascending — the canonical
+  /// layout of the in-situ generators). Produces a Partition whose own-rank
+  /// delivery table, out-halo region and incoming `link(s, rank)` dst
+  /// columns are *identical* to the full constructor's on a canonically
+  /// sorted topology, with `port_base(rank) == 0` (arena slots are local
+  /// offsets). Pieces that require remote knowledge — other ranks' delivery
+  /// tables, outgoing dst columns, `stats()` beyond the part count — stay
+  /// empty; transports on the in-situ path only read the populated ones.
+  static Partition rank_local(const std::vector<graph::NodeId>& bounds,
+                              std::size_t rank, const graph::LocalCsr& csr);
+
   [[nodiscard]] std::size_t num_workers() const { return num_workers_; }
   [[nodiscard]] const std::vector<graph::NodeId>& boundaries() const {
     return bounds_;
@@ -124,7 +138,9 @@ class Partition {
   }
 
  private:
-  std::size_t num_workers_;
+  Partition() = default;  // rank_local fills the members directly
+
+  std::size_t num_workers_ = 0;
   std::vector<graph::NodeId> bounds_;      ///< size num_workers + 1
   std::vector<std::size_t> port_base_;     ///< size num_workers + 1
   std::vector<std::uint32_t> out_halo_counts_;

@@ -8,29 +8,49 @@
 namespace ds::dist {
 
 std::size_t run_rank_loop(
-    const local::NetworkTopology& topo, const Partition& part,
-    Transport& transport, const local::ProgramFactory& factory,
-    std::size_t max_rounds, std::uint64_t& epoch,
-    const local::RoundStatsSink& sink, const local::OutputFn& output_fn,
+    const RankView& view, const Partition& part, Transport& transport,
+    const local::ProgramFactory& factory, std::size_t max_rounds,
+    std::uint64_t& epoch, const local::RoundStatsSink& sink,
+    const local::OutputFn& output_fn,
     std::vector<std::unique_ptr<local::NodeProgram>>& programs,
     obs::Recorder* recorder) {
-  const graph::Graph& g = topo.graph();
-  const std::size_t n = g.num_nodes();
   const std::size_t w = transport.rank();
   const graph::NodeId first = part.first_node(w);
   const graph::NodeId last = part.last_node(w);
   const std::size_t port_base = part.port_base(w);
   const std::vector<std::size_t>& local_delivery = part.local_delivery(w);
 
-  // Every rank invokes the factory for every node in node order — the exact
-  // call sequence of the sequential executor, so factories that capture
-  // mutable state stay deterministic — and keeps the owned range.
+  const auto port_offset = [&](graph::NodeId v) {
+    return view.port_offsets[v - view.offset_first];
+  };
+  const auto degree = [&](graph::NodeId v) {
+    return view.port_offsets[v - view.offset_first + 1] - port_offset(v);
+  };
+  // Owned programs live at global indices when the whole range is
+  // constructed, at local indices on the in-situ path (where a vector of n
+  // mostly-null pointers would itself be a full-instance allocation).
+  const auto prog_at = [&](graph::NodeId v) -> local::NodeProgram& {
+    return *programs[view.construct_all ? v : v - first];
+  };
+
   programs.clear();
-  programs.resize(n);
-  for (graph::NodeId v = 0; v < n; ++v) {
-    auto p = factory(topo.make_env(v));
-    DS_CHECK(p != nullptr);
-    if (v >= first && v < last) programs[v] = std::move(p);
+  if (view.construct_all) {
+    // Every rank invokes the factory for every node in node order — the
+    // exact call sequence of the sequential executor, so factories that
+    // capture mutable state stay deterministic — and keeps the owned range.
+    programs.resize(view.num_nodes);
+    for (graph::NodeId v = 0; v < view.num_nodes; ++v) {
+      auto p = factory(view.env_of(v));
+      DS_CHECK(p != nullptr);
+      if (v >= first && v < last) programs[v] = std::move(p);
+    }
+  } else {
+    programs.resize(last - first);
+    for (graph::NodeId v = first; v < last; ++v) {
+      auto p = factory(view.env_of(v));
+      DS_CHECK(p != nullptr);
+      programs[v - first] = std::move(p);
+    }
   }
 
   // Private round state: single-buffered bank + local span arena (own port
@@ -44,7 +64,7 @@ std::size_t run_rank_loop(
   const auto count_alive = [&] {
     std::size_t c = 0;
     for (graph::NodeId v = first; v < last; ++v) {
-      if (!programs[v]->done()) ++c;
+      if (!prog_at(v).done()) ++c;
     }
     return c;
   };
@@ -71,13 +91,12 @@ std::size_t run_rank_loop(
     bank.clear();
     Transport::RoundTotals mine;
     for (graph::NodeId v = first; v < last; ++v) {
-      local::NodeProgram& prog = *programs[v];
+      local::NodeProgram& prog = prog_at(v);
       if (prog.done()) continue;
       ++mine.senders;
       local::Outbox out(&bank, 0, arena.data(),
-                        local_delivery.data() +
-                            (topo.port_offset(v) - port_base),
-                        g.degree(v), epoch);
+                        local_delivery.data() + (port_offset(v) - port_base),
+                        degree(v), epoch);
       prog.send(rounds, out);
       mine.messages += out.messages();
       mine.payload_words += out.payload_words();
@@ -109,10 +128,10 @@ std::size_t run_rank_loop(
       stats.payload_words = static_cast<std::size_t>(totals.payload_words);
     }
     for (graph::NodeId v = first; v < last; ++v) {
-      local::NodeProgram& prog = *programs[v];
+      local::NodeProgram& prog = prog_at(v);
       if (prog.done()) continue;
-      local::Inbox inbox(arena.data() + (topo.port_offset(v) - port_base),
-                         g.degree(v), bases.data(), epoch);
+      local::Inbox inbox(arena.data() + (port_offset(v) - port_base),
+                         degree(v), bases.data(), epoch);
       prog.receive(rounds, inbox);
     }
     const auto t_received = timed ? std::chrono::steady_clock::now() : t0;
@@ -179,7 +198,7 @@ std::size_t run_rank_loop(
     std::vector<std::uint64_t> row;
     for (graph::NodeId v = first; v < last; ++v) {
       row.clear();
-      output_fn(v, *programs[v], row);
+      output_fn(v, prog_at(v), row);
       gathered.push_back(row.size());
       gathered.insert(gathered.end(), row.begin(), row.end());
     }
@@ -192,6 +211,23 @@ std::size_t run_rank_loop(
                        us_now() - us_gather);
   }
   return rounds;
+}
+
+std::size_t run_rank_loop(
+    const local::NetworkTopology& topo, const Partition& part,
+    Transport& transport, const local::ProgramFactory& factory,
+    std::size_t max_rounds, std::uint64_t& epoch,
+    const local::RoundStatsSink& sink, const local::OutputFn& output_fn,
+    std::vector<std::unique_ptr<local::NodeProgram>>& programs,
+    obs::Recorder* recorder) {
+  RankView view;
+  view.num_nodes = topo.graph().num_nodes();
+  view.port_offsets = topo.port_offsets().data();
+  view.offset_first = 0;
+  view.construct_all = true;
+  view.env_of = [&topo](graph::NodeId v) { return topo.make_env(v); };
+  return run_rank_loop(view, part, transport, factory, max_rounds, epoch,
+                       sink, output_fn, programs, recorder);
 }
 
 namespace {

@@ -46,6 +46,44 @@
 
 namespace ds::dist {
 
+/// What the round protocol actually needs to know about one rank's share of
+/// the instance — a seam between the loop and the topology representation.
+/// The classic executors view a fully materialized `NetworkTopology`
+/// (`construct_all` true, global port offsets); the in-situ scale path views
+/// only its own node range (`construct_all` false, rank-local offsets), so a
+/// rank never holds the whole graph.
+struct RankView {
+  /// Global node count (the `env.n` every node observes).
+  std::size_t num_nodes = 0;
+  /// CSR port offsets indexed by `v - offset_first`; for owned nodes the
+  /// difference of adjacent entries is the node's degree and
+  /// `port_offsets[v - offset_first] - part.port_base(rank)` is the node's
+  /// arena slot.
+  const std::size_t* port_offsets = nullptr;
+  graph::NodeId offset_first = 0;
+  /// True: invoke the factory for *every* node in node order and keep the
+  /// owned range at global indices (the sequential factory-call contract).
+  /// False: construct only [first, last), stored at local indices — valid
+  /// for pure factories (no cross-node mutable state), which the in-situ
+  /// path requires anyway.
+  bool construct_all = true;
+  /// Builds the node environment (uid, degree, neighbor uids, forked rng)
+  /// for one owned node; must be defined for every constructed node.
+  std::function<local::NodeEnv(graph::NodeId)> env_of;
+};
+
+/// Core of `run_rank_loop` over a `RankView` — see the convenience overload
+/// below for the contract. The in-situ runner calls this directly.
+std::size_t run_rank_loop(const RankView& view, const Partition& part,
+                          Transport& transport,
+                          const local::ProgramFactory& factory,
+                          std::size_t max_rounds, std::uint64_t& epoch,
+                          const local::RoundStatsSink& sink,
+                          const local::OutputFn& output_fn,
+                          std::vector<std::unique_ptr<local::NodeProgram>>&
+                              programs,
+                          obs::Recorder* recorder = nullptr);
+
 /// Runs rank `transport.rank()`'s full share of one distributed run:
 /// construct programs, execute rounds, gather outputs. Returns the executed
 /// round count (identical on every rank by construction). `epoch` is the

@@ -8,12 +8,32 @@ namespace ds::graph {
 
 Graph::Graph(std::size_t n) : adjacency_(n) {}
 
+Graph Graph::mapped(std::shared_ptr<const void> keepalive,
+                    const std::uint64_t* offsets, const NodeId* adjacency,
+                    const Edge* edges, std::size_t n, std::size_t m) {
+  DS_CHECK_MSG(keepalive != nullptr,
+               "mapped graph requires an owning keepalive handle");
+  DS_CHECK(offsets != nullptr);
+  DS_CHECK_MSG(offsets[n] == 2 * static_cast<std::uint64_t>(m),
+               "mapped CSR offsets do not sum to 2m directed ports");
+  Graph g;
+  g.map_.keepalive = std::move(keepalive);
+  g.map_.offsets = offsets;
+  g.map_.adjacency = adjacency;
+  g.map_.edges = edges;
+  g.map_.n = n;
+  g.map_.m = m;
+  return g;
+}
+
 NodeId Graph::add_node() {
+  DS_CHECK_MSG(!is_mapped(), "mapped graphs are immutable");
   adjacency_.emplace_back();
   return static_cast<NodeId>(adjacency_.size() - 1);
 }
 
 void Graph::add_edge(NodeId u, NodeId v) {
+  DS_CHECK_MSG(!is_mapped(), "mapped graphs are immutable");
   DS_CHECK_MSG(u != v, "self-loops are not allowed in Graph");
   DS_CHECK(u < adjacency_.size() && v < adjacency_.size());
   DS_CHECK_MSG(!has_edge(u, v), "parallel edges are not allowed in Graph");
@@ -24,31 +44,41 @@ void Graph::add_edge(NodeId u, NodeId v) {
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
-  DS_CHECK(u < adjacency_.size() && v < adjacency_.size());
-  const auto& a =
-      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
-                                                   : adjacency_[v];
-  const NodeId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  DS_CHECK(u < num_nodes() && v < num_nodes());
+  const NeighborView a = degree(u) <= degree(v) ? neighbors(u) : neighbors(v);
+  const NodeId target = degree(u) <= degree(v) ? v : u;
   return std::find(a.begin(), a.end(), target) != a.end();
 }
 
-const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
-  DS_CHECK(v < adjacency_.size());
-  return adjacency_[v];
+NeighborView Graph::neighbors(NodeId v) const {
+  DS_CHECK(v < num_nodes());
+  if (is_mapped()) {
+    const std::uint64_t start = map_.offsets[v];
+    return {map_.adjacency + start,
+            static_cast<std::size_t>(map_.offsets[v + 1] - start)};
+  }
+  return {adjacency_[v].data(), adjacency_[v].size()};
 }
 
-std::size_t Graph::degree(NodeId v) const { return neighbors(v).size(); }
+std::size_t Graph::degree(NodeId v) const {
+  DS_CHECK(v < num_nodes());
+  if (is_mapped()) {
+    return static_cast<std::size_t>(map_.offsets[v + 1] - map_.offsets[v]);
+  }
+  return adjacency_[v].size();
+}
 
 std::size_t Graph::max_degree() const {
   std::size_t d = 0;
-  for (const auto& a : adjacency_) d = std::max(d, a.size());
+  for (NodeId v = 0; v < num_nodes(); ++v) d = std::max(d, degree(v));
   return d;
 }
 
 std::size_t Graph::min_degree() const {
-  if (adjacency_.empty()) return 0;
-  std::size_t d = adjacency_.front().size();
-  for (const auto& a : adjacency_) d = std::min(d, a.size());
+  const std::size_t n = num_nodes();
+  if (n == 0) return 0;
+  std::size_t d = degree(0);
+  for (NodeId v = 1; v < n; ++v) d = std::min(d, degree(v));
   return d;
 }
 
@@ -65,7 +95,7 @@ std::pair<Graph, std::vector<NodeId>> Graph::induced_subgraph(
     new_to_old.push_back(v);
   }
   Graph sub(new_to_old.size());
-  for (const Edge& e : edges_) {
+  for (const Edge& e : edges()) {
     const NodeId nu = old_to_new[e.u];
     const NodeId nv = old_to_new[e.v];
     if (nu != static_cast<NodeId>(-1) && nv != static_cast<NodeId>(-1)) {

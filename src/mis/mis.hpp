@@ -47,6 +47,14 @@ MisOutcome luby(const graph::Graph& g, std::uint64_t seed,
                 local::IdStrategy ids = local::IdStrategy::kSequential,
                 const local::ExecutorFactory& executor = {});
 
+/// The per-node Luby program as a bare factory, for executors that bypass
+/// `luby`'s driver (the in-situ scale path builds node environments itself
+/// and never materializes the whole graph). Bit-identical to `luby`.
+local::ProgramFactory luby_program_factory();
+
+/// The matching output hook: one word per node, 1 iff the node joined.
+local::OutputFn luby_output_fn();
+
 /// Sequential greedy MIS: processes `order` (a permutation of the nodes)
 /// and adds each node unless a neighbor was already added.
 std::vector<bool> greedy_by_order(const graph::Graph& g,

@@ -26,6 +26,8 @@
 ///   kOutputs  rank 0's re-broadcast of the assembled output table
 ///   kAbort    collective abort; payload is the reason string packed into
 ///             words (see pack_string/unpack_string)
+///   kSetup    pre-run all-to-all setup exchange (in-situ cut edges, halo
+///             values, digest broadcasts); payload layout is the caller's
 ///
 /// The `seq` field carries the sender's exchange counter; both sides of a
 /// connection step it in lockstep (the protocol is SPMD-deterministic), so
@@ -48,7 +50,8 @@ constexpr std::uint32_t kFrameMagic = 0x44534E54;  // "DSNT"
 
 /// Wire protocol version; bumped on any layout change.
 /// v2: kGather/kOutputs payloads carry a leading observability block.
-constexpr std::uint64_t kProtocolVersion = 2;
+/// v3: kSetup frames (in-situ setup collectives) join the exchange.
+constexpr std::uint64_t kProtocolVersion = 3;
 
 /// Upper bound on one frame's payload (2^31 words = 16 GiB) — far above
 /// any legitimate round's traffic. A header claiming more is corruption or
@@ -65,6 +68,7 @@ enum class FrameType : std::uint32_t {
   kGather = 5,
   kOutputs = 6,
   kAbort = 7,
+  kSetup = 8,
 };
 
 /// The fixed frame header. Plain trivially-copyable struct; shipped as raw

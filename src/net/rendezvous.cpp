@@ -119,9 +119,22 @@ std::uint64_t topology_digest(const local::NetworkTopology& topo) {
 }
 
 std::uint64_t partition_digest(const dist::Partition& part) {
+  return partition_digest(part.num_workers(), part.boundaries());
+}
+
+std::uint64_t partition_digest(std::size_t ranks,
+                               const std::vector<graph::NodeId>& bounds) {
   std::uint64_t h = kFnvOffset;
-  fnv_mix(h, part.num_workers());
-  for (const graph::NodeId b : part.boundaries()) fnv_mix(h, b);
+  fnv_mix(h, ranks);
+  for (const graph::NodeId b : bounds) fnv_mix(h, b);
+  return h;
+}
+
+std::uint64_t instance_digest(const std::string& identity) {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : identity) {
+    fnv_mix(h, static_cast<unsigned char>(c));
+  }
   return h;
 }
 

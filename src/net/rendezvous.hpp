@@ -44,6 +44,17 @@ std::uint64_t topology_digest(const local::NetworkTopology& topo);
 /// FNV-1a digest over the partition: rank count and range boundaries.
 std::uint64_t partition_digest(const dist::Partition& part);
 
+/// Same digest from the raw boundary list (`bounds` has ranks + 1 entries)
+/// — for the in-situ path, where no rank holds a full Partition. Agrees
+/// with `partition_digest(part)` for the same boundaries.
+std::uint64_t partition_digest(std::size_t ranks,
+                               const std::vector<graph::NodeId>& bounds);
+
+/// FNV-1a digest over an instance identity string. The in-situ path uses
+/// the generator spec's canonical form plus seed and algorithm as the
+/// topology digest — the instance identity without materializing it.
+std::uint64_t instance_digest(const std::string& identity);
+
 /// Builds the full pair-connection mesh for `mine.rank`. `hosts` is the
 /// rank-ordered endpoint list; `listen` must already be bound to
 /// `hosts[rank]` (pass a pre-bound socket, e.g. from the loopback helper).

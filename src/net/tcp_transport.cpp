@@ -27,6 +27,7 @@ const char* type_name(FrameType t) {
     case FrameType::kGather: return "gather";
     case FrameType::kOutputs: return "outputs";
     case FrameType::kAbort: return "abort";
+    case FrameType::kSetup: return "setup";
   }
   return "?";
 }
@@ -38,12 +39,21 @@ TcpTransport::TcpTransport(std::size_t rank,
                            const local::NetworkTopology& topo,
                            const dist::Partition& part, TcpOptions opts,
                            Socket listen)
-    : rank_(rank), part_(&part), opts_(opts) {
+    : TcpTransport(rank, hosts,
+                   InstanceDigests{topology_digest(topo),
+                                   partition_digest(part)},
+                   opts, std::move(listen)) {
+  attach_partition(part);
+}
+
+TcpTransport::TcpTransport(std::size_t rank,
+                           const std::vector<Endpoint>& hosts,
+                           InstanceDigests digests, TcpOptions opts,
+                           Socket listen)
+    : rank_(rank), part_(nullptr), opts_(opts) {
   const std::size_t ranks = hosts.size();
   DS_CHECK_MSG(ranks >= 1 && rank < ranks,
                "TcpTransport: rank must be in [0, ranks)");
-  DS_CHECK_MSG(part.num_workers() == ranks,
-               "TcpTransport: partition must have one range per rank");
   peers_.resize(ranks);
   gather_rows_.resize(ranks);
   if (ranks == 1) return;
@@ -53,8 +63,8 @@ TcpTransport::TcpTransport(std::size_t rank,
   mine.version = kProtocolVersion;
   mine.rank = rank;
   mine.ranks = ranks;
-  mine.topology_digest = topology_digest(topo);
-  mine.partition_digest = partition_digest(part);
+  mine.topology_digest = digests.topology;
+  mine.partition_digest = digests.partition;
   std::vector<Socket> conns =
       rendezvous(mine, hosts, listen, opts_.handshake_timeout_ms);
   listen.reset();  // free the rank port for a later executor immediately
@@ -65,6 +75,37 @@ TcpTransport::TcpTransport(std::size_t rank,
     set_nonblocking(conns[r].fd(), true);
     peers_[r].sock = std::move(conns[r]);
   }
+}
+
+void TcpTransport::attach_partition(const dist::Partition& part) {
+  DS_CHECK_MSG(part.num_workers() == peers_.size(),
+               "TcpTransport: partition must have one range per rank");
+  part_ = &part;
+}
+
+std::vector<std::vector<std::uint64_t>> TcpTransport::exchange_setup(
+    const std::vector<std::vector<std::uint64_t>>& to_peer) {
+  const std::size_t ranks = peers_.size();
+  DS_CHECK_MSG(to_peer.size() == ranks,
+               "exchange_setup needs one payload per rank");
+  std::vector<std::vector<std::uint64_t>> from_peer(ranks);
+  if (ranks == 1) return from_peer;
+  ++exchange_seq_;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    if (r != rank_) {
+      stage(r, FrameType::kSetup, to_peer[r].data(), to_peer[r].size());
+    }
+  }
+  std::vector<bool> expect(ranks, true);
+  pump(FrameType::kSetup, expect);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    if (r == rank_) continue;
+    // Hand the payload buffer to the caller instead of copying — setup
+    // payloads (cut edges, halo values) scale with the instance.
+    from_peer[r] = std::move(peers_[r].ctrl.payload);
+    peers_[r].ctrl.payload.clear();
+  }
+  return from_peer;
 }
 
 void TcpTransport::set_recorder(obs::Recorder* rec) {
@@ -389,7 +430,9 @@ void TcpTransport::gather(const std::vector<std::uint64_t>& words) {
   if (rank_ == 0) {
     gather_rows_[0] = words;
     for (std::size_t r = 1; r < ranks; ++r) {
-      gather_rows_[r] = peers_[r].ctrl.payload;
+      // Adopt the frame buffer; at scale a copy per rank is real memory.
+      gather_rows_[r] = std::move(peers_[r].ctrl.payload);
+      peers_[r].ctrl.payload.clear();
     }
     stage_words_.clear();
     for (std::size_t r = 0; r < ranks; ++r) {
@@ -404,6 +447,8 @@ void TcpTransport::gather(const std::vector<std::uint64_t>& words) {
     broadcast_bytes_.clear();
     append_frame(broadcast_bytes_, FrameType::kOutputs, exchange_seq_,
                  stage_words_.data(), stage_words_.size());
+    stage_words_.clear();
+    stage_words_.shrink_to_fit();  // the framed copy supersedes it
     for (std::size_t r = 1; r < ranks; ++r) {
       peers_[r].shared_out = &broadcast_bytes_;
       peers_[r].shared_pos = 0;
@@ -411,6 +456,8 @@ void TcpTransport::gather(const std::vector<std::uint64_t>& words) {
     }
     std::fill(expect.begin(), expect.end(), false);
     pump(FrameType::kOutputs, expect);
+    broadcast_bytes_.clear();
+    broadcast_bytes_.shrink_to_fit();  // every cursor has drained it
   } else {
     std::fill(expect.begin(), expect.end(), false);
     expect[0] = true;

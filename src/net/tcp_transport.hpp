@@ -53,6 +53,15 @@ struct TcpOptions {
   int rcvbuf_bytes = 0;
 };
 
+/// The instance-agreement digests carried in the rendezvous handshake. The
+/// classic path derives them from the materialized topology and partition;
+/// the in-situ path derives them from the generator spec and the range
+/// boundaries — whatever identifies the instance without holding it.
+struct InstanceDigests {
+  std::uint64_t topology = 0;
+  std::uint64_t partition = 0;
+};
+
 class TcpTransport final : public dist::Transport {
  public:
   /// Establishes the full pair-connection mesh (see rendezvous.hpp): binds
@@ -64,6 +73,25 @@ class TcpTransport final : public dist::Transport {
                const local::NetworkTopology& topo,
                const dist::Partition& part, TcpOptions opts,
                Socket listen = {});
+
+  /// Mesh-only constructor for the in-situ scale path: rendezvous with the
+  /// given digests, but no partition yet — the partition is *built from the
+  /// exchanged setup data* and attached afterwards. Until
+  /// `attach_partition`, only `sync_liveness`, `exchange_setup`, `gather`
+  /// and `abort` may be called.
+  TcpTransport(std::size_t rank, const std::vector<Endpoint>& hosts,
+               InstanceDigests digests, TcpOptions opts, Socket listen = {});
+
+  /// Attaches the rank-local partition the round phases route by. `part`
+  /// must outlive the transport and agree with the handshaken rank count.
+  void attach_partition(const dist::Partition& part);
+
+  /// Pre-run all-to-all collective: sends `to_peer[r]` to every peer r and
+  /// returns the words each peer sent here (own slot empty). Payload layout
+  /// is the caller's — the in-situ runner uses it for cut edges, halo
+  /// values and digest broadcasts. Single-rank fleets short-circuit.
+  std::vector<std::vector<std::uint64_t>> exchange_setup(
+      const std::vector<std::vector<std::uint64_t>>& to_peer);
 
   [[nodiscard]] std::size_t rank() const override { return rank_; }
   [[nodiscard]] std::size_t num_ranks() const override {

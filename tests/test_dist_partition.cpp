@@ -2,11 +2,16 @@
 // gnp / Barabási–Albert / geometric instances asserting that every edge is
 // either internal or appears exactly once in each endpoint's halo table,
 // degenerate shapes (n < workers, isolated nodes, a single hub star), the
-// shared degree-balanced boundary helper, PartitionStats, and an in-process
-// ship/patch roundtrip of the HaloTransport.
+// shared degree-balanced boundary helper, PartitionStats, an in-process
+// ship/patch roundtrip of the HaloTransport — plus the in-situ scale path's
+// two core determinism claims: for every generator family the union of all
+// ranks' shards equals the sequential edge set at 1/2/4 ranks, and
+// `Partition::rank_local` reproduces the full constructor's own-rank
+// routing tables exactly.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <vector>
@@ -14,7 +19,9 @@
 #include "dist/partition.hpp"
 #include "dist/shm_transport.hpp"
 #include "graph/generators.hpp"
+#include "graph/insitu.hpp"
 #include "local/topology.hpp"
+#include "net/insitu_runner.hpp"
 #include "runtime/parallel_network.hpp"
 #include "support/check.hpp"
 
@@ -228,6 +235,140 @@ TEST(HaloTransport, ShipPatchRoundtrip) {
         ASSERT_EQ(inbox[p].size(), 2u) << "v=" << v << " p=" << p;
         EXPECT_EQ(inbox[p][0], expected);
         EXPECT_EQ(inbox[p][1], ~expected);
+      }
+    }
+  }
+}
+
+// ---- In-situ generation determinism --------------------------------------
+
+/// One representative small instance per generator family.
+const std::vector<std::string>& family_specs() {
+  static const std::vector<std::string> specs = {
+      "torus:w=13,h=9",        "gnp:n=150,deg=6",  "gnm:n=150,deg=6",
+      "ba:n=150,d=3",          "rgg:n=150,deg=7",  "biregular:nu=60,nv=30,delta=4",
+      "kronecker:scale=7,deg=5",
+  };
+  return specs;
+}
+
+bool edge_lex_less(const graph::Edge& a, const graph::Edge& b) {
+  return a.u != b.u ? a.u < b.u : a.v < b.v;
+}
+
+TEST(InsituGenerator, ShardUnionMatchesSequentialEdgeSet) {
+  // For every family: the union of all ranks' shards at 1, 2 and 4 ranks
+  // equals the sequential generator's edge set for the same seed — the
+  // property that makes in-situ runs bit-identical to materialized ones.
+  // Row families additionally produce *disjoint* shards.
+  for (const std::string& text : family_specs()) {
+    const graph::DistributedGenerator dg(graph::GenSpec::parse(text), 13);
+    const graph::Graph g = dg.generate_full();
+    std::vector<graph::Edge> expected(g.edges().begin(), g.edges().end());
+    for (const std::size_t ranks : {1, 2, 4}) {
+      const auto bounds = net::uniform_boundaries(dg.num_nodes(), ranks);
+      std::vector<graph::Edge> all;
+      std::size_t shard_sum = 0;
+      for (std::size_t r = 0; r < ranks; ++r) {
+        const auto shard = dg.shard(bounds[r], bounds[r + 1]);
+        EXPECT_TRUE(std::is_sorted(shard.begin(), shard.end(),
+                                   edge_lex_less))
+            << text << " rank " << r;
+        shard_sum += shard.size();
+        all.insert(all.end(), shard.begin(), shard.end());
+      }
+      std::sort(all.begin(), all.end(), edge_lex_less);
+      all.erase(std::unique(all.begin(), all.end(),
+                            [](const graph::Edge& a, const graph::Edge& b) {
+                              return a.u == b.u && a.v == b.v;
+                            }),
+                all.end());
+      ASSERT_EQ(all.size(), expected.size()) << text << " ranks=" << ranks;
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        ASSERT_EQ(all[i].u, expected[i].u) << text << " ranks=" << ranks;
+        ASSERT_EQ(all[i].v, expected[i].v) << text << " ranks=" << ranks;
+      }
+      if (!dg.self_discovering()) {
+        EXPECT_EQ(shard_sum, expected.size())
+            << text << " ranks=" << ranks << ": row-family shards overlap";
+      }
+    }
+  }
+}
+
+TEST(InsituGenerator, GenSpecParsing) {
+  const graph::GenSpec spec = graph::GenSpec::parse("torus:h=9,w=13");
+  EXPECT_EQ(spec.family, "torus");
+  EXPECT_EQ(spec.required("w"), 13u);
+  EXPECT_EQ(spec.param("missing", 7), 7u);
+  // Canonical form sorts keys — stable across parses and usable as a
+  // digest/cache key.
+  EXPECT_EQ(spec.canonical(), "torus:h=9,w=13");
+  EXPECT_EQ(graph::GenSpec::parse("torus:w=13,h=9").canonical(),
+            spec.canonical());
+  EXPECT_THROW(graph::GenSpec::parse("torus:w=x"), ds::CheckError);
+  EXPECT_THROW(graph::DistributedGenerator(
+                   graph::GenSpec::parse("nosuch:n=4"), 1),
+               ds::CheckError);
+  EXPECT_THROW(graph::DistributedGenerator(
+                   graph::GenSpec::parse("torus:w=1,h=5"), 1),
+               ds::CheckError);
+}
+
+TEST(InsituGenerator, UniformBoundariesCoverEveryNode) {
+  for (const std::size_t n : {0u, 1u, 5u, 1000u}) {
+    for (const std::size_t ranks : {1u, 2u, 3u, 7u}) {
+      const auto bounds = net::uniform_boundaries(n, ranks);
+      ASSERT_EQ(bounds.size(), ranks + 1);
+      EXPECT_EQ(bounds.front(), 0u);
+      EXPECT_EQ(bounds.back(), n);
+      EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+    }
+  }
+}
+
+// ---- Rank-local partition construction -----------------------------------
+
+TEST(Partition, RankLocalMatchesFullConstruction) {
+  // Built from nothing but the boundaries and the rank's own CSR,
+  // rank_local must reproduce the full constructor's own-rank tables
+  // bit-for-bit: the local delivery table, the out-halo assignment, and
+  // both directions of every link touching the rank.
+  for (const std::string& text : family_specs()) {
+    const graph::DistributedGenerator dg(graph::GenSpec::parse(text), 29);
+    const graph::Graph g = dg.generate_full();
+    const local::NetworkTopology topo(g, local::IdStrategy::kSequential, 1);
+    for (const std::size_t workers : {1, 2, 4}) {
+      const Partition full(topo, workers);
+      const auto& bounds = full.boundaries();
+      for (std::size_t r = 0; r < workers; ++r) {
+        // The complete incident edge list of the range — what the in-situ
+        // runner assembles from its shard plus the cut-edge exchange.
+        std::vector<graph::Edge> incident;
+        for (const graph::Edge& e : g.edges()) {
+          const bool u_in = e.u >= bounds[r] && e.u < bounds[r + 1];
+          const bool v_in = e.v >= bounds[r] && e.v < bounds[r + 1];
+          if (u_in || v_in) incident.push_back(e);
+        }
+        const graph::LocalCsr csr =
+            graph::build_local_csr(incident, bounds[r], bounds[r + 1]);
+        const Partition local = Partition::rank_local(bounds, r, csr);
+
+        ASSERT_EQ(local.num_workers(), workers);
+        EXPECT_EQ(local.boundaries(), bounds);
+        EXPECT_EQ(local.port_base(r), 0u) << text;
+        ASSERT_EQ(local.num_local_ports(r), full.num_local_ports(r))
+            << text << " workers=" << workers << " rank=" << r;
+        EXPECT_EQ(local.num_out_halo(r), full.num_out_halo(r));
+        EXPECT_EQ(local.local_delivery(r), full.local_delivery(r))
+            << text << " workers=" << workers << " rank=" << r;
+        for (std::size_t d = 0; d < workers; ++d) {
+          EXPECT_EQ(local.link(r, d).src_out_slots,
+                    full.link(r, d).src_out_slots)
+              << text << " link(" << r << "," << d << ")";
+          EXPECT_EQ(local.link(d, r).dst_slots, full.link(d, r).dst_slots)
+              << text << " link(" << d << "," << r << ")";
+        }
       }
     }
   }

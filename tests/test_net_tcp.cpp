@@ -13,12 +13,15 @@
 #include <memory>
 #include <vector>
 
+#include "algo/registry.hpp"
 #include "coloring/randcolor.hpp"
 #include "determinism_probe.hpp"
 #include "graph/generators.hpp"
+#include "graph/insitu.hpp"
 #include "local/network.hpp"
 #include "local/round_stats.hpp"
 #include "mis/mis.hpp"
+#include "net/insitu_runner.hpp"
 #include "net/loopback.hpp"
 #include "net/tcp_network.hpp"
 #include "orient/sinkless.hpp"
@@ -435,6 +438,63 @@ TEST(TcpNetwork, PartitionStatsExposed) {
                    : 90;
       });
   EXPECT_TRUE(report.all_ok()) << "rank0=" << report.rank0;
+}
+
+// ---- In-situ scale path --------------------------------------------------
+
+TEST(InsituRunner, MatchesSequentialDigestAcrossFamilies) {
+  // The in-situ runner (rank-local generation, no materialized topology
+  // anywhere) must reproduce the sequential reference bit-for-bit: same
+  // fleet digest, same output sum, same round count, on every rank. One
+  // row family, one self-discovering family, one with local duplicates.
+  for (const std::string text :
+       {"torus:w=12,h=12", "gnm:n=120,deg=5", "ba:n=120,d=3"}) {
+    const graph::GenSpec gen = graph::GenSpec::parse(text);
+    const std::uint64_t seed = 19;
+    const graph::DistributedGenerator dg(gen, seed);
+    const mis::MisOutcome expected = mis::luby(dg.generate_full(), seed);
+    std::uint64_t digest = 1469598103934665603ull;
+    std::uint64_t sum = 0;
+    for (const bool joined : expected.in_mis) {
+      const std::uint64_t w = joined ? 1 : 0;
+      for (int byte = 0; byte < 8; ++byte) {
+        digest ^= (w >> (8 * byte)) & 0xFFull;
+        digest *= 1099511628211ull;
+      }
+      sum += w;
+    }
+    const algo::Spec& spec = algo::find("mis");
+    const algo::Params params = algo::Params::parse(spec.params, {});
+    for (const std::size_t ranks : {1, 3}) {
+      const LoopbackReport report =
+          run_loopback_ranks(ranks, [&](LoopbackRank&& lr) -> int {
+            InsituConfig config;
+            config.rank = lr.rank;
+            config.hosts = std::move(lr.hosts);
+            config.listen = std::move(lr.listen);
+            config.transport = test_options();
+            const InsituResult result =
+                run_insitu(spec, params, seed, gen, std::move(config));
+            if (!result.verified) return 41;
+            if (result.output_digest != digest) return 42;
+            if (result.output_sum != sum) return 43;
+            if (result.rounds != expected.executed_rounds) return 44;
+            return 0;
+          });
+      EXPECT_TRUE(report.all_ok())
+          << text << " ranks=" << ranks << " rank0=" << report.rank0;
+    }
+  }
+}
+
+TEST(InsituRunner, RejectsSpecsWithoutHooks) {
+  algo::Spec bare;
+  bare.name = "bare";
+  bare.input = algo::InputKind::kGeneralGraph;
+  EXPECT_THROW(run_insitu(bare, algo::Params::parse({}, {}), 1,
+                          graph::GenSpec::parse("torus:w=4,h=4"),
+                          InsituConfig{}),
+               ds::CheckError);
 }
 
 }  // namespace

@@ -3,18 +3,26 @@
 /// run the solvers on their own instances without writing C++.
 ///
 /// Subcommands (first positional argument):
-///   gen      --nu=N --nv=N --delta=D [--seed=S] [--unified]
+///   gen      --nu=N --nv=N --delta=D [--seed=S] [--unified] [--out=F.dsg]
 ///            Generate a random (δ, r)-biregular bipartite instance and
 ///            write it to stdout in the edge-list format of graph/io.hpp
 ///            (--unified: the unified general graph instead, for the
-///            general-input algorithms).
+///            general-input algorithms; --out: the packed binary .dsg
+///            format instead of stdout, bipartite split recorded).
+///   pack     (--gen=SPEC [--seed=S] | --input=FILE) --out=FILE.dsg
+///            Pack an instance into the mmap-able binary CSR format of
+///            graph/format.hpp: either a deterministic generator instance
+///            ("torus:w=64,h=64", see graph/insitu.hpp for the families)
+///            or an edge-list file. The written file is re-opened and its
+///            payload digest verified before reporting success.
 ///   stats    --input=FILE
 ///            Print instance parameters (n, m, δ, Δ, r, girth).
 ///   list     [--names] [--scalable] [--markdown]
 ///            The algorithm catalog, straight from the registry: the
 ///            human-readable form, a machine-readable name listing for
 ///            scripts/CI, or the README markdown table.
-///   run      --algo=NAME --input=FILE [--seed=S] [--param=key=value ...]
+///   run      --algo=NAME (--input=FILE | --graph=FILE.dsg | --gen=SPEC)
+///            [--seed=S] [--param=key=value ...]
 ///            [--metrics=FILE] [--trace=FILE] [--stats]
 ///            + the runtime flags below
 ///            Run any registered algorithm on any runtime. Dispatch, usage
@@ -25,10 +33,15 @@
 ///            trace (open in Perfetto), --stats prints a summary table.
 ///            On the distributed runtimes the recorder merges every
 ///            rank's drained block, so the files hold fleet-wide data.
+///            Input sources: --input reads a text edge list, --graph maps
+///            a packed .dsg file read-only in O(1), --gen materializes a
+///            generator instance in memory.
 ///
 /// Exit code 0 on success, 1 on bad usage (unknown subcommand, algorithm,
-/// flag or parameter — with a did-you-mean suggestion where possible),
-/// 2 on an execution failure (I/O, solver rejection, aborted fleet).
+/// flag or parameter — with a did-you-mean suggestion where possible) or a
+/// rejected/corrupt .dsg file (versioned-magic validation names the byte
+/// that failed), 2 on an execution failure (I/O, solver rejection, aborted
+/// fleet).
 
 #include <algorithm>
 #include <fstream>
@@ -38,7 +51,9 @@
 
 #include "algo/registry.hpp"
 #include "dist/distributed_network.hpp"
+#include "graph/format.hpp"
 #include "graph/generators.hpp"
+#include "graph/insitu.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "net/socket.hpp"
@@ -53,12 +68,15 @@ using namespace ds;
 
 int usage() {
   std::cerr
-      << "usage: distsplit_cli <gen|stats|list|run> [--key=value...]\n"
-         "  gen    --nu=N --nv=N --delta=D [--seed=S] [--unified]\n"
+      << "usage: distsplit_cli <gen|pack|stats|list|run> [--key=value...]\n"
+         "  gen    --nu=N --nv=N --delta=D [--seed=S] [--unified] "
+         "[--out=F.dsg]\n"
+         "  pack   (--gen=SPEC [--seed=S] | --input=FILE) --out=FILE.dsg\n"
          "  stats  --input=FILE\n"
          "  list   [--names] [--scalable] [--markdown]\n"
-         "  run    --algo=NAME --input=FILE [--seed=S] "
-         "[--param=key=value ...]\n"
+         "  run    --algo=NAME (--input=FILE | --graph=FILE.dsg | "
+         "--gen=SPEC)\n"
+         "         [--seed=S] [--param=key=value ...]\n"
          "         [--metrics=FILE] [--trace=FILE] [--stats]\n"
          "         "
       << runtime::kRuntimeFlagsHelp
@@ -90,6 +108,16 @@ int cmd_gen(const Options& opts) {
   Rng rng(opts.seed());
   // Right degrees (the rank) follow from nu*delta/nv; pick nv accordingly.
   const auto b = graph::gen::random_biregular(nu, nv, delta, rng);
+  const std::string out = opts.get("out", "");
+  if (!out.empty()) {
+    // Packed binary form of the unified instance; the left-side size in the
+    // header lets bipartite-input consumers recover the split.
+    graph::write_dsg(b.unified(), out, b.num_left(), opts.seed());
+    std::cout << "packed: " << out << " (n="
+              << (b.num_left() + b.num_right()) << ", m=" << b.num_edges()
+              << ", nu=" << b.num_left() << ")\n";
+    return 0;
+  }
   if (opts.has("unified")) {
     // General-graph edge list of the unified instance, consumable by the
     // general-input algorithms (`run --algo=mis` etc.).
@@ -97,6 +125,28 @@ int cmd_gen(const Options& opts) {
   } else {
     graph::io::write_bipartite(std::cout, b);
   }
+  return 0;
+}
+
+int cmd_pack(const Options& opts) {
+  const std::string out = opts.get("out", "");
+  DS_CHECK_MSG(!out.empty(), "--out=FILE.dsg is required");
+  const std::string gen = opts.get("gen", "");
+  if (!gen.empty()) {
+    const graph::DistributedGenerator dg(graph::GenSpec::parse(gen),
+                                         opts.seed());
+    graph::write_dsg(dg.generate_full(), out, dg.num_left(), dg.seed());
+  } else {
+    graph::write_dsg(load_graph(opts), out, /*nu=*/0, opts.seed());
+  }
+  // Read-back verification: mmap the file we just wrote and check the
+  // payload digest, so a pack that silently truncated cannot enter a CI
+  // fixture cache looking healthy.
+  graph::DsgHeader header;
+  (void)graph::load_dsg(out, &header, /*verify_digest=*/true);
+  std::cout << "packed: " << out << " (n=" << header.n << ", m=" << header.m
+            << ", nu=" << header.nu << ", digest=0x" << std::hex
+            << header.payload_digest << std::dec << ")\n";
   return 0;
 }
 
@@ -133,10 +183,10 @@ int cmd_list(const Options& opts) {
 /// The `run` flags that belong to the driver itself (everything else must
 /// be a registered algorithm parameter passed as --param=key=value).
 const std::vector<std::string> kRunFlags = {
-    "algo",       "input",   "seed",       "param",        "runtime",
-    "threads",    "workers", "halo-words", "gather-words", "rank",
-    "ranks",      "hosts",   "sndbuf",     "rcvbuf",       "metrics",
-    "trace",      "stats",
+    "algo",       "input",   "graph",      "gen",          "seed",
+    "param",      "runtime", "threads",    "workers",      "halo-words",
+    "gather-words", "rank",  "ranks",      "hosts",        "sndbuf",
+    "rcvbuf",     "metrics", "trace",      "stats",
 };
 
 /// Resolution phase of `run`: anything wrong here is a usage error (exit
@@ -212,13 +262,44 @@ int cmd_run(const RunPlan& plan, const Options& opts) {
   ctx.sequential_runtime = runtime::is_sequential(plan.runtime);
   ctx.recorder = rec;
 
+  // Input source: a text edge list (--input), a packed .dsg mapped
+  // read-only in O(1) (--graph), or an in-memory generator instance
+  // (--gen). Bipartite-input specs recover the split from the .dsg header
+  // / generator left-side size.
+  const std::string dsg_path = opts.get("graph", "");
+  const std::string gen_text = opts.get("gen", "");
+  const int sources = static_cast<int>(!opts.get("input", "").empty()) +
+                      static_cast<int>(!dsg_path.empty()) +
+                      static_cast<int>(!gen_text.empty());
+  DS_CHECK_MSG(sources == 1,
+               "exactly one of --input=FILE, --graph=FILE.dsg or --gen=SPEC "
+               "is required");
   graph::Graph g;
   graph::BipartiteGraph b;
+  std::size_t nu = 0;
+  if (!dsg_path.empty()) {
+    graph::DsgHeader header;
+    g = graph::load_dsg(dsg_path, &header);
+    nu = static_cast<std::size_t>(header.nu);
+  } else if (!gen_text.empty()) {
+    const graph::DistributedGenerator dg(graph::GenSpec::parse(gen_text),
+                                         opts.seed());
+    g = dg.generate_full();
+    nu = dg.num_left();
+  }
   if (spec.input == algo::InputKind::kGeneralGraph) {
-    g = load_graph(opts);
+    if (dsg_path.empty() && gen_text.empty()) g = load_graph(opts);
     ctx.graph = &g;
   } else {
-    b = load_bipartite(opts);
+    if (dsg_path.empty() && gen_text.empty()) {
+      b = load_bipartite(opts);
+    } else {
+      DS_CHECK_MSG(nu > 0, "--algo=" + spec.name +
+                               " needs a bipartite instance, but this "
+                               "source carries no left/right split");
+      b = graph::bipartite_from_unified(g, nu);
+      g = graph::Graph();  // the unified copy is no longer needed
+    }
     ctx.bipartite = &b;
   }
 
@@ -280,6 +361,7 @@ int main(int argc, char** argv) {
   try {
     const Options opts(argc - 1, argv + 1);
     if (cmd == "gen") return cmd_gen(opts);
+    if (cmd == "pack") return cmd_pack(opts);
     if (cmd == "stats") return cmd_stats(opts);
     if (cmd == "list") return cmd_list(opts);
     if (cmd == "run") {
@@ -297,6 +379,12 @@ int main(int argc, char** argv) {
     }
     std::cerr << "error: unknown subcommand '" << cmd << "'\n";
     return usage();
+  } catch (const graph::FormatError& e) {
+    // A rejected .dsg file (bad magic/version/endianness/size/digest) is a
+    // usage-class failure: the file named on the command line is not a
+    // valid instance. CI's corruption test keys on this exit code.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

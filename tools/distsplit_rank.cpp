@@ -8,10 +8,21 @@
 /// Multi-host usage — run once per hosts-file line, anywhere the hosts
 /// resolve, in any order (the rendezvous retries until the fleet is up):
 ///
-///     distsplit_rank --hosts=hosts.txt --rank=R --input=graph.txt
-///         [--algo=NAME] [--seed=S] [--param=key=value ...]
+///     distsplit_rank --hosts=hosts.txt --rank=R
+///         (--input=graph.txt | --graph=FILE.dsg | --gen=SPEC)
+///         [--materialize] [--algo=NAME] [--seed=S] [--param=key=value ...]
 ///         [--sndbuf=BYTES] [--rcvbuf=BYTES]
 ///         [--metrics=FILE] [--trace=FILE] [--stats]
+///
+/// Input sources: --input reads a text edge list, --graph maps a packed
+/// .dsg file read-only in O(1) (fork-shared by loopback ranks), and --gen
+/// names a deterministic generator instance ("torus:w=2240,h=2240", see
+/// graph/insitu.hpp). --gen runs the billion-edge *in-situ scale path* by
+/// default: every rank generates only its own node range and no process
+/// ever materializes the whole topology (net/insitu_runner.hpp). With
+/// --materialize the same instance is fully generated in memory and run
+/// through the classic path instead — the RSS-comparison control, and the
+/// fallback for algorithms without in-situ hooks.
 ///
 /// Observability: --metrics/--trace/--stats instrument the run (see
 /// src/obs/). Every rank merges the whole fleet's drained blocks through
@@ -40,9 +51,12 @@
 
 #include "algo/registry.hpp"
 #include "graph/bipartite.hpp"
+#include "graph/format.hpp"
 #include "graph/graph.hpp"
+#include "graph/insitu.hpp"
 #include "graph/io.hpp"
 #include "local/executor.hpp"
+#include "net/insitu_runner.hpp"
 #include "net/loopback.hpp"
 #include "net/socket.hpp"
 #include "net/tcp_network.hpp"
@@ -55,9 +69,11 @@ namespace {
 using namespace ds;
 
 int usage() {
-  std::cerr << "usage: distsplit_rank --input=FILE\n"
+  std::cerr << "usage: distsplit_rank "
+               "(--input=FILE | --graph=FILE.dsg | --gen=SPEC)\n"
                "         (--hosts=FILE --rank=R | --local=N)\n"
-               "         [--algo=NAME] [--seed=S] [--param=key=value ...]\n"
+               "         [--materialize] [--algo=NAME] [--seed=S] "
+               "[--param=key=value ...]\n"
                "         [--sndbuf=BYTES] [--rcvbuf=BYTES]\n"
                "         [--metrics=FILE] [--trace=FILE] [--stats]\n"
                "algorithms (distributed-capable registry entries):\n"
@@ -73,14 +89,19 @@ struct RankPlan {
   algo::Params params;
   graph::Graph graph;
   graph::BipartiteGraph bipartite;
+  /// True: --gen without --materialize — run net::run_insitu, nothing of
+  /// the instance is materialized in this process.
+  bool insitu = false;
+  graph::GenSpec gen;
 };
 
 /// The flags this launcher understands itself; anything else must be an
 /// algorithm parameter passed as --param=key=value (silently dropping a
 /// typo'd or stale flag would change the run's meaning).
 const std::vector<std::string> kRankFlags = {
-    "input",  "hosts",  "rank",    "local", "algo",  "seed",
-    "param",  "sndbuf", "rcvbuf",  "metrics", "trace", "stats",
+    "input",  "graph",  "gen",    "materialize", "hosts", "rank",
+    "local",  "algo",   "seed",   "param",       "sndbuf", "rcvbuf",
+    "metrics", "trace", "stats",
 };
 
 RankPlan resolve(const Options& opts) {
@@ -104,13 +125,63 @@ RankPlan resolve(const Options& opts) {
       plan.spec->params, algo::parse_param_overrides(opts.get_all("param")));
 
   const std::string path = opts.get("input", "");
-  DS_CHECK_MSG(!path.empty(), "--input=FILE is required");
-  std::ifstream in(path);
-  DS_CHECK_MSG(in.good(), "cannot open input file: " + path);
-  if (plan.spec->input == algo::InputKind::kGeneralGraph) {
-    plan.graph = graph::io::read_edge_list(in);
+  const std::string dsg_path = opts.get("graph", "");
+  const std::string gen_text = opts.get("gen", "");
+  const int sources = static_cast<int>(!path.empty()) +
+                      static_cast<int>(!dsg_path.empty()) +
+                      static_cast<int>(!gen_text.empty());
+  DS_CHECK_MSG(sources == 1,
+               "exactly one of --input=FILE, --graph=FILE.dsg or --gen=SPEC "
+               "is required");
+  const bool general = plan.spec->input == algo::InputKind::kGeneralGraph;
+  if (!gen_text.empty()) {
+    plan.gen = graph::GenSpec::parse(gen_text);
+    if (opts.has("materialize")) {
+      // RSS-comparison control / fallback path: the whole instance, fully
+      // generated in this process, through the classic executors.
+      const graph::DistributedGenerator dg(plan.gen, opts.seed());
+      if (general) {
+        plan.graph = dg.generate_full();
+      } else {
+        DS_CHECK_MSG(dg.num_left() > 0,
+                     "--algo=" + plan.spec->name +
+                         " needs a bipartite instance; only the biregular "
+                         "family carries a left/right split");
+        plan.bipartite =
+            graph::bipartite_from_unified(dg.generate_full(), dg.num_left());
+      }
+    } else {
+      DS_CHECK_MSG(plan.spec->insitu != nullptr,
+                   "--gen without --materialize runs in-situ, and "
+                   "algorithm '" + plan.spec->name +
+                       "' has no in-situ hooks (add --materialize)");
+      DS_CHECK_MSG(general,
+                   "in-situ: --algo=" + plan.spec->name +
+                       " consumes a bipartite instance; the scale path "
+                       "runs general-graph specs only (add --materialize)");
+      plan.insitu = true;
+    }
+  } else if (!dsg_path.empty()) {
+    graph::DsgHeader header;
+    graph::Graph unified = graph::load_dsg(dsg_path, &header);
+    if (general) {
+      plan.graph = std::move(unified);
+    } else {
+      DS_CHECK_MSG(header.nu > 0,
+                   "--algo=" + plan.spec->name +
+                       " needs a bipartite instance, but " + dsg_path +
+                       " carries no left/right split");
+      plan.bipartite = graph::bipartite_from_unified(
+          unified, static_cast<std::size_t>(header.nu));
+    }
   } else {
-    plan.bipartite = graph::io::read_bipartite(in);
+    std::ifstream in(path);
+    DS_CHECK_MSG(in.good(), "cannot open input file: " + path);
+    if (general) {
+      plan.graph = graph::io::read_edge_list(in);
+    } else {
+      plan.bipartite = graph::io::read_bipartite(in);
+    }
   }
   return plan;
 }
@@ -126,41 +197,56 @@ net::TcpOptions transport_options(const Options& opts) {
 /// registry spec through it. Returns the process exit code.
 int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
              std::vector<net::Endpoint> hosts, net::Socket listen) {
+  const std::size_t nranks = hosts.size();
   net::Socket* first_listen = &listen;
   const bool observe =
       opts.has("metrics") || opts.has("trace") || opts.has("stats");
   obs::Recorder recorder;
   obs::Recorder* const rec = observe ? &recorder : nullptr;
   if (rec != nullptr) rec->set_lane(static_cast<std::uint32_t>(rank));
-  algo::RunContext ctx;
-  ctx.seed = opts.seed();
-  ctx.params = plan.params;
-  ctx.sequential_runtime = false;
-  ctx.recorder = rec;
-  ctx.factory = [&](const graph::Graph& fg, local::IdStrategy strategy,
-                    std::uint64_t seed) -> std::unique_ptr<local::Executor> {
-    net::TcpNetworkConfig config;
+  std::string brief;
+  if (plan.insitu) {
+    // Scale path: nothing of the instance exists yet in this process; the
+    // runner generates this rank's range behind the rendezvous.
+    net::InsituConfig config;
     config.rank = rank;
-    config.hosts = hosts;
+    config.hosts = std::move(hosts);
     config.transport = transport_options(opts);
-    // The pre-bound socket (loopback mode) only serves the first executor;
-    // a later one rebinds the known port itself.
-    config.listen = std::move(*first_listen);
-    auto exec = std::make_unique<net::TcpNetwork>(fg, strategy, seed,
-                                                  std::move(config));
-    exec->set_recorder(rec);
-    return exec;
-  };
-  if (plan.spec->input == algo::InputKind::kGeneralGraph) {
-    ctx.graph = &plan.graph;
+    config.listen = std::move(listen);
+    brief = net::run_insitu(*plan.spec, plan.params, opts.seed(), plan.gen,
+                            std::move(config), rec)
+                .brief();
   } else {
-    ctx.bipartite = &plan.bipartite;
+    algo::RunContext ctx;
+    ctx.seed = opts.seed();
+    ctx.params = plan.params;
+    ctx.sequential_runtime = false;
+    ctx.recorder = rec;
+    ctx.factory = [&](const graph::Graph& fg, local::IdStrategy strategy,
+                      std::uint64_t seed) -> std::unique_ptr<local::Executor> {
+      net::TcpNetworkConfig config;
+      config.rank = rank;
+      config.hosts = hosts;
+      config.transport = transport_options(opts);
+      // The pre-bound socket (loopback mode) only serves the first
+      // executor; a later one rebinds the known port itself.
+      config.listen = std::move(*first_listen);
+      auto exec = std::make_unique<net::TcpNetwork>(fg, strategy, seed,
+                                                    std::move(config));
+      exec->set_recorder(rec);
+      return exec;
+    };
+    if (plan.spec->input == algo::InputKind::kGeneralGraph) {
+      ctx.graph = &plan.graph;
+    } else {
+      ctx.bipartite = &plan.bipartite;
+    }
+    brief = algo::execute(*plan.spec, ctx).brief();
   }
-  const algo::Result result = algo::execute(*plan.spec, ctx);
   // Explicit flush: loopback child ranks leave via _exit, skipping stdio
   // teardown, and their summary must not die in a buffer with them.
-  std::cout << "[rank " << rank << "/" << hosts.size() << "] "
-            << plan.spec->name << ": " << result.brief() << std::endl;
+  std::cout << "[rank " << rank << "/" << nranks << "] " << plan.spec->name
+            << ": " << brief << std::endl;
   // Every rank merged the fleet's observability blocks, but only rank 0
   // writes — loopback children would clobber the same paths.
   if (rec != nullptr && rank == 0) {
@@ -171,8 +257,9 @@ int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
                    "cannot open metrics output file: " + metrics_path);
       rec->write_metrics_json(
           out, {{"algo", plan.spec->name},
-                {"runtime", "tcp(" + std::to_string(hosts.size()) + " ranks)"},
-                {"seed", std::to_string(ctx.seed)}});
+                {"runtime", std::string(plan.insitu ? "insitu-tcp(" : "tcp(") +
+                                std::to_string(nranks) + " ranks)"},
+                {"seed", std::to_string(opts.seed())}});
       out.flush();
       DS_CHECK_MSG(out.good(),
                    "failed writing metrics output file: " + metrics_path);
