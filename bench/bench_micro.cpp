@@ -22,6 +22,7 @@
 #include "local/network.hpp"
 #include "net/loopback.hpp"
 #include "net/tcp_network.hpp"
+#include "obs/publish.hpp"
 #include "obs/recorder.hpp"
 #include "orient/euler.hpp"
 #include "runtime/parallel_network.hpp"
@@ -334,11 +335,17 @@ BENCHMARK(BM_DistributedRounds)
 // pre-observability numbers — the handles are null and every metric call
 // is one branch — while the delta between the two rows is the cost a
 // --metrics/--trace run pays.
+// Arg: 0 = recorder off, 1 = recorder attached, 2 = recorder attached AND
+// a `SnapshotPublisher` coalescing a snapshot at every round boundary (the
+// live-endpoints configuration, server idle). Arm 2 must stay within noise
+// of arm 1 — the round path publishes through relaxed atomics, no locks.
 void BM_MetricsOverhead(benchmark::State& state) {
   const auto g = graph::gen::torus(64, 64);
   local::Network net(g, local::IdStrategy::kSequential, 42);
   obs::Recorder recorder;
+  obs::SnapshotPublisher publisher;
   if (state.range(0) != 0) net.set_recorder(&recorder);
+  if (state.range(0) == 2) recorder.set_publisher(&publisher);
   for (auto _ : state) {
     net.run(gossip_factory(), kGossipRounds + 1);
     // Keep the run-to-run state bounded: drain the span buffer so the
@@ -350,7 +357,7 @@ void BM_MetricsOverhead(benchmark::State& state) {
       state.iterations() *
       static_cast<std::int64_t>(g.num_nodes() * kGossipRounds));
 }
-BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1)
+BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 // The socket-path overhead of the same gossip rounds: a loopback TCP rank

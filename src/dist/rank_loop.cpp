@@ -163,6 +163,9 @@ std::size_t run_rank_loop(
       recorder->add_span(obs::Phase::kBarrier, r, us_received,
                          us_end - us_received);
       recorder->add_span(obs::Phase::kRound, r, us0, us_end - us0);
+      // Round-boundary snapshot for the live HTTP endpoints: one coalesced
+      // seqlock publish per round, no locks on the round path.
+      recorder->publish_round(rounds);
     }
     if (sink) {
       stats.wall_seconds =

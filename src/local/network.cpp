@@ -91,6 +91,7 @@ std::size_t Network::run(const ProgramFactory& factory, std::size_t max_rounds,
         rec->add_span(obs::Phase::kSend, round, start, us0);
         rec->add_span(obs::Phase::kReceive, round, start + us0, us1);
         rec->add_span(obs::Phase::kRound, round, start, us0 + us1);
+        rec->publish_round(round + 1);  // live-introspection snapshot
       }
       if (sink_) {
         RoundStats stats;
@@ -107,7 +108,10 @@ std::size_t Network::run(const ProgramFactory& factory, std::size_t max_rounds,
     }
     ++round;
   }
-  if (rec != nullptr) ins.rounds_executed.set(round);
+  if (rec != nullptr) {
+    ins.rounds_executed.set(round);
+    rec->publish_round(round);  // final snapshot includes rounds.executed
+  }
   collect_outputs_from_programs();
   if (meter != nullptr) meter->add_executed(round);
   return round;

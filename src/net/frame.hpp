@@ -14,7 +14,10 @@
 ///
 ///   kHello    handshake: [version, rank, ranks, topology digest,
 ///             partition digest]
-///   kWelcome  handshake accept (empty payload)
+///   kWelcome  handshake accept: [acceptor steady-clock now, µs] — the
+///             connector halves the hello/welcome round-trip to estimate
+///             the clock offset between the two ranks (NTP-style), which
+///             aligns the per-rank trace lanes
 ///   kHalo     one round's traffic toward the receiving rank:
 ///             [senders, messages, payload_words(stats),
 ///              lengths[cut]..., message words...]
@@ -51,7 +54,8 @@ constexpr std::uint32_t kFrameMagic = 0x44534E54;  // "DSNT"
 /// Wire protocol version; bumped on any layout change.
 /// v2: kGather/kOutputs payloads carry a leading observability block.
 /// v3: kSetup frames (in-situ setup collectives) join the exchange.
-constexpr std::uint64_t kProtocolVersion = 3;
+/// v4: kWelcome carries the acceptor's steady-clock time (trace alignment).
+constexpr std::uint64_t kProtocolVersion = 4;
 
 /// Upper bound on one frame's payload (2^31 words = 16 GiB) — far above
 /// any legitimate round's traffic. A header claiming more is corruption or

@@ -264,8 +264,12 @@ InsituResult run_body(const algo::Spec& spec, const algo::Params& params,
   }
 
   // The kOutputs re-broadcast replicated every rank's observability block,
-  // so any recording rank can merge exact fleet totals locally.
-  if (recorder != nullptr) dist::collect_fleet_obs(transport, *recorder);
+  // so any recording rank can merge exact fleet totals locally. The final
+  // live snapshot then carries the merged fleet-wide view.
+  if (recorder != nullptr) {
+    dist::collect_fleet_obs(transport, *recorder);
+    recorder->publish_round(result.rounds);
+  }
 
   result.output_digest = fleet_digest;
   result.output_sum = fleet_sum;

@@ -1,5 +1,6 @@
 #include "net/rendezvous.hpp"
 
+#include <chrono>
 #include <string>
 
 #include "net/frame.hpp"
@@ -8,6 +9,15 @@
 namespace ds::net {
 
 namespace {
+
+/// Absolute steady-clock µs — the clock the recorders time spans on, so
+/// the handshake offset estimate applies to trace timestamps directly.
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
@@ -66,12 +76,19 @@ Handshake unpack_handshake(const Frame& frame) {
           frame.payload[3], frame.payload[4]};
 }
 
-/// Connector side: assert our identity, wait for the peer's verdict.
-void offer_handshake(const Socket& s, const Handshake& mine) {
+/// Connector side: assert our identity, wait for the peer's verdict. When
+/// `clock` is non-null, the hello/welcome round-trip doubles as an
+/// NTP-style clock probe: the welcome carries the acceptor's steady-clock
+/// now, and halving the round-trip gives the midpoint estimate
+/// `offset = remote_now - (t_send + t_recv) / 2`, accurate to ±RTT/2.
+void offer_handshake(const Socket& s, const Handshake& mine,
+                     ClockSync* clock = nullptr) {
   const auto words = pack_handshake(mine);
+  const std::uint64_t t_send = steady_now_us();
   write_frame(s.fd(), FrameType::kHello, 0, words.data(), words.size(),
               "rendezvous hello");
   const Frame reply = read_frame(s.fd(), "rendezvous welcome");
+  const std::uint64_t t_recv = steady_now_us();
   if (reply.header.type == static_cast<std::uint32_t>(FrameType::kAbort)) {
     DS_CHECK_MSG(false, "rendezvous rejected: " +
                             unpack_string(reply.payload.data(),
@@ -80,6 +97,13 @@ void offer_handshake(const Socket& s, const Handshake& mine) {
   DS_CHECK_MSG(reply.header.type ==
                    static_cast<std::uint32_t>(FrameType::kWelcome),
                "rendezvous: expected kWelcome");
+  if (clock != nullptr && !reply.payload.empty()) {
+    const std::int64_t remote = static_cast<std::int64_t>(reply.payload[0]);
+    const std::int64_t midpoint =
+        static_cast<std::int64_t>((t_send + t_recv) / 2);
+    clock->offset_us = remote - midpoint;
+    clock->valid = true;
+  }
 }
 
 /// Acceptor side: read the peer's hello, verify, welcome (or abort back so
@@ -94,8 +118,8 @@ std::size_t accept_handshake(const Socket& s, const Handshake& mine) {
                 "rendezvous abort");
     DS_CHECK_MSG(false, "rendezvous rejected peer: " + reason);
   }
-  write_frame(s.fd(), FrameType::kWelcome, 0, nullptr, 0,
-              "rendezvous welcome");
+  const std::uint64_t now = steady_now_us();
+  write_frame(s.fd(), FrameType::kWelcome, 0, &now, 1, "rendezvous welcome");
   return static_cast<std::size_t>(peer.rank);
 }
 
@@ -140,10 +164,16 @@ std::uint64_t instance_digest(const std::string& identity) {
 
 std::vector<Socket> rendezvous(const Handshake& mine,
                                const std::vector<Endpoint>& hosts,
-                               Socket& listen, int timeout_ms) {
+                               Socket& listen, int timeout_ms,
+                               ClockSync* clock) {
   const std::size_t ranks = hosts.size();
   const std::size_t rank = static_cast<std::size_t>(mine.rank);
   DS_CHECK_MSG(rank < ranks, "rendezvous: rank out of range");
+  if (clock != nullptr && rank == 0) {
+    // Rank 0 IS the reference clock; a single-rank fleet trivially is too.
+    clock->valid = true;
+    clock->offset_us = 0;
+  }
   std::vector<Socket> conns(ranks);
   if (ranks == 1) return conns;
 
@@ -169,8 +199,10 @@ std::vector<Socket> rendezvous(const Handshake& mine,
       conns[peer] = std::move(s);
     }
   } else {
+    // The dial to rank 0 is the clock-probe edge: measuring against rank 0
+    // directly keeps every rank's offset relative to the same reference.
     Socket s = with_deadline(connect_to(hosts[0], timeout_ms));
-    offer_handshake(s, mine);
+    offer_handshake(s, mine, clock);
     conns[0] = std::move(s);
     // Accept the lower peers before dialing the higher ones: rank a dials
     // rank b only for a < b, and in ascending b, so this order is a total

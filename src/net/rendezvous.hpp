@@ -55,15 +55,28 @@ std::uint64_t partition_digest(std::size_t ranks,
 /// topology digest — the instance identity without materializing it.
 std::uint64_t instance_digest(const std::string& identity);
 
+/// This rank's estimated clock relation to rank 0, measured from the
+/// hello/welcome round-trip of the rendezvous connection to rank 0: the
+/// welcome carries rank 0's steady-clock time, and the NTP-style midpoint
+/// estimate `offset_us = remote_now - (t_send + t_recv) / 2` is accurate to
+/// ±RTT/2. Adding `offset_us` to a local steady-clock µs reading maps it
+/// onto rank 0's clock — the merged-trace lane alignment (recorder.hpp).
+struct ClockSync {
+  bool valid = false;
+  std::int64_t offset_us = 0;  ///< 0 on rank 0 by definition
+};
+
 /// Builds the full pair-connection mesh for `mine.rank`. `hosts` is the
 /// rank-ordered endpoint list; `listen` must already be bound to
 /// `hosts[rank]` (pass a pre-bound socket, e.g. from the loopback helper).
 /// Returns one connected socket per peer, indexed by rank (the own slot is
 /// invalid). All sockets are left in blocking mode; the caller sets
-/// nonblocking/nodelay as needed. Throws ds::CheckError on timeout, version
-/// or digest mismatch, or a peer abort.
+/// nonblocking/nodelay as needed. `clock`, when non-null, receives the
+/// rank-0 clock estimate (exact zero on rank 0 itself). Throws
+/// ds::CheckError on timeout, version or digest mismatch, or a peer abort.
 std::vector<Socket> rendezvous(const Handshake& mine,
                                const std::vector<Endpoint>& hosts,
-                               Socket& listen, int timeout_ms);
+                               Socket& listen, int timeout_ms,
+                               ClockSync* clock = nullptr);
 
 }  // namespace ds::net

@@ -63,7 +63,12 @@ std::size_t TcpNetwork::run(const local::ProgramFactory& factory,
   }
   // The kOutputs re-broadcast replicated every rank's gather payload, so
   // each rank can merge the whole fleet's observability blocks locally.
-  if (recorder() != nullptr) dist::collect_fleet_obs(transport_, *recorder());
+  if (recorder() != nullptr) {
+    dist::collect_fleet_obs(transport_, *recorder());
+    // Final live snapshot carries the merged fleet-wide totals (per-peer
+    // tcp counters of every rank, all lanes' phase histograms).
+    recorder()->publish_round(rounds);
+  }
   if (meter != nullptr) meter->add_executed(rounds);
   return rounds;
 }

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "net/rendezvous.hpp"
+#include "obs/publish.hpp"
 #include "support/check.hpp"
 
 #ifndef MSG_NOSIGNAL
@@ -56,7 +57,10 @@ TcpTransport::TcpTransport(std::size_t rank,
                "TcpTransport: rank must be in [0, ranks)");
   peers_.resize(ranks);
   gather_rows_.resize(ranks);
-  if (ranks == 1) return;
+  if (ranks == 1) {
+    clock_.valid = true;  // a lone rank is its own reference clock
+    return;
+  }
 
   if (!listen.valid()) listen = listen_on(hosts[rank]);
   Handshake mine;
@@ -66,7 +70,7 @@ TcpTransport::TcpTransport(std::size_t rank,
   mine.topology_digest = digests.topology;
   mine.partition_digest = digests.partition;
   std::vector<Socket> conns =
-      rendezvous(mine, hosts, listen, opts_.handshake_timeout_ms);
+      rendezvous(mine, hosts, listen, opts_.handshake_timeout_ms, &clock_);
   listen.reset();  // free the rank port for a later executor immediately
   for (std::size_t r = 0; r < ranks; ++r) {
     if (r == rank_) continue;
@@ -109,6 +113,7 @@ std::vector<std::vector<std::uint64_t>> TcpTransport::exchange_setup(
 }
 
 void TcpTransport::set_recorder(obs::Recorder* rec) {
+  recorder_ = rec;
   const std::size_t ranks = peers_.size();
   for (std::size_t r = 0; r < ranks; ++r) {
     Peer& p = peers_[r];
@@ -133,6 +138,20 @@ void TcpTransport::set_recorder(obs::Recorder* rec) {
     poll_iterations_ = rec->metrics().counter("tcp.poll.iterations");
     send_retries_ = rec->metrics().counter("tcp.send.retries");
     recv_retries_ = rec->metrics().counter("tcp.recv.retries");
+    if (clock_.valid) {
+      // Trace-lane alignment gauges (see recorder.hpp). The offset is
+      // signed; it rides in the unsigned cell bit-cast, and every renderer
+      // special-cases the `clock.offset.` prefix back to signed.
+      const std::string suffix = "rank" + std::to_string(rank_) + ".us";
+      rec->metrics()
+          .gauge("clock.offset." + suffix)
+          .set(static_cast<std::uint64_t>(clock_.offset_us));
+      const std::int64_t t0_on_rank0 =
+          static_cast<std::int64_t>(rec->t0_ns() / 1000) + clock_.offset_us;
+      rec->metrics()
+          .gauge("clock.t0." + suffix)
+          .set(static_cast<std::uint64_t>(t0_on_rank0));
+    }
   }
 }
 
@@ -486,6 +505,11 @@ std::pair<const std::uint64_t*, std::size_t> TcpTransport::gathered(
 void TcpTransport::abort(const std::string& msg) {
   if (abort_sent_) return;
   abort_sent_ = true;
+  // Flip the live-introspection health before anything that can block:
+  // /healthz must answer 503 even if the abort broadcast stalls.
+  if (recorder_ != nullptr && recorder_->publisher() != nullptr) {
+    recorder_->publisher()->set_health(obs::Health::kAborted);
+  }
   // Best effort with a short budget: the fleet is dying; never block the
   // exception path on a peer that stopped reading.
   std::vector<char> frame_bytes;

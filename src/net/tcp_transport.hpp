@@ -36,6 +36,7 @@
 #include "dist/transport.hpp"
 #include "local/topology.hpp"
 #include "net/frame.hpp"
+#include "net/rendezvous.hpp"
 #include "net/socket.hpp"
 #include "obs/recorder.hpp"
 
@@ -116,9 +117,16 @@ class TcpTransport final : public dist::Transport {
   /// Hooks this rank's transport counters into `rec` (nullptr detaches):
   /// per-peer `tcp.tx.frames` / `tcp.tx.bytes` / `tcp.rx.frames` /
   /// `tcp.rx.bytes` (slot = peer rank) plus `tcp.poll.iterations` and
-  /// `tcp.send.retries` / `tcp.recv.retries` (EAGAIN backoffs). Call before
-  /// the run; counters tick from then on.
+  /// `tcp.send.retries` / `tcp.recv.retries` (EAGAIN backoffs). Also
+  /// records the rendezvous clock estimate as `clock.offset.rank<R>.us`
+  /// (signed, bit-cast) and `clock.t0.rank<R>.us` (this recorder's t0
+  /// mapped onto rank 0's clock) — the trace-lane alignment gauges. Call
+  /// before the run; counters tick from then on.
   void set_recorder(obs::Recorder* rec);
+
+  /// The rank-0 clock estimate measured during rendezvous (valid on every
+  /// rank of a connected fleet; exact zero on rank 0 itself).
+  [[nodiscard]] const ClockSync& clock() const { return clock_; }
 
  private:
   /// Per-peer connection state. `halo` keeps the last kHalo frame alive
@@ -170,6 +178,8 @@ class TcpTransport final : public dist::Transport {
   std::vector<char> broadcast_bytes_;       ///< shared kOutputs frame
   Frame scratch_;                           ///< scratch parse target
   bool abort_sent_ = false;
+  ClockSync clock_;                  ///< rendezvous rank-0 clock estimate
+  obs::Recorder* recorder_ = nullptr;  ///< last set_recorder target
   obs::Counter poll_iterations_;
   obs::Counter send_retries_;
   obs::Counter recv_retries_;

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file exposition.hpp
+/// Renderers over a `SnapshotPublisher` for the embedded HTTP server:
+/// Prometheus text exposition format 0.0.4 (`/metrics`), the PR 6 metrics
+/// JSON (`/api/v1/snapshot`), and a self-contained HTML status page
+/// (`/status`). All three read only published snapshots and the publisher's
+/// mutex-guarded metadata — never the live registry — so they are safe to
+/// call from the server thread while a round loop is publishing.
+
+#include <iosfwd>
+#include <string>
+
+namespace ds::obs {
+
+class SnapshotPublisher;
+
+/// Prometheus text exposition 0.0.4: one `# TYPE` line per family, names
+/// mangled `distsplit_<name with [^a-zA-Z0-9_] -> _>`, counters suffixed
+/// `_total`, multi-slot metrics labeled `{slot="i"}` (slot = peer rank for
+/// the tcp.* counters). Histograms (count/sum/min/max summaries) expose
+/// `<name>_count` / `<name>_sum` as a summary family plus `_min`/`_max`
+/// gauge families. Synthesized series: `distsplit_rounds_total` (completed
+/// rounds of the live run — the series scrapers watch advance),
+/// `distsplit_publishes_total` and `distsplit_health`.
+void write_prometheus(std::ostream& out, const SnapshotPublisher& pub);
+
+/// The metrics JSON `Recorder::write_metrics_json` emits — same shape
+/// ({"context", "counters", "gauges", "histograms"}), rendered from the
+/// published snapshot with the publisher's info as context.
+void write_snapshot_json(std::ostream& out, const SnapshotPublisher& pub);
+
+/// Self-contained HTML status page: health, run context, rounds, per-phase
+/// timing table, per-peer tcp counters, remaining counters/gauges, and the
+/// run-history ring.
+void write_status_html(std::ostream& out, const SnapshotPublisher& pub);
+
+/// `distsplit_<name>` with every non-[a-zA-Z0-9_] byte mapped to '_'.
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+}  // namespace ds::obs

@@ -1,0 +1,154 @@
+#include "obs/http_server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <sstream>
+
+#include "obs/exposition.hpp"
+#include "obs/publish.hpp"
+#include "support/check.hpp"
+
+namespace ds::obs {
+
+namespace {
+
+const char* reason_phrase(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+  }
+  return "Error";
+}
+
+}  // namespace
+
+HttpServer::HttpServer(const SnapshotPublisher& pub, std::uint16_t port)
+    : pub_(pub) {
+  // Bind all interfaces: a fleet's status page is scraped from outside the
+  // host. RAII listener + kernel port assignment come from net/socket.
+  listener_ = net::listen_on(net::Endpoint{"0.0.0.0", port});
+  port_ = net::local_endpoint(listener_.fd()).port;
+  thread_ = std::thread([this] { serve(); });
+}
+
+HttpServer::~HttpServer() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listener_.fd(), POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 200);  // 200 ms: bounds shutdown latency
+    if (r <= 0) continue;                // timeout, EINTR, or spurious
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_client(net::Socket(fd));
+  }
+}
+
+void HttpServer::handle_client(net::Socket client) {
+  // Bounded request read: tolerate slow clients for at most 2 s and at most
+  // kMaxRequestBytes, then answer whatever we have. Errors on a single
+  // connection must never take the server thread down.
+  net::set_io_timeouts(client.fd(), 2000);
+  std::string req;
+  bool too_large = false;
+  while (req.find("\r\n\r\n") == std::string::npos) {
+    char buf[2048];
+    const ssize_t n = ::recv(client.fd(), buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EOF, timeout or error: parse what arrived
+    }
+    req.append(buf, static_cast<std::size_t>(n));
+    if (req.size() > kMaxRequestBytes) {
+      too_large = true;
+      break;
+    }
+  }
+
+  std::string method;
+  std::string path;
+  {
+    std::istringstream line(req.substr(0, req.find("\r\n")));
+    line >> method >> path;
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+  }
+
+  std::string body;
+  std::string content_type = "text/plain; charset=utf-8";
+  int code;
+  if (too_large) {
+    code = 431;
+    body = "request too large\n";
+  } else if (method.empty() || path.empty()) {
+    return;  // nothing parseable arrived (port scan, reset)
+  } else {
+    code = route(method, path, body, content_type);
+  }
+
+  std::ostringstream resp;
+  resp << "HTTP/1.1 " << code << " " << reason_phrase(code) << "\r\n"
+       << "Content-Type: " << content_type << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n"
+       << body;
+  const std::string bytes = resp.str();
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(client.fd(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      break;  // client went away mid-response; drop it
+    }
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+int HttpServer::route(const std::string& method, const std::string& path,
+                      std::string& body, std::string& content_type) const {
+  if (method != "GET" && method != "HEAD") {
+    body = "only GET is served\n";
+    return 405;
+  }
+  std::ostringstream out;
+  if (path == "/metrics") {
+    write_prometheus(out, pub_);
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/status" || path == "/") {
+    write_status_html(out, pub_);
+    content_type = "text/html; charset=utf-8";
+  } else if (path == "/healthz") {
+    const Health h = pub_.health();
+    out << health_name(h) << "\n";
+    body = out.str();
+    return h == Health::kAborted ? 503 : 200;
+  } else if (path == "/api/v1/snapshot") {
+    write_snapshot_json(out, pub_);
+    content_type = "application/json";
+  } else {
+    out << "not found; try /metrics /status /healthz /api/v1/snapshot\n";
+    body = out.str();
+    return 404;
+  }
+  body = out.str();
+  return 200;
+}
+
+}  // namespace ds::obs

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file http_server.hpp
+/// `obs::HttpServer` — a tiny dependency-free embedded HTTP/1.1 server for
+/// live fleet introspection, in the spirit of shasta's AssemblerHttpServer.
+///
+/// One accept thread handles requests serially (status pages, not traffic);
+/// request reads are bounded (8 KiB, 2 s I/O timeout) so a stalled or
+/// hostile client cannot wedge the thread, and the destructor shuts the
+/// thread down cleanly (the accept poll wakes every 200 ms to check the
+/// stop flag). The server only ever reads the attached `SnapshotPublisher`
+/// — it shares no state with the round loop beyond published snapshots.
+///
+/// Endpoints (GET only):
+///   /metrics          Prometheus text exposition 0.0.4
+///   /status           self-contained HTML status page (auto-refreshing)
+///   /healthz          200 while idle/running/completed, 503 once aborted
+///   /api/v1/snapshot  the PR 6 metrics JSON, rendered live
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "net/socket.hpp"
+
+namespace ds::obs {
+
+class SnapshotPublisher;
+
+class HttpServer {
+ public:
+  /// Binds `port` on all interfaces (0 = kernel-assigned ephemeral port —
+  /// read it back with `port()`) and starts the accept thread. Throws
+  /// ds::CheckError when the bind fails. `pub` must outlive the server.
+  explicit HttpServer(const SnapshotPublisher& pub, std::uint16_t port);
+
+  /// Stops the accept thread and closes the listener.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (resolved when constructed with port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Requests answered so far (any status code) — test/diagnostic hook.
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Largest request the server will read before answering 431.
+  static constexpr std::size_t kMaxRequestBytes = 8192;
+
+ private:
+  void serve();
+  void handle_client(net::Socket client);
+  /// Routes a parsed request line; fills body/content type, returns the
+  /// HTTP status code.
+  int route(const std::string& method, const std::string& path,
+            std::string& body, std::string& content_type) const;
+
+  const SnapshotPublisher& pub_;
+  net::Socket listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace ds::obs

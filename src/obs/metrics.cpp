@@ -18,8 +18,12 @@ const char* kind_name(Kind k) {
   return "?";
 }
 
+bool signed_gauge_name(const std::string& name) {
+  return name.rfind("clock.offset.", 0) == 0;
+}
+
 Metrics::Metric& Metrics::find_or_create(const std::string& name, Kind kind,
-                                         std::size_t slots) {
+                                         std::size_t slots, bool from_merge) {
   DS_CHECK(slots > 0);
   for (Metric& m : metrics_) {
     if (m.name != name) continue;
@@ -29,6 +33,19 @@ Metrics::Metric& Metrics::find_or_create(const std::string& name, Kind kind,
     while (m.cells.size() < slots) m.cells.emplace_back();
     return m;
   }
+#ifndef NDEBUG
+  // Debug-build ordering guard: once a reader consumed the registry, a new
+  // name may not appear until reset() — a serving loop (snapshot publisher,
+  // HTTP thread) must never race a late registration. The post-gather fleet
+  // merge is exempt; it runs on the owning thread and brings peer-only
+  // names in by design.
+  DS_CHECK_MSG(!sealed_ || from_merge,
+               "metric '" + name +
+                   "' registered after the registry was snapshot/published "
+                   "— registration must happen before readers start");
+#else
+  (void)from_merge;
+#endif
   Metric& m = metrics_.emplace_back();
   m.name = name;
   m.kind = kind;
@@ -53,6 +70,7 @@ Histogram Metrics::histogram(const std::string& name, std::size_t slots,
 }
 
 std::vector<MetricSnapshot> Metrics::snapshot() const {
+  seal();
   std::vector<MetricSnapshot> out;
   out.reserve(metrics_.size());
   for (const Metric& m : metrics_) {
@@ -87,10 +105,31 @@ void Metrics::reset() {
   for (Metric& m : metrics_) {
     for (Cell& c : m.cells) c = Cell{};
   }
+  sealed_ = false;
+}
+
+const std::string& Metrics::name_of(std::size_t i) const {
+  DS_CHECK(i < metrics_.size());
+  return metrics_[i].name;
+}
+
+Kind Metrics::kind_of(std::size_t i) const {
+  DS_CHECK(i < metrics_.size());
+  return metrics_[i].kind;
+}
+
+std::size_t Metrics::num_slots(std::size_t i) const {
+  DS_CHECK(i < metrics_.size());
+  return metrics_[i].cells.size();
+}
+
+const Cell& Metrics::cell(std::size_t i, std::size_t slot) const {
+  DS_CHECK(i < metrics_.size() && slot < metrics_[i].cells.size());
+  return metrics_[i].cells[slot];
 }
 
 void Metrics::merge(const MetricSnapshot& s) {
-  Metric& m = find_or_create(s.name, s.kind, 1);
+  Metric& m = find_or_create(s.name, s.kind, 1, /*from_merge=*/true);
   Cell& c = m.cells[0];
   switch (s.kind) {
     case Kind::kCounter:

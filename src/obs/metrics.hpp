@@ -24,7 +24,13 @@
 /// Registration (`counter()` / `gauge()` / `histogram()`) is not thread-safe
 /// and must happen before concurrent writers start; the returned handles are
 /// stable for the lifetime of the registry (metrics live in a deque and are
-/// never erased).
+/// never erased). Debug builds enforce the ordering half of that contract:
+/// once a reader consumed the registry (`snapshot()`, or a live
+/// `SnapshotPublisher` publish), registering a *new* name DS_CHECK-fails
+/// until `reset()` reopens it — so a serving loop cannot race a late
+/// registration silently. Re-finding an existing name stays legal (every
+/// run re-creates the same `RoundInstruments`), and `merge()` is exempt
+/// (the post-gather fleet merge legitimately introduces peer-only names).
 
 #include <cstddef>
 #include <cstdint>
@@ -43,6 +49,11 @@ enum class Kind : std::uint8_t {
 };
 
 [[nodiscard]] const char* kind_name(Kind k);
+
+/// Gauges under the `clock.offset.` prefix store a bit-cast *signed* µs
+/// value (a rank's clock can run ahead of rank 0's); renderers must
+/// reinterpret them as int64 instead of printing 2^64-ish garbage.
+[[nodiscard]] bool signed_gauge_name(const std::string& name);
 
 /// One slot's accumulator. All three kinds share the layout; the kind
 /// decides which fields are meaningful and how slots merge.
@@ -139,12 +150,31 @@ class Metrics {
                       std::size_t slot = 0);
 
   /// All metrics with their slots aggregated, in registration order.
+  /// Seals the registry against new-name registration (debug builds).
   [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
 
-  /// Zeroes every cell (registrations and handles stay valid).
+  /// Zeroes every cell (registrations and handles stay valid) and reopens
+  /// the registry for new-name registration.
   void reset();
 
   [[nodiscard]] std::size_t num_metrics() const { return metrics_.size(); }
+
+  // Per-slot introspection, in registration order — the `SnapshotPublisher`
+  // and the Prometheus/status renderers need the unaggregated cells
+  // (per-peer tcp counters keep one slot per peer). The returned references
+  // are stable (deque storage) but the cell values belong to their writer
+  // thread; read them only from the owning thread or through a published
+  // snapshot.
+  [[nodiscard]] const std::string& name_of(std::size_t i) const;
+  [[nodiscard]] Kind kind_of(std::size_t i) const;
+  [[nodiscard]] std::size_t num_slots(std::size_t i) const;
+  [[nodiscard]] const Cell& cell(std::size_t i, std::size_t slot) const;
+
+  /// Marks the registry as consumed by a reader: registering a *new* name
+  /// DS_CHECK-fails (debug builds) until `reset()`. `snapshot()` seals
+  /// implicitly; `SnapshotPublisher::publish` seals explicitly.
+  void seal() const { sealed_ = true; }
+  [[nodiscard]] bool is_sealed() const { return sealed_; }
 
   /// Merges an aggregated snapshot into this registry by name: counters and
   /// histograms accumulate, gauges keep the max. Creates single-slot
@@ -162,10 +192,13 @@ class Metrics {
   };
 
   Metric& find_or_create(const std::string& name, Kind kind,
-                         std::size_t slots);
+                         std::size_t slots, bool from_merge = false);
 
   /// Deque: stable Metric addresses under growth.
   std::deque<Metric> metrics_;
+  /// Set by snapshot()/seal(), cleared by reset(); guards registration
+  /// ordering in debug builds (mutable: snapshot() is const).
+  mutable bool sealed_ = false;
 };
 
 }  // namespace ds::obs

@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cstdio>
 #include <iomanip>
+#include <map>
 #include <ostream>
 #include <set>
 
+#include "obs/publish.hpp"
 #include "support/check.hpp"
 
 namespace ds::obs {
@@ -103,6 +105,57 @@ Recorder::Recorder() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+  // Registered up front, not lazily on the first eviction: a drop can
+  // happen mid-run, after the registry is sealed against new names.
+  dropped_counter_ = metrics_.counter("obs.events.dropped");
+}
+
+void Recorder::push_event(const TraceEvent& e) {
+  if (events_.size() < event_cap_) {
+    events_.push_back(e);
+    return;
+  }
+  events_[next_] = e;  // overwrite the oldest retained span
+  next_ = (next_ + 1) % event_cap_;
+  ++dropped_;
+  dropped_counter_.add(1);
+}
+
+std::vector<TraceEvent> Recorder::ordered_events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  if (events_.size() < event_cap_) {
+    out = events_;  // never wrapped: storage order is insertion order
+  } else {
+    out.insert(out.end(), events_.begin() + static_cast<std::ptrdiff_t>(next_),
+               events_.end());
+    out.insert(out.end(), events_.begin(),
+               events_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+void Recorder::set_event_capacity(std::size_t cap) {
+  DS_CHECK_MSG(cap > 0, "flight-recorder capacity must be positive");
+  if (events_.size() > cap) {
+    // Shrinking evicts oldest-first, exactly as organic ring pressure would.
+    std::vector<TraceEvent> kept = ordered_events();
+    const std::size_t evicted = kept.size() - cap;
+    kept.erase(kept.begin(), kept.begin() + static_cast<std::ptrdiff_t>(evicted));
+    events_ = std::move(kept);
+    dropped_ += evicted;
+    dropped_counter_.add(evicted);
+  } else if (events_.size() == event_cap_) {
+    // The ring was exactly full (possibly wrapped); rebase so storage order
+    // is insertion order again before growing.
+    events_ = ordered_events();
+  }
+  event_cap_ = cap;
+  next_ = 0;
+}
+
+void Recorder::publish_round(std::uint64_t rounds) {
+  if (publisher_ != nullptr) publisher_->publish(metrics_, rounds);
 }
 
 std::uint64_t Recorder::now_us() const {
@@ -115,10 +168,11 @@ std::uint64_t Recorder::now_us() const {
 
 std::vector<std::uint64_t> Recorder::drain_words() {
   const std::vector<MetricSnapshot> snaps = metrics_.snapshot();
+  const std::vector<TraceEvent> ordered = ordered_events();
   std::vector<std::uint64_t> out;
   out.push_back(kObsMagic);
   out.push_back(snaps.size());
-  out.push_back(events_.size());
+  out.push_back(ordered.size());
   for (const MetricSnapshot& s : snaps) {
     pack_string(out, s.name);
     out.push_back(static_cast<std::uint64_t>(s.kind));
@@ -127,7 +181,7 @@ std::vector<std::uint64_t> Recorder::drain_words() {
     out.push_back(s.min);
     out.push_back(s.max);
   }
-  for (const TraceEvent& e : events_) {
+  for (const TraceEvent& e : ordered) {
     out.push_back(e.lane);
     out.push_back(static_cast<std::uint64_t>(e.phase));
     out.push_back(e.round);
@@ -136,6 +190,7 @@ std::vector<std::uint64_t> Recorder::drain_words() {
   }
   metrics_.reset();
   events_.clear();
+  next_ = 0;
   return out;
 }
 
@@ -171,12 +226,13 @@ void Recorder::merge_words(const std::uint64_t* words, std::size_t count) {
     e.ts_us = words[pos + 3];
     e.dur_us = words[pos + 4];
     pos += 5;
-    events_.push_back(e);
+    push_event(e);  // merged events obey the flight-recorder bound too
   }
   DS_CHECK_MSG(pos == count, "obs block has trailing words");
 }
 
 void Recorder::write_trace_json(std::ostream& out) const {
+  const std::vector<TraceEvent> ordered = ordered_events();
   out << "{\"traceEvents\": [";
   bool first = true;
   const auto sep = [&] {
@@ -189,10 +245,48 @@ void Recorder::write_trace_json(std::ostream& out) const {
   // protocol order.
   std::set<std::uint32_t> lanes;
   std::set<std::pair<std::uint32_t, std::uint8_t>> tracks;
-  for (const TraceEvent& e : events_) {
+  for (const TraceEvent& e : ordered) {
     lanes.insert(e.lane);
     tracks.insert({e.lane, static_cast<std::uint8_t>(e.phase)});
   }
+  // Cross-rank alignment: TCP ranks record on private timebases, but each
+  // publishes its recorder origin on rank 0's clock as a
+  // `clock.t0.rank<R>.us` gauge (rendezvous RTT estimate). When *every*
+  // event lane carries one, shift each lane by its origin relative to the
+  // earliest — single-timebase runs (sequential/threads/forked workers have
+  // no such gauges) pass through unshifted.
+  std::map<std::uint32_t, std::uint64_t> lane_shift;
+  std::uint64_t dropped_total = 0;
+  {
+    std::map<std::uint32_t, std::int64_t> origin;
+    for (const MetricSnapshot& s : metrics_.snapshot()) {
+      if (s.name == "obs.events.dropped") dropped_total = s.value();
+      constexpr const char* kPrefix = "clock.t0.rank";
+      if (s.kind != Kind::kGauge || s.name.rfind(kPrefix, 0) != 0) continue;
+      const std::size_t start = std::string(kPrefix).size();
+      const std::size_t end = s.name.find('.', start);
+      if (end == std::string::npos) continue;
+      const std::uint32_t r = static_cast<std::uint32_t>(
+          std::stoul(s.name.substr(start, end - start)));
+      origin[r] = static_cast<std::int64_t>(s.value());
+    }
+    const bool all_aligned = !lanes.empty() &&
+        std::all_of(lanes.begin(), lanes.end(),
+                    [&](std::uint32_t l) { return origin.count(l) != 0; });
+    if (all_aligned) {
+      std::int64_t min_origin = origin.begin()->second;
+      for (const std::uint32_t l : lanes) {
+        min_origin = std::min(min_origin, origin[l]);
+      }
+      for (const std::uint32_t l : lanes) {
+        lane_shift[l] = static_cast<std::uint64_t>(origin[l] - min_origin);
+      }
+    }
+  }
+  const auto shifted = [&](const TraceEvent& e) {
+    const auto it = lane_shift.find(e.lane);
+    return it == lane_shift.end() ? e.ts_us : e.ts_us + it->second;
+  };
   for (const std::uint32_t lane : lanes) {
     sep();
     out << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << lane
@@ -214,15 +308,23 @@ void Recorder::write_trace_json(std::ostream& out) const {
         << ", \"args\": {\"sort_index\": " << static_cast<int>(phase)
         << "}}";
   }
-  for (const TraceEvent& e : events_) {
+  for (const TraceEvent& e : ordered) {
     sep();
     out << "{\"ph\": \"X\", \"name\": \"" << phase_name(e.phase)
         << "\", \"pid\": " << e.lane
         << ", \"tid\": " << static_cast<int>(e.phase) << ", \"ts\": "
-        << e.ts_us << ", \"dur\": " << e.dur_us
+        << shifted(e) << ", \"dur\": " << e.dur_us
         << ", \"args\": {\"round\": " << e.round << "}}";
   }
-  out << "\n]}\n";
+  out << "\n]";
+  out << ",\n\"metadata\": {\"clock_aligned_lanes\": "
+      << (lane_shift.empty() ? "false" : "true")
+      << ", \"dropped_events\": " << dropped_total;
+  if (dropped_total > 0) {
+    out << ", \"truncated\": true, \"note\": \"flight-recorder ring "
+           "evicted the oldest " << dropped_total << " span(s)\"";
+  }
+  out << "}}\n";
 }
 
 void Recorder::write_metrics_json(
@@ -245,9 +347,17 @@ void Recorder::write_metrics_json(
       first = false;
       out << "\n    \"" << json_escape(s.name) << "\": ";
       if (kind == Kind::kHistogram) {
+        char mean[32];
+        std::snprintf(mean, sizeof(mean), "%.3f",
+                      s.count == 0
+                          ? 0.0
+                          : static_cast<double>(s.sum) /
+                                static_cast<double>(s.count));
         out << "{\"count\": " << s.count << ", \"sum\": " << s.sum
             << ", \"min\": " << (s.count == 0 ? 0 : s.min)
-            << ", \"max\": " << s.max << "}";
+            << ", \"max\": " << s.max << ", \"mean\": " << mean << "}";
+      } else if (kind == Kind::kGauge && signed_gauge_name(s.name)) {
+        out << static_cast<std::int64_t>(s.value());
       } else {
         out << s.value();
       }
@@ -270,7 +380,13 @@ void Recorder::write_stats_table(std::ostream& out) const {
   for (const MetricSnapshot& s : snaps) {
     if (s.kind == Kind::kHistogram) continue;
     out << "  " << std::left << std::setw(static_cast<int>(width)) << s.name
-        << std::right << std::setw(14) << s.value() << "\n";
+        << std::right << std::setw(14);
+    if (s.kind == Kind::kGauge && signed_gauge_name(s.name)) {
+      out << static_cast<std::int64_t>(s.value());
+    } else {
+      out << s.value();
+    }
+    out << "\n";
   }
   bool any_hist = false;
   for (const MetricSnapshot& s : snaps) {
@@ -283,11 +399,17 @@ void Recorder::write_stats_table(std::ostream& out) const {
         << "max" << std::setw(12) << "mean" << "\n";
     for (const MetricSnapshot& s : snaps) {
       if (s.kind != Kind::kHistogram) continue;
+      // Mean with one decimal — sub-µs phase means round to a useless 0
+      // as integers, and readers should not do the division by hand.
+      char mean[32];
+      std::snprintf(mean, sizeof(mean), "%.1f",
+                    s.count == 0 ? 0.0
+                                 : static_cast<double>(s.sum) /
+                                       static_cast<double>(s.count));
       out << "  " << std::left << std::setw(static_cast<int>(width)) << s.name
           << std::right << std::setw(10) << s.count << std::setw(12) << s.sum
           << std::setw(12) << (s.count == 0 ? 0 : s.min) << std::setw(12)
-          << s.max << std::setw(12) << (s.count == 0 ? 0 : s.sum / s.count)
-          << "\n";
+          << s.max << std::setw(12) << mean << "\n";
     }
   }
   out << "---------------------------------------------------------------\n";

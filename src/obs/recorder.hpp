@@ -17,9 +17,19 @@
 ///
 /// Timebase: `now_us()` is microseconds since the recorder's construction on
 /// the steady clock. Forked workers inherit t0 (fork copies the recorder),
-/// so multi-process lanes share a timebase; TCP ranks each construct their
-/// own recorder, so cross-rank alignment is approximate (per-lane ordering
-/// is still exact — that is what the monotone-timestamp test asserts).
+/// so multi-process lanes share a timebase. TCP ranks each construct their
+/// own recorder, so lane timebases drift; the transport estimates each
+/// rank's offset to rank 0 from the rendezvous hello/welcome round-trip and
+/// records it as `clock.offset.rank<R>.us` / `clock.t0.rank<R>.us` gauges —
+/// `write_trace_json` shifts the merged lanes by those origins, so the
+/// exported fleet trace is aligned to RTT/2 accuracy (per-lane ordering is
+/// exact either way — that is what the monotone-timestamp test asserts).
+///
+/// The event buffer is a bounded *flight recorder*: at most
+/// `event_capacity()` spans are retained, evicting oldest-first, with every
+/// eviction counted in the `obs.events.dropped` counter — a long-lived
+/// serving process cannot grow without bound, and the Chrome-trace export
+/// notes the truncation in its metadata.
 ///
 /// Drain/merge: `drain_words()` serializes the aggregated metrics and the
 /// event buffer into 64-bit words and *zeroes* the local state (handles stay
@@ -38,6 +48,8 @@
 #include "obs/metrics.hpp"
 
 namespace ds::obs {
+
+class SnapshotPublisher;
 
 /// The instrumented phases of a synchronous round. Values are part of the
 /// drain/merge wire format (and the trace's thread-track ids).
@@ -73,6 +85,10 @@ class Recorder {
   /// Microseconds since construction (steady clock).
   [[nodiscard]] std::uint64_t now_us() const;
 
+  /// The steady-clock origin (ns) — the transport combines it with the
+  /// handshake clock offset into the `clock.t0.rank<R>.us` gauge.
+  [[nodiscard]] std::uint64_t t0_ns() const { return t0_ns_; }
+
   /// The default lane of spans recorded through `add_span` — distributed
   /// workers set this to their rank right after fork/connect.
   void set_lane(std::uint32_t lane) { lane_ = lane; }
@@ -85,16 +101,43 @@ class Recorder {
 
   void add_span(Phase phase, std::uint64_t round, std::uint64_t ts_us,
                 std::uint64_t dur_us) {
-    events_.push_back({lane_, phase, round, ts_us, dur_us});
+    push_event({lane_, phase, round, ts_us, dur_us});
   }
   void add_span_on(std::uint32_t lane, Phase phase, std::uint64_t round,
                    std::uint64_t ts_us, std::uint64_t dur_us) {
-    events_.push_back({lane, phase, round, ts_us, dur_us});
+    push_event({lane, phase, round, ts_us, dur_us});
   }
 
+  /// The raw ring storage. Insertion order is only chronological while the
+  /// ring has never wrapped (size < capacity) — use `ordered_events()` for
+  /// an oldest-first view.
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;
   }
+
+  /// The retained events, oldest-first regardless of ring wraparound.
+  [[nodiscard]] std::vector<TraceEvent> ordered_events() const;
+
+  /// Resizes the flight-recorder ring (events beyond the new cap are
+  /// evicted oldest-first and counted as dropped). Throws on cap == 0.
+  void set_event_capacity(std::size_t cap);
+  [[nodiscard]] std::size_t event_capacity() const { return event_cap_; }
+
+  /// Lifetime eviction count of this recorder (the fleet-wide total lives
+  /// in the `obs.events.dropped` counter, which drains/merges like any
+  /// other metric).
+  [[nodiscard]] std::uint64_t events_dropped() const { return dropped_; }
+
+  /// Attaches (or detaches, nullptr) the live-introspection publisher. The
+  /// recorder does not own it; the round loops push coalesced snapshots
+  /// through `publish_round` at round boundaries.
+  void set_publisher(SnapshotPublisher* pub) { publisher_ = pub; }
+  [[nodiscard]] SnapshotPublisher* publisher() const { return publisher_; }
+
+  /// Publishes a coalesced metrics snapshot (no-op without a publisher).
+  /// `rounds` is the number of completed rounds — the HTTP layer's
+  /// `rounds_total`. Called from the round-loop thread only.
+  void publish_round(std::uint64_t rounds);
 
   /// Serializes the aggregated metrics + events into words and clears the
   /// local state (cells zeroed, events dropped; handles and registrations
@@ -105,9 +148,12 @@ class Recorder {
   /// events append. Throws ds::CheckError on a malformed block.
   void merge_words(const std::uint64_t* words, std::size_t count);
 
-  /// Chrome trace-event JSON ({"traceEvents": [...]}), loadable in
-  /// Perfetto / chrome://tracing: one process per lane, one thread per
-  /// phase.
+  /// Chrome trace-event JSON ({"traceEvents": [...], "metadata": {...}}),
+  /// loadable in Perfetto / chrome://tracing: one process per lane, one
+  /// thread per phase. When every event lane carries a
+  /// `clock.t0.rank<R>.us` gauge (TCP fleets), lanes are shifted onto the
+  /// common rank-0 timebase; metadata notes the flight-recorder drop count
+  /// when events were evicted.
   void write_trace_json(std::ostream& out) const;
 
   /// Metrics snapshot JSON: {"context": {...}, "counters": {...},
@@ -121,12 +167,25 @@ class Recorder {
   /// Human-readable summary table (the CLI's --stats view).
   void write_stats_table(std::ostream& out) const;
 
+  /// Default flight-recorder capacity: 2 MB of spans — hours of round
+  /// traffic for a serving process, far above any one run's span count.
+  static constexpr std::size_t kDefaultEventCapacity = 1 << 16;
+
  private:
+  void push_event(const TraceEvent& e);
+
   Metrics metrics_;
+  /// Flight-recorder ring: append until `event_cap_`, then overwrite the
+  /// oldest slot (`next_`), counting each eviction.
   std::vector<TraceEvent> events_;
+  std::size_t event_cap_ = kDefaultEventCapacity;
+  std::size_t next_ = 0;       ///< oldest slot once the ring wrapped
+  std::uint64_t dropped_ = 0;  ///< lifetime evictions (this recorder)
+  Counter dropped_counter_;    ///< obs.events.dropped
   std::uint32_t lane_ = 0;
   std::string lane_kind_ = "rank";
   std::uint64_t t0_ns_ = 0;  ///< steady-clock origin, ns
+  SnapshotPublisher* publisher_ = nullptr;  ///< not owned
 };
 
 /// The standard per-round instruments every executor records — bundled so

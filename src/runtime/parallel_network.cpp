@@ -203,6 +203,7 @@ std::size_t ParallelNetwork::run(const local::ProgramFactory& factory,
       ins.round_us.record(round_end - round_start);
       rec->add_span(obs::Phase::kRound, r, round_start,
                     round_end - round_start);
+      rec->publish_round(r + 1);  // live-introspection snapshot
     }
     if (sink_ && senders > 0) {
       local::RoundStats stats;
@@ -221,7 +222,10 @@ std::size_t ParallelNetwork::run(const local::ProgramFactory& factory,
       // only after a final send — the sequential executor then counts that
       // farewell round too).
       const std::size_t rounds = senders > 0 ? r + 1 : r;
-      if (rec != nullptr) ins.rounds_executed.set(rounds);
+      if (rec != nullptr) {
+        ins.rounds_executed.set(rounds);
+        rec->publish_round(rounds);  // final snapshot with rounds.executed
+      }
       collect_outputs_from_programs();
       if (meter != nullptr) meter->add_executed(rounds);
       return rounds;

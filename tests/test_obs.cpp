@@ -126,16 +126,25 @@ TEST(Recorder, DrainZeroesAndMergeReconstructs) {
   h.record(7);
   rec.add_span(Phase::kRound, /*round=*/0, /*ts_us=*/5, /*dur_us=*/9);
 
+  // Look metrics up by name: the recorder registers its own instruments
+  // (obs.events.dropped), so positional indexing would be fragile.
+  const auto by_name = [&](const std::string& name) {
+    for (const MetricSnapshot& s : rec.metrics().snapshot()) {
+      if (s.name == name) return s;
+    }
+    ADD_FAILURE() << "metric not found: " << name;
+    return MetricSnapshot{};
+  };
+
   const std::vector<std::uint64_t> block = rec.drain_words();
   // Draining zeroed the local state (that is what prevents double counting
   // when a rank merges its own gathered block back in)...
-  EXPECT_EQ(rec.metrics().snapshot()[0].value(), 0u);
+  EXPECT_EQ(by_name("c").value(), 0u);
   EXPECT_TRUE(rec.events().empty());
   // ...and merging reconstructs it exactly.
   rec.merge_words(block.data(), block.size());
-  const auto snap = rec.metrics().snapshot();
-  EXPECT_EQ(snap[0].value(), 11u);
-  EXPECT_EQ(snap[1].sum, 7u);
+  EXPECT_EQ(by_name("c").value(), 11u);
+  EXPECT_EQ(by_name("h").sum, 7u);
   ASSERT_EQ(rec.events().size(), 1u);
   EXPECT_EQ(rec.events()[0].phase, Phase::kRound);
   EXPECT_EQ(rec.events()[0].ts_us, 5u);
@@ -143,7 +152,7 @@ TEST(Recorder, DrainZeroesAndMergeReconstructs) {
 
   // Merging the same block again doubles the counter (merge is additive).
   rec.merge_words(block.data(), block.size());
-  EXPECT_EQ(rec.metrics().snapshot()[0].value(), 22u);
+  EXPECT_EQ(by_name("c").value(), 22u);
 }
 
 TEST(Recorder, MergeRejectsMalformedBlocks) {

@@ -24,6 +24,7 @@
 ///   run      --algo=NAME (--input=FILE | --graph=FILE.dsg | --gen=SPEC)
 ///            [--seed=S] [--param=key=value ...]
 ///            [--metrics=FILE] [--trace=FILE] [--stats]
+///            [--http-port=P] [--event-cap=N]
 ///            + the runtime flags below
 ///            Run any registered algorithm on any runtime. Dispatch, usage
 ///            text and parameter help all come from the registry — there
@@ -33,6 +34,10 @@
 ///            trace (open in Perfetto), --stats prints a summary table.
 ///            On the distributed runtimes the recorder merges every
 ///            rank's drained block, so the files hold fleet-wide data.
+///            --http-port=P serves live introspection while the run is in
+///            flight (/metrics /status /healthz /api/v1/snapshot; P=0
+///            binds an ephemeral port, printed at startup) and implies
+///            observing; --event-cap=N bounds the trace flight recorder.
 ///            Input sources: --input reads a text edge list, --graph maps
 ///            a packed .dsg file read-only in O(1), --gen materializes a
 ///            generator instance in memory.
@@ -57,6 +62,8 @@
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "net/socket.hpp"
+#include "obs/http_server.hpp"
+#include "obs/publish.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/select.hpp"
 #include "support/check.hpp"
@@ -78,6 +85,7 @@ int usage() {
          "--gen=SPEC)\n"
          "         [--seed=S] [--param=key=value ...]\n"
          "         [--metrics=FILE] [--trace=FILE] [--stats]\n"
+         "         [--http-port=P] [--event-cap=N]\n"
          "         "
       << runtime::kRuntimeFlagsHelp
       << "\n\nregistered algorithms (see also: distsplit_cli list):\n"
@@ -186,7 +194,8 @@ const std::vector<std::string> kRunFlags = {
     "algo",       "input",   "graph",      "gen",          "seed",
     "param",      "runtime", "threads",    "workers",      "halo-words",
     "gather-words", "rank",  "ranks",      "hosts",        "sndbuf",
-    "rcvbuf",     "metrics", "trace",      "stats",
+    "rcvbuf",     "metrics", "trace",      "stats",        "http-port",
+    "event-cap",
 };
 
 /// Resolution phase of `run`: anything wrong here is a usage error (exit
@@ -249,12 +258,36 @@ void write_file(const std::string& path, const char* what, Body body) {
 int cmd_run(const RunPlan& plan, const Options& opts) {
   const algo::Spec& spec = *plan.spec;
   // Observability: one recorder for the whole run when any of
-  // --metrics/--trace/--stats asks for it; the factory installs it on the
-  // executor and `execute` snapshots it into the result.
-  const bool observe =
-      opts.has("metrics") || opts.has("trace") || opts.has("stats");
+  // --metrics/--trace/--stats/--http-port asks for it; the factory installs
+  // it on the executor and `execute` snapshots it into the result. The live
+  // endpoints need the instruments, so --http-port implies observing.
+  const bool observe = opts.has("metrics") || opts.has("trace") ||
+                       opts.has("stats") || opts.has("http-port");
   obs::Recorder recorder;
   obs::Recorder* const rec = observe ? &recorder : nullptr;
+  if (rec != nullptr && opts.has("event-cap")) {
+    rec->set_event_capacity(
+        static_cast<std::size_t>(opts.get_int("event-cap", 0)));
+  }
+  // Live introspection: the round loop publishes seqlock snapshots at round
+  // boundaries; the HTTP thread only ever reads the publisher. Declared
+  // before the server so the server (a reader) is torn down first.
+  obs::SnapshotPublisher publisher;
+  std::unique_ptr<obs::HttpServer> http;
+  if (opts.has("http-port")) {
+    rec->set_publisher(&publisher);
+    publisher.set_info({
+        {"tool", "distsplit_cli"},
+        {"algo", spec.name},
+        {"runtime", runtime::runtime_description(plan.runtime)},
+        {"seed", std::to_string(opts.seed())},
+    });
+    http = std::make_unique<obs::HttpServer>(
+        publisher,
+        static_cast<std::uint16_t>(opts.get_int("http-port", 0)));
+    std::cout << "http: listening on port " << http->port()
+              << " (/metrics /status /healthz /api/v1/snapshot)" << std::endl;
+  }
   algo::RunContext ctx;
   ctx.seed = opts.seed();
   ctx.params = plan.params;
@@ -320,7 +353,17 @@ int cmd_run(const RunPlan& plan, const Options& opts) {
     }
   }
 
-  const algo::Result result = algo::execute(spec, ctx);
+  if (http != nullptr) publisher.run_started(spec.name);
+  algo::Result result;
+  try {
+    result = algo::execute(spec, ctx);
+  } catch (...) {
+    // /healthz must flip to 503: a failed run marks the publisher aborted
+    // (the TCP transport already did on a collective abort — idempotent).
+    if (http != nullptr) publisher.run_finished(/*ok=*/false);
+    throw;
+  }
+  if (http != nullptr) publisher.run_finished(/*ok=*/true);
   for (const auto& [key, value] : result.summary) {
     std::cout << key << ": " << value << "\n";
   }

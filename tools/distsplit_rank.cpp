@@ -13,6 +13,7 @@
 ///         [--materialize] [--algo=NAME] [--seed=S] [--param=key=value ...]
 ///         [--sndbuf=BYTES] [--rcvbuf=BYTES]
 ///         [--metrics=FILE] [--trace=FILE] [--stats]
+///         [--http-port=P] [--event-cap=N]
 ///
 /// Input sources: --input reads a text edge list, --graph maps a packed
 /// .dsg file read-only in O(1) (fork-shared by loopback ranks), and --gen
@@ -29,6 +30,12 @@
 /// the gather re-broadcast, but only rank 0 writes the files / prints the
 /// table — in loopback mode all ranks share a working directory and the
 /// children would clobber the same paths.
+///
+/// Live introspection: --http-port=P serves /metrics (Prometheus),
+/// /status (HTML), /healthz and /api/v1/snapshot on every rank while the
+/// run is in flight (implies observing). Rank r binds P+r, so a loopback
+/// fleet's ranks coexist on one host; P=0 binds kernel-assigned ports,
+/// printed at startup. --event-cap=N bounds the trace flight recorder.
 ///
 /// hosts.txt: one `host port` per line, line i = rank i; `#` comments and
 /// blank lines ignored. Every rank must name the same instance, seed and
@@ -60,6 +67,8 @@
 #include "net/loopback.hpp"
 #include "net/socket.hpp"
 #include "net/tcp_network.hpp"
+#include "obs/http_server.hpp"
+#include "obs/publish.hpp"
 #include "obs/recorder.hpp"
 #include "support/check.hpp"
 #include "support/options.hpp"
@@ -76,6 +85,7 @@ int usage() {
                "[--param=key=value ...]\n"
                "         [--sndbuf=BYTES] [--rcvbuf=BYTES]\n"
                "         [--metrics=FILE] [--trace=FILE] [--stats]\n"
+               "         [--http-port=P] [--event-cap=N]\n"
                "algorithms (distributed-capable registry entries):\n"
             << algo::names_listing(/*scalable_only=*/true);
   return 2;
@@ -101,7 +111,7 @@ struct RankPlan {
 const std::vector<std::string> kRankFlags = {
     "input",  "graph",  "gen",    "materialize", "hosts", "rank",
     "local",  "algo",   "seed",   "param",       "sndbuf", "rcvbuf",
-    "metrics", "trace", "stats",
+    "metrics", "trace", "stats",  "http-port",   "event-cap",
 };
 
 RankPlan resolve(const Options& opts) {
@@ -199,12 +209,45 @@ int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
              std::vector<net::Endpoint> hosts, net::Socket listen) {
   const std::size_t nranks = hosts.size();
   net::Socket* first_listen = &listen;
-  const bool observe =
-      opts.has("metrics") || opts.has("trace") || opts.has("stats");
+  // The live endpoints need the instruments: --http-port implies observing.
+  const bool observe = opts.has("metrics") || opts.has("trace") ||
+                       opts.has("stats") || opts.has("http-port");
   obs::Recorder recorder;
   obs::Recorder* const rec = observe ? &recorder : nullptr;
-  if (rec != nullptr) rec->set_lane(static_cast<std::uint32_t>(rank));
+  if (rec != nullptr) {
+    rec->set_lane(static_cast<std::uint32_t>(rank));
+    if (opts.has("event-cap")) {
+      rec->set_event_capacity(
+          static_cast<std::size_t>(opts.get_int("event-cap", 0)));
+    }
+  }
+  // Live introspection: every rank serves its own endpoints. A base port P
+  // maps rank r to P+r (loopback ranks share one host); P=0 lets the
+  // kernel pick, printed below. Declared before the server so the server
+  // (a publisher reader) is torn down first.
+  obs::SnapshotPublisher publisher;
+  std::unique_ptr<obs::HttpServer> http;
+  if (opts.has("http-port")) {
+    rec->set_publisher(&publisher);
+    publisher.set_info({
+        {"tool", "distsplit_rank"},
+        {"algo", plan.spec->name},
+        {"runtime", std::string(plan.insitu ? "insitu-tcp(" : "tcp(") +
+                        std::to_string(nranks) + " ranks)"},
+        {"rank", std::to_string(rank)},
+        {"seed", std::to_string(opts.seed())},
+    });
+    const auto base = opts.get_int("http-port", 0);
+    http = std::make_unique<obs::HttpServer>(
+        publisher,
+        static_cast<std::uint16_t>(base == 0 ? 0 : base + rank));
+    std::cout << "[rank " << rank << "/" << nranks
+              << "] http: listening on port " << http->port()
+              << " (/metrics /status /healthz /api/v1/snapshot)" << std::endl;
+    publisher.run_started(plan.spec->name);
+  }
   std::string brief;
+  try {
   if (plan.insitu) {
     // Scale path: nothing of the instance exists yet in this process; the
     // runner generates this rank's range behind the rendezvous.
@@ -243,6 +286,13 @@ int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
     }
     brief = algo::execute(*plan.spec, ctx).brief();
   }
+  } catch (...) {
+    // /healthz must answer 503 on this rank even when the abort originated
+    // here (the transport only flips peers' health via the kAbort frame).
+    if (http != nullptr) publisher.run_finished(/*ok=*/false);
+    throw;
+  }
+  if (http != nullptr) publisher.run_finished(/*ok=*/true);
   // Explicit flush: loopback child ranks leave via _exit, skipping stdio
   // teardown, and their summary must not die in a buffer with them.
   std::cout << "[rank " << rank << "/" << nranks << "] " << plan.spec->name
