@@ -2,10 +2,19 @@
 // Euler partition, power-graph coloring, derandomization throughput,
 // verifier throughput, instance generation, and LOCAL-executor round
 // throughput (sequential Network vs sharded ParallelNetwork).
+//
+// Custom main: in addition to the normal console output, `--json=FILE`
+// writes a machine-readable trajectory record (schema distsplit-bench-v1:
+// per-benchmark ns/op + user counters, plus run provenance) which
+// tools/bench_compare.py diffs against bench/BENCH_BASELINE.json in CI.
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
 #include <numeric>
+
+#include "support/provenance.hpp"
 
 #include "coloring/distance_coloring.hpp"
 #include "derand/engine.hpp"
@@ -425,4 +434,119 @@ BENCHMARK(BM_MmapLoadVsGenerate)
     ->Args({1024, 0})->Args({1024, 1})
     ->Unit(benchmark::kMillisecond);
 
+// ---- trajectory emission (--json=FILE) ----------------------------------
+
+/// Console reporter that additionally retains every successful iteration
+/// run so main() can emit the distsplit-bench-v1 trajectory record.
+class TrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      collected_.push_back(run);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<Run>& collected() const {
+    return collected_;
+  }
+
+ private:
+  std::vector<Run> collected_;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// distsplit-bench-v1: documented in README.md (Profiling section). ns/op
+/// is the accumulated time over the whole measurement divided by the
+/// iteration count — the unit-independent quantity bench_compare.py diffs.
+void write_bench_json(
+    std::ostream& out,
+    const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
+  out << "{\n  \"schema\": \"distsplit-bench-v1\",\n  \"provenance\": {";
+  bool first = true;
+  for (const auto& [key, value] : Provenance::get().context()) {
+    out << (first ? "" : ", ") << "\"" << json_escape(key) << "\": \""
+        << json_escape(value) << "\"";
+    first = false;
+  }
+  out << "},\n  \"benchmarks\": [";
+  first = true;
+  for (const auto& run : runs) {
+    const auto iters =
+        run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+    out << (first ? "" : ",") << "\n    {\"name\": \""
+        << json_escape(run.benchmark_name()) << "\", \"iterations\": "
+        << run.iterations << ", \"real_ns_per_op\": "
+        << run.real_accumulated_time * 1e9 / iters
+        << ", \"cpu_ns_per_op\": " << run.cpu_accumulated_time * 1e9 / iters
+        << ", \"counters\": {";
+    bool first_counter = true;
+    for (const auto& [name, counter] : run.counters) {
+      out << (first_counter ? "" : ", ") << "\"" << json_escape(name)
+          << "\": " << static_cast<double>(counter);
+      first_counter = false;
+    }
+    out << "}}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --json=FILE before handing argv to google-benchmark (it rejects
+  // flags it does not know).
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  TrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out.good()) {
+      std::cerr << "error: cannot open --json output file: " << json_path
+                << "\n";
+      return 1;
+    }
+    write_bench_json(out, reporter.collected());
+    out.flush();
+    if (!out.good()) {
+      std::cerr << "error: failed writing --json output file: " << json_path
+                << "\n";
+      return 1;
+    }
+    std::cout << "json: " << json_path << " (" << reporter.collected().size()
+              << " benchmarks)\n";
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,10 @@
 #include "dist/rank_loop.hpp"
 
 #include <chrono>
+#include <memory>
 
 #include "local/message_arena.hpp"
+#include "obs/perf.hpp"
 #include "support/check.hpp"
 
 namespace ds::dist {
@@ -70,13 +72,27 @@ std::size_t run_rank_loop(
   };
 
   obs::RoundInstruments ins;
+  // Hardware counters ride the same sampling points as the wall-clock
+  // timestamps; registered eagerly because the registry seals at the first
+  // round's publish. Fallback (container, paranoid kernel) degrades to
+  // task-clock/ctx-switch counters and `unavailable` span deltas.
+  std::unique_ptr<obs::PerfCounters> perf;
+  obs::PhasePerf phase_perf;
   if (recorder != nullptr) {
     ins = obs::RoundInstruments::create(recorder->metrics());
     recorder->set_lane(static_cast<std::uint32_t>(w));
+    perf = std::make_unique<obs::PerfCounters>();
+    phase_perf = obs::PhasePerf(
+        recorder->metrics(), *perf,
+        {obs::Phase::kSend, obs::Phase::kShip, obs::Phase::kPatch,
+         obs::Phase::kReceive, obs::Phase::kBarrier, obs::Phase::kRound});
   }
   const bool timed = recorder != nullptr || sink;
   const auto us_now = [&] { return recorder != nullptr ? recorder->now_us()
                                                        : std::uint64_t{0}; };
+  const auto perf_now = [&] {
+    return perf != nullptr ? perf->sample() : obs::PerfSample{};
+  };
 
   std::size_t alive = transport.sync_liveness(count_alive());
   std::size_t rounds = 0;
@@ -85,6 +101,7 @@ std::size_t run_rank_loop(
                  "distributed run exceeded max_rounds");
     const auto t0 = std::chrono::steady_clock::now();
     const std::uint64_t us0 = us_now();
+    const obs::PerfSample p0 = perf_now();
     // Send phase: owned live nodes serialize into the private arena; the
     // local delivery table routes cut ports into the out-halo staging area.
     ++epoch;
@@ -103,9 +120,11 @@ std::size_t run_rank_loop(
     }
     const auto t_sent = timed ? std::chrono::steady_clock::now() : t0;
     const std::uint64_t us_sent = us_now();
+    const obs::PerfSample p_sent = perf_now();
     transport.ship(arena.data(), bank.data(), epoch, mine);
     const auto t_shipped = timed ? std::chrono::steady_clock::now() : t0;
     const std::uint64_t us_shipped = us_now();
+    const obs::PerfSample p_shipped = perf_now();
 
     // Receive phase: patch the arena onto the shipped payloads, then run
     // the unmodified Inbox path over the owned live nodes.
@@ -113,6 +132,7 @@ std::size_t run_rank_loop(
     transport.update_bank_bases(bases, bank.data());
     const auto t_patched = timed ? std::chrono::steady_clock::now() : t0;
     const std::uint64_t us_patched = us_now();
+    const obs::PerfSample p_patched = perf_now();
     local::RoundStats stats;
     if (sink) {
       // Totals are only stable between ship and the liveness sync (on the
@@ -136,6 +156,7 @@ std::size_t run_rank_loop(
     }
     const auto t_received = timed ? std::chrono::steady_clock::now() : t0;
     const std::uint64_t us_received = us_now();
+    const obs::PerfSample p_received = perf_now();
     alive = transport.sync_liveness(count_alive());
     ++rounds;
     const auto t_end = std::chrono::steady_clock::now();
@@ -147,22 +168,41 @@ std::size_t run_rank_loop(
       ins.messages.add(mine.messages);
       ins.payload_words.add(mine.payload_words);
       const std::uint64_t us_end = us_now();
+      const obs::PerfSample p_end = perf_now();
       ins.send_us.record(us_sent - us0);
       ins.ship_us.record(us_shipped - us_sent);
       ins.patch_us.record(us_patched - us_shipped);
       ins.receive_us.record(us_received - us_patched);
       ins.barrier_us.record(us_end - us_received);
       ins.round_us.record(us_end - us0);
+      const obs::SpanPerf d_send =
+          phase_perf.account(obs::Phase::kSend, p0, p_sent);
+      const obs::SpanPerf d_ship =
+          phase_perf.account(obs::Phase::kShip, p_sent, p_shipped);
+      const obs::SpanPerf d_patch =
+          phase_perf.account(obs::Phase::kPatch, p_shipped, p_patched);
+      const obs::SpanPerf d_receive =
+          phase_perf.account(obs::Phase::kReceive, p_patched, p_received);
+      const obs::SpanPerf d_barrier =
+          phase_perf.account(obs::Phase::kBarrier, p_received, p_end);
+      const obs::SpanPerf d_round =
+          phase_perf.account(obs::Phase::kRound, p0, p_end);
       const std::uint64_t r = rounds - 1;
-      recorder->add_span(obs::Phase::kSend, r, us0, us_sent - us0);
-      recorder->add_span(obs::Phase::kShip, r, us_sent, us_shipped - us_sent);
+      recorder->add_span(obs::Phase::kSend, r, us0, us_sent - us0,
+                         d_send.cycles, d_send.instructions);
+      recorder->add_span(obs::Phase::kShip, r, us_sent, us_shipped - us_sent,
+                         d_ship.cycles, d_ship.instructions);
       recorder->add_span(obs::Phase::kPatch, r, us_shipped,
-                         us_patched - us_shipped);
+                         us_patched - us_shipped, d_patch.cycles,
+                         d_patch.instructions);
       recorder->add_span(obs::Phase::kReceive, r, us_patched,
-                         us_received - us_patched);
+                         us_received - us_patched, d_receive.cycles,
+                         d_receive.instructions);
       recorder->add_span(obs::Phase::kBarrier, r, us_received,
-                         us_end - us_received);
-      recorder->add_span(obs::Phase::kRound, r, us0, us_end - us0);
+                         us_end - us_received, d_barrier.cycles,
+                         d_barrier.instructions);
+      recorder->add_span(obs::Phase::kRound, r, us0, us_end - us0,
+                         d_round.cycles, d_round.instructions);
       // Round-boundary snapshot for the live HTTP endpoints: one coalesced
       // seqlock publish per round, no locks on the round path.
       recorder->publish_round(rounds);

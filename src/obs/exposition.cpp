@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -12,6 +13,46 @@
 namespace ds::obs {
 
 namespace {
+
+/// One phase's raw hardware totals, harvested from the `perf.<phase>.*`
+/// counters for the derived IPC / cache-miss-rate families. Only present
+/// when a live counter group registered them — fallback runs synthesize
+/// nothing (absent, not zero).
+struct PhasePerfTotals {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_refs = 0;
+  std::uint64_t cache_misses = 0;
+  bool has_cycles = false;
+  bool has_refs = false;
+};
+
+/// Phase name -> totals, in registration order of first sight.
+std::map<std::string, PhasePerfTotals> collect_phase_perf(
+    const PublishedSnapshot& snap) {
+  std::map<std::string, PhasePerfTotals> phases;
+  for (const PublishedMetric& pm : snap.metrics) {
+    if (pm.kind != Kind::kCounter || pm.name.rfind("perf.", 0) != 0) continue;
+    const std::size_t dot = pm.name.rfind('.');
+    if (dot <= 5 || dot == std::string::npos) continue;
+    const std::string phase = pm.name.substr(5, dot - 5);
+    const std::string field = pm.name.substr(dot + 1);
+    const std::uint64_t sum = pm.aggregate().sum;
+    PhasePerfTotals& t = phases[phase];
+    if (field == "cycles") {
+      t.cycles = sum;
+      t.has_cycles = true;
+    } else if (field == "instructions") {
+      t.instructions = sum;
+    } else if (field == "cache_refs") {
+      t.cache_refs = sum;
+      t.has_refs = true;
+    } else if (field == "cache_misses") {
+      t.cache_misses = sum;
+    }
+  }
+  return phases;
+}
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -155,6 +196,38 @@ void write_prometheus(std::ostream& out, const SnapshotPublisher& pub) {
       }
     }
   }
+
+  // Derived per-phase hardware families, synthesized from the raw
+  // `perf.<phase>.*` counters: one labeled sample per phase. Absent entirely
+  // when the kernel refused the counter group — a fallback run must never
+  // expose a fake 0.0 IPC.
+  const std::map<std::string, PhasePerfTotals> phases =
+      collect_phase_perf(snap);
+  bool ipc_family = false;
+  bool miss_family = false;
+  for (const auto& [phase, t] : phases) {
+    if (t.has_cycles && t.cycles > 0) {
+      if (!ipc_family) {
+        ipc_family = type_line("distsplit_phase_ipc", "gauge");
+      }
+      char v[32];
+      std::snprintf(v, sizeof(v), "%.4f",
+                    static_cast<double>(t.instructions) /
+                        static_cast<double>(t.cycles));
+      out << "distsplit_phase_ipc{phase=\"" << phase << "\"} " << v << "\n";
+    }
+    if (t.has_refs && t.cache_refs > 0) {
+      if (!miss_family) {
+        miss_family = type_line("distsplit_phase_cache_miss_rate", "gauge");
+      }
+      char v[32];
+      std::snprintf(v, sizeof(v), "%.6f",
+                    static_cast<double>(t.cache_misses) /
+                        static_cast<double>(t.cache_refs));
+      out << "distsplit_phase_cache_miss_rate{phase=\"" << phase << "\"} "
+          << v << "\n";
+    }
+  }
 }
 
 void write_snapshot_json(std::ostream& out, const SnapshotPublisher& pub) {
@@ -260,6 +333,53 @@ void write_status_html(std::ostream& out, const SnapshotPublisher& pub) {
           << "</td><td>" << s.max << "</td></tr>\n";
     }
     out << "</table>\n";
+
+    // Derived hardware-counter view: per-phase IPC and cache-miss rate.
+    // Shown only when a live perf group recorded cycles; degraded runs get
+    // an explicit note instead of a table of fake zeros.
+    const std::map<std::string, PhasePerfTotals> phases =
+        collect_phase_perf(snap);
+    bool any_hw = false;
+    for (const auto& [phase, t] : phases) {
+      if (t.has_cycles && t.cycles > 0) any_hw = true;
+    }
+    if (any_hw) {
+      out << "<h2>Hardware counters (per phase)</h2>\n<table>\n"
+             "<tr><th>phase</th><th>cycles</th><th>instructions</th>"
+             "<th>IPC</th><th>cache miss %</th></tr>\n";
+      for (const auto& [phase, t] : phases) {
+        if (!t.has_cycles || t.cycles == 0) continue;
+        char ipc[32];
+        std::snprintf(ipc, sizeof(ipc), "%.3f",
+                      static_cast<double>(t.instructions) /
+                          static_cast<double>(t.cycles));
+        out << "<tr><td>" << html_escape(phase) << "</td><td>" << t.cycles
+            << "</td><td>" << t.instructions << "</td><td>" << ipc
+            << "</td><td>";
+        if (t.has_refs && t.cache_refs > 0) {
+          char miss[32];
+          std::snprintf(miss, sizeof(miss), "%.2f",
+                        100.0 * static_cast<double>(t.cache_misses) /
+                            static_cast<double>(t.cache_refs));
+          out << miss;
+        } else {
+          out << "-";
+        }
+        out << "</td></tr>\n";
+      }
+      out << "</table>\n";
+    } else {
+      for (const PublishedMetric& pm : snap.metrics) {
+        if (pm.name == "perf.hardware" && pm.kind == Kind::kGauge &&
+            pm.aggregate().value() == 0) {
+          out << "<p><i>Hardware counters unavailable "
+                 "(perf_event_open refused — see perf_event_paranoid); "
+                 "phase task-clock/context-switch counters below are from "
+                 "the rusage fallback.</i></p>\n";
+          break;
+        }
+      }
+    }
 
     // Per-peer transport counters: every multi-slot counter keeps one slot
     // per peer rank.

@@ -142,8 +142,18 @@ int HttpServer::route(const std::string& method, const std::string& path,
   } else if (path == "/api/v1/snapshot") {
     write_snapshot_json(out, pub_);
     content_type = "application/json";
+  } else if (path == "/api/v1/profile") {
+    // Live folded stacks from the attached sampling profiler — loadable in
+    // speedscope / flamegraph.pl straight off the endpoint.
+    if (!pub_.has_profile_source()) {
+      body = "profiling not enabled (run with --profile=FILE)\n";
+      return 404;
+    }
+    out << pub_.profile_text();
+    content_type = "text/plain; charset=utf-8";
   } else {
-    out << "not found; try /metrics /status /healthz /api/v1/snapshot\n";
+    out << "not found; try /metrics /status /healthz /api/v1/snapshot "
+           "/api/v1/profile\n";
     body = out.str();
     return 404;
   }

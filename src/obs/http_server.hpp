@@ -16,6 +16,7 @@
 ///   /status           self-contained HTML status page (auto-refreshing)
 ///   /healthz          200 while idle/running/completed, 503 once aborted
 ///   /api/v1/snapshot  the PR 6 metrics JSON, rendered live
+///   /api/v1/profile   live folded-stack profile (404 without --profile)
 
 #include <atomic>
 #include <cstdint>

@@ -1,0 +1,220 @@
+#include "obs/profile.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+#include <vector>
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace ds::obs {
+
+namespace {
+
+/// The one profiler allowed to own SIGPROF/ITIMER_PROF in this process.
+std::atomic<SampledProfiler*> g_active{nullptr};
+
+/// Resolves one pc to a frame name: demangled symbol when the dynamic table
+/// has it, `object+0xoffset` when only the mapping is known, raw hex
+/// otherwise. ';' (the folded separator) and whitespace-control characters
+/// are sanitized out of symbol names.
+std::string symbolize_pc(std::uintptr_t pc) {
+  std::string name;
+  Dl_info info{};
+  if (::dladdr(reinterpret_cast<void*>(pc), &info) != 0) {
+    if (info.dli_sname != nullptr) {
+      int status = -1;
+      char* demangled =
+          abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+      name = (status == 0 && demangled != nullptr) ? demangled
+                                                   : info.dli_sname;
+      std::free(demangled);
+    } else if (info.dli_fname != nullptr) {
+      const char* slash = std::strrchr(info.dli_fname, '/');
+      const char* base = slash != nullptr ? slash + 1 : info.dli_fname;
+      char buf[512];
+      std::snprintf(buf, sizeof(buf), "%s+0x%zx", base,
+                    static_cast<std::size_t>(
+                        pc - reinterpret_cast<std::uintptr_t>(info.dli_fbase)));
+      name = buf;
+    }
+  }
+  if (name.empty()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%zx", static_cast<std::size_t>(pc));
+    name = buf;
+  }
+  for (char& c : name) {
+    if (c == ';' || c == '\n' || c == '\r') c = ':';
+  }
+  return name;
+}
+
+}  // namespace
+
+SampledProfiler::SampledProfiler() : SampledProfiler(Options()) {}
+
+SampledProfiler::SampledProfiler(Options opts)
+    : interval_us_(opts.interval_us == 0 ? 1000 : opts.interval_us),
+      cap_(opts.ring_capacity == 0 ? 1 : opts.ring_capacity),
+      pcs_(new std::atomic<std::uintptr_t>[cap_ * kMaxDepth]),
+      depths_(new std::atomic<std::uint32_t>[cap_]) {
+  for (std::size_t i = 0; i < cap_; ++i) {
+    depths_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+SampledProfiler::~SampledProfiler() { stop(); }
+
+void SampledProfiler::sigprof_trampoline(int) {
+  SampledProfiler* p = g_active.load(std::memory_order_acquire);
+  if (p != nullptr) p->handle_signal();
+}
+
+void SampledProfiler::handle_signal() {
+  if (paused_.load(std::memory_order_relaxed)) return;
+  // +2: drop this handler and the trampoline from the captured stack.
+  void* pcs[kMaxDepth + 2];
+  const int n = ::backtrace(pcs, static_cast<int>(kMaxDepth + 2));
+  if (n <= 2) return;
+  record_sample(pcs + 2, static_cast<std::size_t>(n - 2));
+}
+
+void SampledProfiler::record_sample(void* const* pcs, std::size_t depth) {
+  const std::uint64_t i = head_.fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  if (i >= cap_) dropped_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t slot = static_cast<std::size_t>(i % cap_);
+  std::atomic<std::uintptr_t>* row = pcs_.get() + slot * kMaxDepth;
+  const std::uint32_t n =
+      static_cast<std::uint32_t>(depth < kMaxDepth ? depth : kMaxDepth);
+  // depth = 0 marks the row mid-write so a concurrent reader skips it; the
+  // release store of the final depth publishes the pc stores.
+  depths_[slot].store(0, std::memory_order_release);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    row[j].store(reinterpret_cast<std::uintptr_t>(pcs[j]),
+                 std::memory_order_relaxed);
+  }
+  depths_[slot].store(n, std::memory_order_release);
+}
+
+bool SampledProfiler::start() {
+  if (active_) return true;
+  SampledProfiler* expected = nullptr;
+  if (!g_active.compare_exchange_strong(expected, this,
+                                        std::memory_order_acq_rel)) {
+    error_ = "another SampledProfiler already owns SIGPROF in this process";
+    return false;
+  }
+  owner_pid_ = ::getpid();
+  // Pre-warm the unwinder: glibc's backtrace lazily loads libgcc on first
+  // use, which is not async-signal-safe.
+  void* warm[4];
+  (void)::backtrace(warm, 4);
+  struct sigaction sa {};
+  sa.sa_handler = &SampledProfiler::sigprof_trampoline;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  if (::sigaction(SIGPROF, &sa, &old_action_) != 0) {
+    error_ = std::string("sigaction(SIGPROF) failed: ") + std::strerror(errno);
+    g_active.store(nullptr, std::memory_order_release);
+    return false;
+  }
+  itimerval tv{};
+  tv.it_interval.tv_sec = static_cast<time_t>(interval_us_ / 1000000);
+  tv.it_interval.tv_usec = static_cast<suseconds_t>(interval_us_ % 1000000);
+  tv.it_value = tv.it_interval;
+  if (::setitimer(ITIMER_PROF, &tv, nullptr) != 0) {
+    error_ =
+        std::string("setitimer(ITIMER_PROF) failed: ") + std::strerror(errno);
+    ::sigaction(SIGPROF, &old_action_, nullptr);
+    g_active.store(nullptr, std::memory_order_release);
+    return false;
+  }
+  active_ = true;
+  return true;
+}
+
+void SampledProfiler::stop() {
+  if (!active_) return;
+  itimerval off{};
+  ::setitimer(ITIMER_PROF, &off, nullptr);
+  ::sigaction(SIGPROF, &old_action_, nullptr);
+  g_active.store(nullptr, std::memory_order_release);
+  active_ = false;
+}
+
+std::map<std::string, std::uint64_t> SampledProfiler::fold(
+    const std::string& prefix) const {
+  // A fork-copied ring in a process that never start()ed this profiler is
+  // the parent's data — report nothing rather than double-count it. A
+  // never-started profiler fed via record_sample (tests) has owner_pid_ -1
+  // and folds normally.
+  if (owner_pid_ != -1 && owner_pid_ != ::getpid()) return {};
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::size_t used =
+      static_cast<std::size_t>(head < cap_ ? head : cap_);
+  // Aggregate by raw pc vector first so each unique stack symbolizes once.
+  std::map<std::vector<std::uintptr_t>, std::uint64_t> raw;
+  for (std::size_t slot = 0; slot < used; ++slot) {
+    const std::uint32_t depth = depths_[slot].load(std::memory_order_acquire);
+    if (depth == 0) continue;  // mid-write or cleared
+    std::vector<std::uintptr_t> stack(depth);
+    const std::atomic<std::uintptr_t>* row = pcs_.get() + slot * kMaxDepth;
+    for (std::uint32_t j = 0; j < depth; ++j) {
+      stack[j] = row[j].load(std::memory_order_relaxed);
+    }
+    ++raw[stack];
+  }
+  std::map<std::string, std::uint64_t> folded;
+  std::lock_guard<std::mutex> lock(sym_mu_);
+  for (const auto& [stack, count] : raw) {
+    std::string key = prefix;
+    // Samples are leaf-first; folded format wants root-first.
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      auto cached = sym_cache_.find(*it);
+      if (cached == sym_cache_.end()) {
+        cached = sym_cache_.emplace(*it, symbolize_pc(*it)).first;
+      }
+      if (!key.empty()) key += ';';
+      key += cached->second;
+    }
+    if (!key.empty()) folded[key] += count;
+  }
+  return folded;
+}
+
+std::map<std::string, std::uint64_t> SampledProfiler::drain_folded(
+    const std::string& prefix) {
+  paused_.store(true, std::memory_order_release);
+  std::map<std::string, std::uint64_t> folded = fold(prefix);
+  // Reset the ring. Readers only look below min(head, cap), so stale rows
+  // past the new head are unreachable; depths are re-published per write.
+  for (std::size_t i = 0; i < cap_; ++i) {
+    depths_[i].store(0, std::memory_order_relaxed);
+  }
+  head_.store(0, std::memory_order_release);
+  dropped_.store(0, std::memory_order_relaxed);
+  paused_.store(false, std::memory_order_release);
+  return folded;
+}
+
+std::map<std::string, std::uint64_t> SampledProfiler::collect_folded(
+    const std::string& prefix) const {
+  return fold(prefix);
+}
+
+void SampledProfiler::write_folded(
+    std::ostream& out, const std::map<std::string, std::uint64_t>& folded) {
+  for (const auto& [stack, count] : folded) {
+    out << stack << " " << count << "\n";
+  }
+}
+
+}  // namespace ds::obs

@@ -229,4 +229,26 @@ std::vector<RunRecord> SnapshotPublisher::history() const {
   return {history_.begin(), history_.end()};
 }
 
+void SnapshotPublisher::set_profile_source(
+    std::function<std::string()> source) {
+  const std::lock_guard<std::mutex> lock(meta_mu_);
+  profile_source_ = std::move(source);
+}
+
+bool SnapshotPublisher::has_profile_source() const {
+  const std::lock_guard<std::mutex> lock(meta_mu_);
+  return static_cast<bool>(profile_source_);
+}
+
+std::string SnapshotPublisher::profile_text() const {
+  std::function<std::string()> source;
+  {
+    // Copy out and invoke unlocked: symbolization can be slow and must not
+    // hold up writers touching info/history.
+    const std::lock_guard<std::mutex> lock(meta_mu_);
+    source = profile_source_;
+  }
+  return source ? source() : std::string();
+}
+
 }  // namespace ds::obs

@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -102,6 +103,12 @@ class SnapshotPublisher {
   /// publish.
   void run_finished(bool ok);
 
+  /// Installs the live profile source for `/api/v1/profile`: a callable
+  /// returning the current folded stacks (the tool wires it to the sampling
+  /// profiler's non-clearing collect). The callable must be thread-safe —
+  /// it runs on the HTTP thread while the round loop samples.
+  void set_profile_source(std::function<std::string()> source);
+
   // ---- reader side (the HTTP thread) ----
 
   [[nodiscard]] Health health() const {
@@ -114,6 +121,13 @@ class SnapshotPublisher {
 
   [[nodiscard]] std::vector<std::pair<std::string, std::string>> info() const;
   [[nodiscard]] std::vector<RunRecord> history() const;
+
+  /// True when a profile source is installed (profiling enabled).
+  [[nodiscard]] bool has_profile_source() const;
+
+  /// Renders the live folded-stack profile ("" without a source). The
+  /// source callable is copied under the mutex and invoked outside it.
+  [[nodiscard]] std::string profile_text() const;
   [[nodiscard]] std::uint64_t publishes() const {
     return publishes_.load(std::memory_order_relaxed);
   }
@@ -159,6 +173,7 @@ class SnapshotPublisher {
 
   mutable std::mutex meta_mu_;
   std::vector<std::pair<std::string, std::string>> info_;
+  std::function<std::string()> profile_source_;
   std::deque<RunRecord> history_;
   std::string run_label_;
   std::uint64_t run_start_us_ = 0;

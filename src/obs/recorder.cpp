@@ -8,6 +8,7 @@
 #include <ostream>
 #include <set>
 
+#include "obs/profile.hpp"
 #include "obs/publish.hpp"
 #include "support/check.hpp"
 
@@ -15,9 +16,15 @@ namespace ds::obs {
 
 namespace {
 
-/// Leading word of a drained block ("ds_obs_1" as big-endian bytes) — a
+/// Leading word of a drained block ("ds_obs_2" as big-endian bytes) — a
 /// format tag, so a misaligned or foreign block fails loudly in merge.
-constexpr std::uint64_t kObsMagic = 0x64735f6f62735f31ull;
+/// v2 (this PR): events carry cycle/instruction deltas (7 words) and the
+/// block gains a folded-stack profile section. Both codec ends live in this
+/// file, so the version only ever changes in lockstep.
+constexpr std::uint64_t kObsMagic = 0x64735f6f62735f32ull;
+
+/// Words per serialized TraceEvent.
+constexpr std::size_t kEventWords = 7;
 
 /// Appends [byte_length, packed chars...] — obs deliberately has its own
 /// tiny string codec rather than depending on net/frame.hpp.
@@ -166,13 +173,27 @@ std::uint64_t Recorder::now_us() const {
   return (now - t0_ns_) / 1000;
 }
 
+void Recorder::absorb_profiler() {
+  if (profiler_ == nullptr) return;
+  const std::string prefix = lane_kind_ + ":" + std::to_string(lane_);
+  for (const auto& [stack, count] : profiler_->drain_folded(prefix)) {
+    folded_[stack] += count;
+  }
+}
+
+void Recorder::write_folded(std::ostream& out) const {
+  SampledProfiler::write_folded(out, folded_);
+}
+
 std::vector<std::uint64_t> Recorder::drain_words() {
+  absorb_profiler();
   const std::vector<MetricSnapshot> snaps = metrics_.snapshot();
   const std::vector<TraceEvent> ordered = ordered_events();
   std::vector<std::uint64_t> out;
   out.push_back(kObsMagic);
   out.push_back(snaps.size());
   out.push_back(ordered.size());
+  out.push_back(folded_.size());
   for (const MetricSnapshot& s : snaps) {
     pack_string(out, s.name);
     out.push_back(static_cast<std::uint64_t>(s.kind));
@@ -187,20 +208,28 @@ std::vector<std::uint64_t> Recorder::drain_words() {
     out.push_back(e.round);
     out.push_back(e.ts_us);
     out.push_back(e.dur_us);
+    out.push_back(e.cycles);
+    out.push_back(e.instructions);
+  }
+  for (const auto& [stack, count] : folded_) {
+    pack_string(out, stack);
+    out.push_back(count);
   }
   metrics_.reset();
   events_.clear();
   next_ = 0;
+  folded_.clear();
   return out;
 }
 
 void Recorder::merge_words(const std::uint64_t* words, std::size_t count) {
   std::size_t pos = 0;
-  DS_CHECK_MSG(count >= 3 && words[pos] == kObsMagic,
+  DS_CHECK_MSG(count >= 4 && words[pos] == kObsMagic,
                "obs block has a bad magic word");
   ++pos;
   const auto num_metrics = static_cast<std::size_t>(words[pos++]);
   const auto num_events = static_cast<std::size_t>(words[pos++]);
+  const auto num_folded = static_cast<std::size_t>(words[pos++]);
   for (std::size_t i = 0; i < num_metrics; ++i) {
     MetricSnapshot s;
     s.name = unpack_string(words, count, pos);
@@ -216,7 +245,7 @@ void Recorder::merge_words(const std::uint64_t* words, std::size_t count) {
     metrics_.merge(s);
   }
   for (std::size_t i = 0; i < num_events; ++i) {
-    DS_CHECK_MSG(pos + 5 <= count, "obs block truncated (event)");
+    DS_CHECK_MSG(pos + kEventWords <= count, "obs block truncated (event)");
     TraceEvent e;
     e.lane = static_cast<std::uint32_t>(words[pos]);
     DS_CHECK_MSG(words[pos + 1] <= static_cast<std::uint64_t>(Phase::kGather),
@@ -225,8 +254,15 @@ void Recorder::merge_words(const std::uint64_t* words, std::size_t count) {
     e.round = words[pos + 2];
     e.ts_us = words[pos + 3];
     e.dur_us = words[pos + 4];
-    pos += 5;
+    e.cycles = words[pos + 5];
+    e.instructions = words[pos + 6];
+    pos += kEventWords;
     push_event(e);  // merged events obey the flight-recorder bound too
+  }
+  for (std::size_t i = 0; i < num_folded; ++i) {
+    const std::string stack = unpack_string(words, count, pos);
+    DS_CHECK_MSG(pos < count, "obs block truncated (folded count)");
+    folded_[stack] += words[pos++];
   }
   DS_CHECK_MSG(pos == count, "obs block has trailing words");
 }
@@ -314,7 +350,24 @@ void Recorder::write_trace_json(std::ostream& out) const {
         << "\", \"pid\": " << e.lane
         << ", \"tid\": " << static_cast<int>(e.phase) << ", \"ts\": "
         << shifted(e) << ", \"dur\": " << e.dur_us
-        << ", \"args\": {\"round\": " << e.round << "}}";
+        << ", \"args\": {\"round\": " << e.round;
+    // Spans carry their hardware deltas when the span site sampled a live
+    // counter group; degraded runs mark the absence explicitly so a reader
+    // never mistakes "no counters" for "zero work".
+    if (e.cycles != kPerfUnavailable && e.instructions != kPerfUnavailable) {
+      out << ", \"cycles\": " << e.cycles
+          << ", \"instructions\": " << e.instructions;
+      if (e.cycles > 0) {
+        char ipc[32];
+        std::snprintf(ipc, sizeof(ipc), "%.3f",
+                      static_cast<double>(e.instructions) /
+                          static_cast<double>(e.cycles));
+        out << ", \"ipc\": " << ipc;
+      }
+    } else {
+      out << ", \"perf\": \"unavailable\"";
+    }
+    out << "}}";
   }
   out << "\n]";
   out << ",\n\"metadata\": {\"clock_aligned_lanes\": "
@@ -389,14 +442,18 @@ void Recorder::write_stats_table(std::ostream& out) const {
     out << "\n";
   }
   bool any_hist = false;
+  std::uint64_t round_sum = 0;  // denominator of the share column
   for (const MetricSnapshot& s : snaps) {
-    if (s.kind == Kind::kHistogram) any_hist = true;
+    if (s.kind != Kind::kHistogram) continue;
+    any_hist = true;
+    if (s.name == "phase.round.us") round_sum = s.sum;
   }
   if (any_hist) {
     out << "  " << std::left << std::setw(static_cast<int>(width))
         << "(histogram)" << std::right << std::setw(10) << "count"
         << std::setw(12) << "sum" << std::setw(12) << "min" << std::setw(12)
-        << "max" << std::setw(12) << "mean" << "\n";
+        << "max" << std::setw(12) << "mean" << std::setw(9) << "share"
+        << "\n";
     for (const MetricSnapshot& s : snaps) {
       if (s.kind != Kind::kHistogram) continue;
       // Mean with one decimal — sub-µs phase means round to a useless 0
@@ -406,11 +463,66 @@ void Recorder::write_stats_table(std::ostream& out) const {
                     s.count == 0 ? 0.0
                                  : static_cast<double>(s.sum) /
                                        static_cast<double>(s.count));
+      // Share of round: phase sums over the phase.round.us total, so a
+      // straggling phase reads at a glance. Only timing histograms get one.
+      char share[16];
+      const bool timing = s.name.size() > 3 &&
+                          s.name.compare(s.name.size() - 3, 3, ".us") == 0;
+      if (timing && round_sum > 0) {
+        std::snprintf(share, sizeof(share), "%.1f%%",
+                      100.0 * static_cast<double>(s.sum) /
+                          static_cast<double>(round_sum));
+      } else {
+        std::snprintf(share, sizeof(share), "-");
+      }
       out << "  " << std::left << std::setw(static_cast<int>(width)) << s.name
           << std::right << std::setw(10) << s.count << std::setw(12) << s.sum
           << std::setw(12) << (s.count == 0 ? 0 : s.min) << std::setw(12)
-          << s.max << std::setw(12) << mean << "\n";
+          << s.max << std::setw(12) << mean << std::setw(9) << share << "\n";
     }
+  }
+  // Derived hardware-counter ratios, when a live perf group recorded them
+  // (absent under fallback — the counters themselves are never registered).
+  std::map<std::string, std::uint64_t> perf;
+  for (const MetricSnapshot& s : snaps) {
+    if (s.kind == Kind::kCounter && s.name.rfind("perf.", 0) == 0) {
+      perf[s.name] = s.sum;
+    }
+  }
+  bool derived_header = false;
+  for (const auto& [name, cycles] : perf) {
+    constexpr std::size_t kPrefixLen = 5;  // "perf."
+    if (name.size() <= kPrefixLen + 7 ||
+        name.compare(name.size() - 7, 7, ".cycles") != 0) {
+      continue;
+    }
+    const std::string phase =
+        name.substr(kPrefixLen, name.size() - kPrefixLen - 7);
+    const auto insns = perf.find("perf." + phase + ".instructions");
+    const auto refs = perf.find("perf." + phase + ".cache_refs");
+    const auto misses = perf.find("perf." + phase + ".cache_misses");
+    if (cycles == 0 || insns == perf.end()) continue;
+    if (!derived_header) {
+      out << "  " << std::left << std::setw(static_cast<int>(width))
+          << "(derived)" << std::right << std::setw(14) << "ipc"
+          << std::setw(16) << "cache-miss%" << "\n";
+      derived_header = true;
+    }
+    char ipc[32];
+    std::snprintf(ipc, sizeof(ipc), "%.3f",
+                  static_cast<double>(insns->second) /
+                      static_cast<double>(cycles));
+    char miss[32];
+    if (refs != perf.end() && misses != perf.end() && refs->second > 0) {
+      std::snprintf(miss, sizeof(miss), "%.2f%%",
+                    100.0 * static_cast<double>(misses->second) /
+                        static_cast<double>(refs->second));
+    } else {
+      std::snprintf(miss, sizeof(miss), "-");
+    }
+    out << "  " << std::left << std::setw(static_cast<int>(width))
+        << ("perf." + phase) << std::right << std::setw(14) << ipc
+        << std::setw(16) << miss << "\n";
   }
   out << "---------------------------------------------------------------\n";
 }

@@ -41,6 +41,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,7 +50,12 @@
 
 namespace ds::obs {
 
+class SampledProfiler;
 class SnapshotPublisher;
+
+/// Sentinel for "no hardware counter data" in span perf fields — rendered
+/// as an explicit `unavailable` (never zero) by the exporters.
+inline constexpr std::uint64_t kPerfUnavailable = ~std::uint64_t{0};
 
 /// The instrumented phases of a synchronous round. Values are part of the
 /// drain/merge wire format (and the trace's thread-track ids).
@@ -67,12 +73,17 @@ enum class Phase : std::uint8_t {
 [[nodiscard]] const char* phase_name(Phase p);
 
 /// One completed span. `lane` is the rank/worker/shard the span ran on.
+/// The perf fields are the span's hardware-counter deltas (sampled at the
+/// same points as the timestamps); `kPerfUnavailable` when the kernel
+/// refused `perf_event_open` or the span site carries no counters.
 struct TraceEvent {
   std::uint32_t lane = 0;
   Phase phase = Phase::kRound;
   std::uint64_t round = 0;
   std::uint64_t ts_us = 0;   ///< start, µs since the recorder's t0
   std::uint64_t dur_us = 0;  ///< duration, µs
+  std::uint64_t cycles = kPerfUnavailable;        ///< hw cycle delta
+  std::uint64_t instructions = kPerfUnavailable;  ///< hw instruction delta
 };
 
 class Recorder {
@@ -100,12 +111,16 @@ class Recorder {
   [[nodiscard]] const std::string& lane_kind() const { return lane_kind_; }
 
   void add_span(Phase phase, std::uint64_t round, std::uint64_t ts_us,
-                std::uint64_t dur_us) {
-    push_event({lane_, phase, round, ts_us, dur_us});
+                std::uint64_t dur_us,
+                std::uint64_t cycles = kPerfUnavailable,
+                std::uint64_t instructions = kPerfUnavailable) {
+    push_event({lane_, phase, round, ts_us, dur_us, cycles, instructions});
   }
   void add_span_on(std::uint32_t lane, Phase phase, std::uint64_t round,
-                   std::uint64_t ts_us, std::uint64_t dur_us) {
-    push_event({lane, phase, round, ts_us, dur_us});
+                   std::uint64_t ts_us, std::uint64_t dur_us,
+                   std::uint64_t cycles = kPerfUnavailable,
+                   std::uint64_t instructions = kPerfUnavailable) {
+    push_event({lane, phase, round, ts_us, dur_us, cycles, instructions});
   }
 
   /// The raw ring storage. Insertion order is only chronological while the
@@ -138,6 +153,32 @@ class Recorder {
   /// `rounds` is the number of completed rounds — the HTTP layer's
   /// `rounds_total`. Called from the round-loop thread only.
   void publish_round(std::uint64_t rounds);
+
+  /// Attaches (or detaches, nullptr) a sampling profiler. Not owned. With
+  /// one attached, `drain_words()` folds its ring into the drained block —
+  /// fleet runs merge every rank's profile through the existing gather.
+  void set_profiler(SampledProfiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] SampledProfiler* profiler() const { return profiler_; }
+
+  /// Folds the attached profiler's ring into the merged profile under this
+  /// recorder's `<lane_kind>:<lane>` prefix (no-op without a profiler).
+  /// `drain_words()` does this implicitly; the tools call it once more
+  /// before `write_folded` so post-gather samples aren't lost.
+  void absorb_profiler();
+
+  /// The merged folded stacks (own absorbed samples + merged rank blocks).
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& folded() const {
+    return folded_;
+  }
+
+  /// Merges one folded stack line (tests / manual assembly).
+  void merge_folded(const std::string& stack, std::uint64_t count) {
+    folded_[stack] += count;
+  }
+
+  /// Writes the merged profile as collapsed/folded `stack count` lines
+  /// (flamegraph.pl / speedscope input).
+  void write_folded(std::ostream& out) const;
 
   /// Serializes the aggregated metrics + events into words and clears the
   /// local state (cells zeroed, events dropped; handles and registrations
@@ -186,6 +227,11 @@ class Recorder {
   std::string lane_kind_ = "rank";
   std::uint64_t t0_ns_ = 0;  ///< steady-clock origin, ns
   SnapshotPublisher* publisher_ = nullptr;  ///< not owned
+  SampledProfiler* profiler_ = nullptr;     ///< not owned
+  /// Merged folded stacks: absorbed from the local profiler on drain and
+  /// accumulated from every rank's block on merge. Drained blocks carry and
+  /// clear it, mirroring the metrics contract.
+  std::map<std::string, std::uint64_t> folded_;
 };
 
 /// The standard per-round instruments every executor records — bundled so

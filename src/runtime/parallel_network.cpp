@@ -59,6 +59,15 @@ void ParallelNetwork::run_epoch_shard(std::size_t s) {
   // concurrently; each shard writes its own counters_ slot.
   obs::Recorder* const rec = recorder();
   if (plan.timed) c.start_us = rec != nullptr ? rec->now_us() : tick_us();
+  // Per-thread hardware counters: pool threads are long-lived, so the
+  // thread-local group opens once and attributes work to the thread that
+  // did it. Sink-only (recorder-less) runs skip the sampling entirely.
+  obs::PerfCounters* perf = nullptr;
+  if (rec != nullptr && plan.timed) {
+    static thread_local obs::PerfCounters tls_perf;
+    perf = &tls_perf;
+    c.perf_begin = perf->sample();
+  }
   local::WordBank* bank = nullptr;
   if (plan.send) {
     // Bump-reset this shard's write bank; capacity is kept, so rounds past
@@ -91,6 +100,7 @@ void ParallelNetwork::run_epoch_shard(std::size_t s) {
   if (plan.timed) {
     c.busy_us = (rec != nullptr ? rec->now_us() : tick_us()) - c.start_us;
   }
+  if (perf != nullptr) c.perf_end = perf->sample();
   counters_[s] = c;
 }
 
@@ -125,11 +135,19 @@ std::size_t ParallelNetwork::run(const local::ProgramFactory& factory,
   obs::RoundInstruments ins;
   obs::Histogram epoch_us;
   obs::Histogram straggler_us;
+  // The probe group only answers "is the hardware available" for eager
+  // registration; the actual deltas come from each worker thread's
+  // thread-local group, sampled inside run_epoch_shard.
+  std::unique_ptr<obs::PerfCounters> perf_probe;
+  obs::PhasePerf phase_perf;
   if (rec != nullptr) {
     ins = obs::RoundInstruments::create(rec->metrics());
     epoch_us = rec->metrics().histogram("phase.epoch.us");
     straggler_us = rec->metrics().histogram("shard.straggler.us");
     rec->set_lane_kind("shard");
+    perf_probe = std::make_unique<obs::PerfCounters>();
+    phase_perf = obs::PhasePerf(rec->metrics(), *perf_probe,
+                                {obs::Phase::kEpoch, obs::Phase::kRound});
   }
 
   pool_.parallel_for(num_shards, count_fn);
@@ -192,17 +210,34 @@ std::size_t ParallelNetwork::run(const local::ProgramFactory& factory,
       straggler_us.record(straggler);
       std::uint64_t round_start = UINT64_MAX;
       std::uint64_t round_end = 0;
+      // The round's hardware totals are the sum of shard busy deltas (the
+      // run() thread only waits at the barrier, so its own counters would
+      // add nothing); unavailable on any shard marks the round span too.
+      std::uint64_t round_cycles = 0;
+      std::uint64_t round_insns = 0;
+      bool round_perf = true;
       for (std::size_t s = 0; s < num_shards; ++s) {
         const ShardCounters& c = counters_[s];
         epoch_us.record(c.busy_us);
+        const obs::SpanPerf d =
+            phase_perf.account(obs::Phase::kEpoch, c.perf_begin, c.perf_end);
+        phase_perf.account(obs::Phase::kRound, c.perf_begin, c.perf_end);
         rec->add_span_on(static_cast<std::uint32_t>(s), obs::Phase::kEpoch,
-                         r, c.start_us, c.busy_us);
+                         r, c.start_us, c.busy_us, d.cycles, d.instructions);
+        if (d.cycles == obs::kPerfUnavailable) {
+          round_perf = false;
+        } else {
+          round_cycles += d.cycles;
+          round_insns += d.instructions;
+        }
         round_start = std::min(round_start, c.start_us);
         round_end = std::max(round_end, c.start_us + c.busy_us);
       }
       ins.round_us.record(round_end - round_start);
       rec->add_span(obs::Phase::kRound, r, round_start,
-                    round_end - round_start);
+                    round_end - round_start,
+                    round_perf ? round_cycles : obs::kPerfUnavailable,
+                    round_perf ? round_insns : obs::kPerfUnavailable);
       rec->publish_round(r + 1);  // live-introspection snapshot
     }
     if (sink_ && senders > 0) {

@@ -61,6 +61,7 @@
 #include "local/program.hpp"
 #include "local/round_stats.hpp"
 #include "local/topology.hpp"
+#include "obs/perf.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ds::runtime {
@@ -127,6 +128,12 @@ class ParallelNetwork final : public local::Executor {
     /// imbalance the degree-balanced split is supposed to bound.
     std::uint64_t start_us = 0;
     std::uint64_t busy_us = 0;
+    /// Hardware-counter samples bracketing the shard's busy window, taken
+    /// from the worker thread's thread-local counter group (observed runs
+    /// only). The run() thread turns the pair into per-shard epoch deltas
+    /// and the round's summed totals.
+    obs::PerfSample perf_begin;
+    obs::PerfSample perf_end;
   };
   /// What one fused pool epoch does; written by run() before the epoch,
   /// read by the workers (the pool's epoch handoff orders the accesses).

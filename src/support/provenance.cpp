@@ -1,0 +1,58 @@
+#include "support/provenance.hpp"
+
+#include <unistd.h>
+
+#ifndef DISTSPLIT_GIT_SHA
+#define DISTSPLIT_GIT_SHA "unknown"
+#endif
+#ifndef DISTSPLIT_BUILD_TYPE
+#define DISTSPLIT_BUILD_TYPE "unknown"
+#endif
+
+namespace ds {
+
+namespace {
+
+std::string detect_compiler() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+Provenance detect() {
+  Provenance p;
+  char host[256] = {};
+  if (::gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    p.hostname = host;
+  } else {
+    p.hostname = "unknown";
+  }
+  p.pid = static_cast<int>(::getpid());
+  p.git_sha = DISTSPLIT_GIT_SHA;
+  p.compiler = detect_compiler();
+  p.build_type = DISTSPLIT_BUILD_TYPE;
+  return p;
+}
+
+}  // namespace
+
+const Provenance& Provenance::get() {
+  // Note: computed on first call, so a fork()ed child that calls get() first
+  // sees its own pid. The tools read it once at startup, pre-fork.
+  static const Provenance p = detect();
+  return p;
+}
+
+std::vector<std::pair<std::string, std::string>> Provenance::context() const {
+  return {
+      {"hostname", hostname},  {"pid", std::to_string(pid)},
+      {"git_sha", git_sha},    {"compiler", compiler},
+      {"build_type", build_type},
+  };
+}
+
+}  // namespace ds

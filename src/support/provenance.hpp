@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file provenance.hpp
+/// Run provenance: which host/process/build produced an artifact. Merged
+/// metrics files, BENCH.json trajectories and /status pages from different
+/// machines are indistinguishable without this — every exporter stamps the
+/// same record so artifacts can be traced back to a build and a host.
+///
+/// The git sha and build type are baked in at CMake configure time (see the
+/// `set_source_files_properties` call on provenance.cpp); hostname and pid
+/// are read once per process on first use.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ds {
+
+struct Provenance {
+  std::string hostname;
+  int pid = 0;
+  std::string git_sha;     ///< configure-time HEAD ("unknown" outside a repo)
+  std::string compiler;    ///< e.g. "gcc 12.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE at configure time
+
+  /// The process-wide record, computed once on first use.
+  [[nodiscard]] static const Provenance& get();
+
+  /// Key/value form for metrics-JSON contexts / publisher info / BENCH.json.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> context()
+      const;
+};
+
+}  // namespace ds

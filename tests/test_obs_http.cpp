@@ -213,6 +213,55 @@ TEST(Exposition, ConformsAndCountersAreMonotoneBetweenScrapes) {
   EXPECT_EQ(e2.samples.at("distsplit_rounds_messages_total"), 11.0);
 }
 
+TEST(Exposition, DerivesPerPhaseIpcAndCacheMissFamilies) {
+  Recorder rec;
+  Metrics& m = rec.metrics();
+  m.counter("perf.send.cycles").add(1000);
+  m.counter("perf.send.instructions").add(2500);
+  m.counter("perf.send.cache_refs").add(200);
+  m.counter("perf.send.cache_misses").add(50);
+  // A phase with no cache traffic must not synthesize a 0/0 rate sample.
+  m.counter("perf.barrier.cycles").add(10);
+  m.counter("perf.barrier.instructions").add(5);
+  SnapshotPublisher pub;
+  rec.set_publisher(&pub);
+  rec.publish_round(1);
+
+  std::ostringstream out;
+  write_prometheus(out, pub);
+  const Exposition e = parse_exposition(out.str());
+  EXPECT_TRUE(e.errors.empty()) << e.errors.front();
+  EXPECT_EQ(e.families.at("distsplit_phase_ipc"), "gauge");
+  EXPECT_EQ(e.samples.at("distsplit_phase_ipc{phase=\"send\"}"), 2.5);
+  EXPECT_EQ(e.samples.at("distsplit_phase_ipc{phase=\"barrier\"}"), 0.5);
+  EXPECT_EQ(e.families.at("distsplit_phase_cache_miss_rate"), "gauge");
+  EXPECT_EQ(e.samples.at("distsplit_phase_cache_miss_rate{phase=\"send\"}"),
+            0.25);
+  EXPECT_EQ(e.samples.count("distsplit_phase_cache_miss_rate{phase="
+                            "\"barrier\"}"),
+            0u);
+}
+
+TEST(Exposition, FallbackRunSynthesizesNoHardwareFamilies) {
+  Recorder rec;
+  Metrics& m = rec.metrics();
+  // What a degraded run registers: the availability gauge and the software
+  // fallback, no cycles/instructions names at all.
+  m.gauge("perf.hardware").set(0);
+  m.counter("perf.send.task_clock_ns").add(123456);
+  SnapshotPublisher pub;
+  rec.set_publisher(&pub);
+  rec.publish_round(1);
+
+  std::ostringstream out;
+  write_prometheus(out, pub);
+  const Exposition e = parse_exposition(out.str());
+  EXPECT_TRUE(e.errors.empty()) << e.errors.front();
+  EXPECT_EQ(e.samples.at("distsplit_perf_hardware"), 0.0);
+  EXPECT_EQ(e.families.count("distsplit_phase_ipc"), 0u);
+  EXPECT_EQ(e.families.count("distsplit_phase_cache_miss_rate"), 0u);
+}
+
 // ---- HTTP server endpoints -----------------------------------------------
 
 TEST(HttpServer, ServesAllEndpointsOnAnEphemeralPort) {
@@ -254,6 +303,23 @@ TEST(HttpServer, ServesAllEndpointsOnAnEphemeralPort) {
   EXPECT_EQ(http_get(server.port(), "/nope").status, 404);
   EXPECT_EQ(http_request(server.port(), "POST", "/metrics").status, 405);
   EXPECT_GE(server.requests_served(), 6u);
+}
+
+TEST(HttpServer, ProfileEndpointServesFoldedStacksWhenAttached) {
+  SnapshotPublisher pub;
+  HttpServer server(pub, /*port=*/0);
+
+  // Without a profile source the endpoint 404s with a hint, not an empty
+  // 200 a scraper would mistake for "no samples yet".
+  const HttpResponse off = http_get(server.port(), "/api/v1/profile");
+  EXPECT_EQ(off.status, 404);
+  EXPECT_NE(off.body.find("--profile"), std::string::npos);
+
+  pub.set_profile_source([] { return std::string("rank:0;main;work 3\n"); });
+  const HttpResponse on = http_get(server.port(), "/api/v1/profile");
+  EXPECT_EQ(on.status, 200);
+  EXPECT_NE(on.headers.find("text/plain"), std::string::npos);
+  EXPECT_EQ(on.body, "rank:0;main;work 3\n");
 }
 
 TEST(HttpServer, HealthTracksPublisherLifecycle) {

@@ -1,0 +1,293 @@
+// Tests for the profiling subsystem (PR 9): perf_event_open degradation
+// semantics (absent metrics, never zeros), the span perf fields through the
+// drain/merge wire codec and the trace/stats exporters, the sampling
+// profiler's ring eviction and folded-stack aggregation, and the fleet
+// merge of folded profiles through the recorder codec.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/perf.hpp"
+#include "obs/profile.hpp"
+#include "obs/recorder.hpp"
+
+namespace ds::obs {
+namespace {
+
+/// True when this build runs under ThreadSanitizer — the real-sampling test
+/// arms SIGPROF, and TSan's signal interception makes its delivery timing
+/// unreliable enough to flake.
+constexpr bool tsan_build() {
+#if defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+std::map<std::string, std::uint64_t> snapshot_by_name(const Metrics& m) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& s : m.snapshot()) out[s.name] = s.value();
+  return out;
+}
+
+// ---- PerfCounters degradation --------------------------------------------
+
+TEST(PerfCounters, SimulatedRefusalDegradesWithReason) {
+  for (const int err : {EACCES, ENOSYS}) {
+    const PerfCounters perf(err);
+    EXPECT_FALSE(perf.hardware());
+    EXPECT_NE(perf.fallback_reason().find(err == EACCES ? "EACCES" : "ENOSYS"),
+              std::string::npos)
+        << perf.fallback_reason();
+    // The fallback sample still carries thread CPU time; the hardware
+    // fields stay at the sentinel, never zero.
+    const PerfSample s = perf.sample();
+    EXPECT_EQ(s.cycles, kPerfUnavailable);
+    EXPECT_EQ(s.instructions, kPerfUnavailable);
+    EXPECT_EQ(s.cache_misses, kPerfUnavailable);
+  }
+}
+
+TEST(PerfCounters, PermissionRefusalNamesTheParanoidKnob) {
+  const PerfCounters perf(EACCES);
+  EXPECT_NE(perf.fallback_reason().find("perf_event_paranoid"),
+            std::string::npos)
+      << perf.fallback_reason();
+}
+
+TEST(PhasePerf, FallbackRegistersNoHardwareMetricNames) {
+  Metrics m;
+  const PerfCounters perf(EACCES);
+  PhasePerf pp(m, perf, {Phase::kSend, Phase::kRound});
+  const PerfSample a = perf.sample();
+  const PerfSample b = perf.sample();
+  const SpanPerf span = pp.account(Phase::kSend, a, b);
+  // The absent-not-zero contract: under fallback the hardware names must
+  // not exist at all — a dashboard seeing `perf.send.cycles 0` would read
+  // it as a measured zero.
+  const auto snap = snapshot_by_name(m);
+  EXPECT_EQ(snap.count("perf.send.cycles"), 0u);
+  EXPECT_EQ(snap.count("perf.send.instructions"), 0u);
+  EXPECT_EQ(snap.count("perf.round.cycles"), 0u);
+  ASSERT_EQ(snap.count("perf.hardware"), 1u);
+  EXPECT_EQ(snap.at("perf.hardware"), 0u);
+  // The software fallback is still accounted.
+  EXPECT_EQ(snap.count("perf.send.task_clock_ns"), 1u);
+  EXPECT_EQ(snap.count("perf.send.ctx_switches"), 1u);
+  // And the span deltas stay at the sentinel for the exporters.
+  EXPECT_EQ(span.cycles, kPerfUnavailable);
+  EXPECT_EQ(span.instructions, kPerfUnavailable);
+}
+
+TEST(PhasePerf, HardwarePathAccountsMonotoneDeltas) {
+  const PerfCounters perf;
+  if (!perf.hardware()) {
+    GTEST_SKIP() << "perf_event_open unavailable: " << perf.fallback_reason();
+  }
+  Metrics m;
+  PhasePerf pp(m, perf, {Phase::kSend});
+  const PerfSample a = perf.sample();
+  // Burn some cycles so the delta is visibly nonzero.
+  volatile std::uint64_t x = 1;
+  for (int i = 0; i < 100000; ++i) x = x * 2654435761u + 1;
+  const PerfSample b = perf.sample();
+  const SpanPerf span = pp.account(Phase::kSend, a, b);
+  EXPECT_NE(span.cycles, kPerfUnavailable);
+  EXPECT_GT(span.instructions, 0u);
+  const auto snap = snapshot_by_name(m);
+  ASSERT_EQ(snap.count("perf.send.cycles"), 1u);
+  EXPECT_GT(snap.at("perf.send.instructions"), 0u);
+  EXPECT_EQ(snap.at("perf.hardware"), 1u);
+}
+
+// ---- span perf fields through the wire codec ------------------------------
+
+TEST(Recorder, SpanPerfDeltasSurviveDrainAndMerge) {
+  Recorder a;
+  a.add_span(Phase::kSend, /*round=*/1, /*ts_us=*/10, /*dur_us=*/5,
+             /*cycles=*/1000, /*instructions=*/2500);
+  a.add_span(Phase::kShip, /*round=*/1, /*ts_us=*/15, /*dur_us=*/3);
+  const std::vector<std::uint64_t> words = a.drain_words();
+  Recorder b;
+  b.merge_words(words.data(), words.size());
+  const auto events = b.ordered_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].cycles, 1000u);
+  EXPECT_EQ(events[0].instructions, 2500u);
+  EXPECT_EQ(events[1].cycles, kPerfUnavailable);
+  EXPECT_EQ(events[1].instructions, kPerfUnavailable);
+}
+
+TEST(Recorder, TraceJsonCarriesPerfArgsOrExplicitUnavailable) {
+  Recorder rec;
+  rec.add_span(Phase::kSend, 1, 10, 5, /*cycles=*/2000, /*instructions=*/5000);
+  rec.add_span(Phase::kShip, 1, 15, 3);
+  std::ostringstream out;
+  rec.write_trace_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"cycles\": 2000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"instructions\": 5000"), std::string::npos);
+  EXPECT_NE(json.find("\"ipc\": 2.500"), std::string::npos);
+  // The no-counter span must say so explicitly, not claim zero cycles.
+  EXPECT_NE(json.find("\"perf\": \"unavailable\""), std::string::npos);
+}
+
+TEST(Recorder, StatsTableDerivesIpcAndShareColumns) {
+  Recorder rec;
+  Metrics& m = rec.metrics();
+  m.histogram("phase.send.us").record(75);
+  m.histogram("phase.round.us").record(100);
+  m.counter("perf.send.cycles").add(10000);
+  m.counter("perf.send.instructions").add(25000);
+  m.counter("perf.send.cache_refs").add(400);
+  m.counter("perf.send.cache_misses").add(100);
+  std::ostringstream out;
+  rec.write_stats_table(out);
+  const std::string table = out.str();
+  EXPECT_NE(table.find("share"), std::string::npos) << table;
+  EXPECT_NE(table.find("75.0%"), std::string::npos) << table;
+  EXPECT_NE(table.find("ipc"), std::string::npos);
+  EXPECT_NE(table.find("2.500"), std::string::npos);   // 25000 / 10000
+  EXPECT_NE(table.find("25.00%"), std::string::npos);  // 100 / 400 misses
+}
+
+// ---- SampledProfiler ring -------------------------------------------------
+
+/// Builds a synthetic leaf-first stack of fake pcs; values are well outside
+/// any mapped object so they symbolize to raw hex (deterministic).
+std::vector<void*> fake_stack(std::uintptr_t leaf) {
+  return {reinterpret_cast<void*>(leaf),
+          reinterpret_cast<void*>(std::uintptr_t{0x1000})};
+}
+
+TEST(SampledProfiler, RingEvictsOldestAndCountsDrops) {
+  SampledProfiler::Options opts;
+  opts.ring_capacity = 4;
+  SampledProfiler prof(opts);
+  for (std::uintptr_t i = 0; i < 10; ++i) {
+    const auto stack = fake_stack(0x100000 + i * 0x10);
+    prof.record_sample(stack.data(), stack.size());
+  }
+  EXPECT_EQ(prof.samples(), 10u);
+  EXPECT_EQ(prof.dropped(), 6u);
+  const auto folded = prof.drain_folded("");
+  std::uint64_t total = 0;
+  for (const auto& [stack, count] : folded) total += count;
+  EXPECT_EQ(total, 4u);  // only the ring capacity is retained
+  // The retained samples are the newest four (0x100060..0x100090).
+  std::ostringstream out;
+  SampledProfiler::write_folded(out, folded);
+  EXPECT_NE(out.str().find("0x100090"), std::string::npos) << out.str();
+  EXPECT_EQ(out.str().find("0x100000"), std::string::npos) << out.str();
+  // Drain cleared the ring: nothing left to fold, drop counter reset.
+  EXPECT_TRUE(prof.drain_folded("").empty());
+  EXPECT_EQ(prof.dropped(), 0u);
+}
+
+TEST(SampledProfiler, FoldAggregatesIdenticalStacksRootFirst) {
+  SampledProfiler prof;
+  const auto stack = fake_stack(0x200000);
+  for (int i = 0; i < 3; ++i) prof.record_sample(stack.data(), stack.size());
+  const auto folded = prof.collect_folded("rank:7");
+  ASSERT_EQ(folded.size(), 1u);
+  // Leaf-first capture renders root-first: prefix;root;leaf.
+  EXPECT_EQ(folded.begin()->first, "rank:7;0x1000;0x200000");
+  EXPECT_EQ(folded.begin()->second, 3u);
+  // collect_folded leaves the ring intact.
+  EXPECT_EQ(prof.collect_folded("rank:7").begin()->second, 3u);
+}
+
+TEST(SampledProfiler, FoldedStacksRideTheRecorderWireCodec) {
+  SampledProfiler prof;
+  const auto stack = fake_stack(0x300000);
+  prof.record_sample(stack.data(), stack.size());
+  prof.record_sample(stack.data(), stack.size());
+
+  Recorder rank3;
+  rank3.set_lane(3);
+  rank3.set_profiler(&prof);
+  const std::vector<std::uint64_t> words = rank3.drain_words();
+  // Draining absorbed (and cleared) the profiler ring.
+  EXPECT_TRUE(prof.collect_folded("").empty());
+
+  Recorder rank0;
+  rank0.merge_words(words.data(), words.size());
+  rank0.merge_folded("rank:0;0x1000;0xabc", 5);
+  ASSERT_EQ(rank0.folded().size(), 2u);
+  EXPECT_EQ(rank0.folded().at("rank:3;0x1000;0x300000"), 2u);
+  std::ostringstream out;
+  rank0.write_folded(out);
+  EXPECT_EQ(out.str(),
+            "rank:0;0x1000;0xabc 5\nrank:3;0x1000;0x300000 2\n");
+}
+
+TEST(SampledProfiler, DrainedBlockWithoutProfilerCarriesNoFoldedSection) {
+  Recorder a;
+  a.add_span(Phase::kRound, 1, 0, 10);
+  const std::vector<std::uint64_t> words = a.drain_words();
+  Recorder b;
+  b.merge_words(words.data(), words.size());
+  EXPECT_TRUE(b.folded().empty());
+  EXPECT_EQ(b.ordered_events().size(), 1u);
+}
+
+TEST(SampledProfiler, RealSamplingCapturesThisTestFrame) {
+  if (tsan_build()) {
+    GTEST_SKIP() << "SIGPROF delivery is unreliable under TSan";
+  }
+  SampledProfiler::Options opts;
+  opts.interval_us = 500;
+  SampledProfiler prof(opts);
+  if (!prof.start()) {
+    GTEST_SKIP() << "sampling unavailable: " << prof.error();
+  }
+  // Busy-spin on CPU until the ITIMER_PROF timer has fired a few times;
+  // bounded by iterations, not wall time, so a loaded machine cannot hang
+  // the test.
+  volatile std::uint64_t x = 1;
+  for (std::uint64_t i = 0; i < 4'000'000'000ull && prof.samples() < 3; ++i) {
+    x = x * 2654435761u + i;
+  }
+  prof.stop();
+  ASSERT_GT(prof.samples(), 0u) << "timer never fired";
+  const auto folded = prof.drain_folded("rank:0");
+  ASSERT_FALSE(folded.empty());
+  for (const auto& [stack, count] : folded) {
+    EXPECT_EQ(stack.rfind("rank:0;", 0), 0u) << stack;
+    EXPECT_GT(count, 0u);
+  }
+}
+
+TEST(SampledProfiler, SecondConcurrentStartIsRefusedWithReason) {
+  if (tsan_build()) {
+    GTEST_SKIP() << "SIGPROF delivery is unreliable under TSan";
+  }
+  SampledProfiler first;
+  if (!first.start()) {
+    GTEST_SKIP() << "sampling unavailable: " << first.error();
+  }
+  SampledProfiler second;
+  EXPECT_FALSE(second.start());
+  EXPECT_NE(second.error().find("already owns SIGPROF"), std::string::npos);
+  first.stop();
+  // With the timer released, a fresh start succeeds again.
+  EXPECT_TRUE(second.start());
+  second.stop();
+}
+
+}  // namespace
+}  // namespace ds::obs

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: diff two distsplit-bench-v1 JSON records.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json
+        [--tolerance=0.35] [--hard-ratio=2.0] [--min-ns=1000]
+        [--metric=cpu_ns_per_op] [--warn-only]
+
+Both files come from `bench_micro --json=FILE` (schema distsplit-bench-v1).
+Every benchmark present in both is compared on --metric (default
+cpu_ns_per_op, the shared-runner-stable choice):
+
+    verdict ok      within +/- tolerance of the baseline
+    verdict faster  more than `tolerance` below the baseline
+    verdict WARN    above (1 + tolerance) x baseline
+    verdict FAIL    above hard-ratio x baseline AND baseline >= min-ns
+
+Benchmarks only in one file are reported (baseline drift) but never fail
+the gate. The exit code is 1 only when at least one FAIL fired and
+--warn-only was not given -- shared CI runners are noisy, so the default
+hard gate is a generous 2x on benchmarks big enough (>= --min-ns) for the
+ratio to mean anything.
+
+Stdlib only: this script must run on a bare CI runner (no pip installs).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit("error: cannot read %s: %s" % (path, e))
+    if doc.get("schema") != "distsplit-bench-v1":
+        sys.exit(
+            "error: %s: expected schema distsplit-bench-v1, got %r"
+            % (path, doc.get("schema"))
+        )
+    if not isinstance(doc.get("benchmarks"), list):
+        sys.exit("error: %s: missing 'benchmarks' list" % path)
+    return doc
+
+
+def by_name(doc, path, metric):
+    out = {}
+    for bench in doc["benchmarks"]:
+        name = bench.get("name")
+        value = bench.get(metric)
+        if not isinstance(name, str) or not isinstance(value, (int, float)):
+            sys.exit(
+                "error: %s: malformed benchmark entry %r (need 'name' and "
+                "numeric %r)" % (path, bench, metric)
+            )
+        out[name] = float(value)
+    return out
+
+
+def provenance_line(doc):
+    prov = doc.get("provenance", {})
+    if not isinstance(prov, dict) or not prov:
+        return "(no provenance)"
+    keys = ("hostname", "git_sha", "compiler", "build_type")
+    parts = ["%s=%s" % (k, prov[k]) for k in keys if k in prov]
+    return " ".join(parts) if parts else "(no provenance)"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two distsplit-bench-v1 records"
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.35)
+    parser.add_argument("--hard-ratio", type=float, default=2.0)
+    parser.add_argument("--min-ns", type=float, default=1000.0)
+    parser.add_argument("--metric", default="cpu_ns_per_op")
+    parser.add_argument("--warn-only", action="store_true")
+    args = parser.parse_args()
+
+    base_doc = load(args.baseline)
+    cur_doc = load(args.current)
+    base = by_name(base_doc, args.baseline, args.metric)
+    cur = by_name(cur_doc, args.current, args.metric)
+
+    print("baseline: %s" % provenance_line(base_doc))
+    print("current:  %s" % provenance_line(cur_doc))
+    print("metric:   %s  (tolerance %.0f%%, hard gate %.1fx over %gns)"
+          % (args.metric, args.tolerance * 100, args.hard_ratio, args.min_ns))
+    print()
+
+    width = max([len(n) for n in set(base) | set(cur)] + [10])
+    failures = 0
+    warnings = 0
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            print("%-*s  %12.1f  %12s  removed (not in current)"
+                  % (width, name, base[name], "-"))
+            warnings += 1
+            continue
+        if name not in base:
+            print("%-*s  %12s  %12.1f  new (not in baseline)"
+                  % (width, name, "-", cur[name]))
+            warnings += 1
+            continue
+        b, c = base[name], cur[name]
+        ratio = c / b if b > 0 else float("inf")
+        if ratio > args.hard_ratio and b >= args.min_ns:
+            verdict = "FAIL  %.2fx over baseline" % ratio
+            failures += 1
+        elif ratio > 1.0 + args.tolerance:
+            verdict = "WARN  %.2fx over baseline" % ratio
+            warnings += 1
+        elif ratio < 1.0 - args.tolerance:
+            verdict = "faster  %.2fx" % ratio
+        else:
+            verdict = "ok"
+        print("%-*s  %12.1f  %12.1f  %s" % (width, name, b, c, verdict))
+
+    print()
+    print("compared %d benchmarks: %d FAIL, %d warnings"
+          % (len(set(base) & set(cur)), failures, warnings))
+    if failures and args.warn_only:
+        print("--warn-only: reporting failures without failing the gate")
+        return 0
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,14 +24,16 @@
 ///   run      --algo=NAME (--input=FILE | --graph=FILE.dsg | --gen=SPEC)
 ///            [--seed=S] [--param=key=value ...]
 ///            [--metrics=FILE] [--trace=FILE] [--stats]
-///            [--http-port=P] [--event-cap=N]
+///            [--profile=FILE] [--http-port=P] [--event-cap=N]
 ///            + the runtime flags below
 ///            Run any registered algorithm on any runtime. Dispatch, usage
 ///            text and parameter help all come from the registry — there
 ///            is no per-algorithm code in this tool. The observability
 ///            flags instrument the run: --metrics writes the aggregated
 ///            counter/histogram snapshot as JSON, --trace writes a Chrome
-///            trace (open in Perfetto), --stats prints a summary table.
+///            trace (open in Perfetto), --stats prints a summary table,
+///            --profile writes the run's sampled flame-graph profile as
+///            collapsed/folded stacks (flamegraph.pl / speedscope input).
 ///            On the distributed runtimes the recorder merges every
 ///            rank's drained block, so the files hold fleet-wide data.
 ///            --http-port=P serves live introspection while the run is in
@@ -51,6 +53,8 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -63,11 +67,13 @@
 #include "graph/properties.hpp"
 #include "net/socket.hpp"
 #include "obs/http_server.hpp"
+#include "obs/profile.hpp"
 #include "obs/publish.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/select.hpp"
 #include "support/check.hpp"
 #include "support/options.hpp"
+#include "support/provenance.hpp"
 
 namespace {
 
@@ -85,7 +91,7 @@ int usage() {
          "--gen=SPEC)\n"
          "         [--seed=S] [--param=key=value ...]\n"
          "         [--metrics=FILE] [--trace=FILE] [--stats]\n"
-         "         [--http-port=P] [--event-cap=N]\n"
+         "         [--profile=FILE] [--http-port=P] [--event-cap=N]\n"
          "         "
       << runtime::kRuntimeFlagsHelp
       << "\n\nregistered algorithms (see also: distsplit_cli list):\n"
@@ -195,7 +201,7 @@ const std::vector<std::string> kRunFlags = {
     "param",      "runtime", "threads",    "workers",      "halo-words",
     "gather-words", "rank",  "ranks",      "hosts",        "sndbuf",
     "rcvbuf",     "metrics", "trace",      "stats",        "http-port",
-    "event-cap",
+    "event-cap",  "profile",
 };
 
 /// Resolution phase of `run`: anything wrong here is a usage error (exit
@@ -262,12 +268,25 @@ int cmd_run(const RunPlan& plan, const Options& opts) {
   // it on the executor and `execute` snapshots it into the result. The live
   // endpoints need the instruments, so --http-port implies observing.
   const bool observe = opts.has("metrics") || opts.has("trace") ||
-                       opts.has("stats") || opts.has("http-port");
+                       opts.has("stats") || opts.has("http-port") ||
+                       opts.has("profile");
   obs::Recorder recorder;
   obs::Recorder* const rec = observe ? &recorder : nullptr;
   if (rec != nullptr && opts.has("event-cap")) {
     rec->set_event_capacity(
         static_cast<std::size_t>(opts.get_int("event-cap", 0)));
+  }
+  // Sampling profiler: attached to the recorder so the fleet gather merges
+  // every lane's folded stacks. A refused timer/handler degrades to a
+  // logged notice and an empty profile, never a failed run.
+  std::unique_ptr<obs::SampledProfiler> profiler;
+  if (opts.has("profile")) {
+    profiler = std::make_unique<obs::SampledProfiler>();
+    rec->set_profiler(profiler.get());
+    if (!profiler->start()) {
+      std::cout << "profile: sampling unavailable (" << profiler->error()
+                << ")\n";
+    }
   }
   // Live introspection: the round loop publishes seqlock snapshots at round
   // boundaries; the HTTP thread only ever reads the publisher. Declared
@@ -276,17 +295,34 @@ int cmd_run(const RunPlan& plan, const Options& opts) {
   std::unique_ptr<obs::HttpServer> http;
   if (opts.has("http-port")) {
     rec->set_publisher(&publisher);
-    publisher.set_info({
+    std::vector<std::pair<std::string, std::string>> info = {
         {"tool", "distsplit_cli"},
         {"algo", spec.name},
         {"runtime", runtime::runtime_description(plan.runtime)},
         {"seed", std::to_string(opts.seed())},
-    });
+    };
+    for (const auto& kv : Provenance::get().context()) info.push_back(kv);
+    publisher.set_info(std::move(info));
+    if (profiler != nullptr) {
+      // Live profile endpoint: reads the ring without draining it, so the
+      // final written file still carries the full run.
+      obs::SampledProfiler* const prof = profiler.get();
+      const std::string prefix =
+          rec->lane_kind() + ":" + std::to_string(rec->lane());
+      publisher.set_profile_source([prof, prefix] {
+        std::ostringstream folded;
+        obs::SampledProfiler::write_folded(folded,
+                                           prof->collect_folded(prefix));
+        return folded.str();
+      });
+    }
     http = std::make_unique<obs::HttpServer>(
         publisher,
         static_cast<std::uint16_t>(opts.get_int("http-port", 0)));
     std::cout << "http: listening on port " << http->port()
-              << " (/metrics /status /healthz /api/v1/snapshot)" << std::endl;
+              << " (/metrics /status /healthz /api/v1/snapshot"
+              << (profiler != nullptr ? " /api/v1/profile" : "") << ")"
+              << std::endl;
   }
   algo::RunContext ctx;
   ctx.seed = opts.seed();
@@ -372,13 +408,17 @@ int cmd_run(const RunPlan& plan, const Options& opts) {
             << std::dec << "\n";
 
   if (rec != nullptr) {
+    if (profiler != nullptr) profiler->stop();
     const std::string metrics_path = opts.get("metrics", "");
     if (!metrics_path.empty()) {
-      const std::vector<std::pair<std::string, std::string>> context = {
+      std::vector<std::pair<std::string, std::string>> context = {
           {"algo", spec.name},
           {"runtime", runtime::runtime_description(plan.runtime)},
           {"seed", std::to_string(ctx.seed)},
       };
+      for (const auto& kv : Provenance::get().context()) {
+        context.push_back(kv);
+      }
       write_file(metrics_path, "metrics", [&](std::ostream& out) {
         rec->write_metrics_json(out, context);
       });
@@ -390,6 +430,17 @@ int cmd_run(const RunPlan& plan, const Options& opts) {
         rec->write_trace_json(out);
       });
       std::cout << "trace: " << trace_path << "\n";
+    }
+    const std::string profile_path = opts.get("profile", "");
+    if (!profile_path.empty()) {
+      // Samples taken after the last drain (output gather, run teardown)
+      // are still in the ring; absorb them before writing.
+      rec->absorb_profiler();
+      write_file(profile_path, "profile", [&](std::ostream& out) {
+        rec->write_folded(out);
+      });
+      std::cout << "profile: " << profile_path << " ("
+                << rec->folded().size() << " stacks)\n";
     }
     if (opts.has("stats")) rec->write_stats_table(std::cout);
   }

@@ -13,7 +13,7 @@
 ///         [--materialize] [--algo=NAME] [--seed=S] [--param=key=value ...]
 ///         [--sndbuf=BYTES] [--rcvbuf=BYTES]
 ///         [--metrics=FILE] [--trace=FILE] [--stats]
-///         [--http-port=P] [--event-cap=N]
+///         [--profile=FILE] [--http-port=P] [--event-cap=N]
 ///
 /// Input sources: --input reads a text edge list, --graph maps a packed
 /// .dsg file read-only in O(1) (fork-shared by loopback ranks), and --gen
@@ -29,7 +29,10 @@
 /// src/obs/). Every rank merges the whole fleet's drained blocks through
 /// the gather re-broadcast, but only rank 0 writes the files / prints the
 /// table — in loopback mode all ranks share a working directory and the
-/// children would clobber the same paths.
+/// children would clobber the same paths. --profile=FILE starts a sampling
+/// flame-graph profiler on every rank (loopback children start their own
+/// after the fork); the folded stacks ride the same gather, so the file
+/// rank 0 writes covers the whole fleet, each stack prefixed `rank:R`.
 ///
 /// Live introspection: --http-port=P serves /metrics (Prometheus),
 /// /status (HTML), /healthz and /api/v1/snapshot on every rank while the
@@ -53,6 +56,8 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -68,10 +73,12 @@
 #include "net/socket.hpp"
 #include "net/tcp_network.hpp"
 #include "obs/http_server.hpp"
+#include "obs/profile.hpp"
 #include "obs/publish.hpp"
 #include "obs/recorder.hpp"
 #include "support/check.hpp"
 #include "support/options.hpp"
+#include "support/provenance.hpp"
 
 namespace {
 
@@ -85,7 +92,7 @@ int usage() {
                "[--param=key=value ...]\n"
                "         [--sndbuf=BYTES] [--rcvbuf=BYTES]\n"
                "         [--metrics=FILE] [--trace=FILE] [--stats]\n"
-               "         [--http-port=P] [--event-cap=N]\n"
+               "         [--profile=FILE] [--http-port=P] [--event-cap=N]\n"
                "algorithms (distributed-capable registry entries):\n"
             << algo::names_listing(/*scalable_only=*/true);
   return 2;
@@ -111,7 +118,7 @@ struct RankPlan {
 const std::vector<std::string> kRankFlags = {
     "input",  "graph",  "gen",    "materialize", "hosts", "rank",
     "local",  "algo",   "seed",   "param",       "sndbuf", "rcvbuf",
-    "metrics", "trace", "stats",  "http-port",   "event-cap",
+    "metrics", "trace", "stats",  "http-port",   "event-cap", "profile",
 };
 
 RankPlan resolve(const Options& opts) {
@@ -211,7 +218,8 @@ int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
   net::Socket* first_listen = &listen;
   // The live endpoints need the instruments: --http-port implies observing.
   const bool observe = opts.has("metrics") || opts.has("trace") ||
-                       opts.has("stats") || opts.has("http-port");
+                       opts.has("stats") || opts.has("http-port") ||
+                       opts.has("profile");
   obs::Recorder recorder;
   obs::Recorder* const rec = observe ? &recorder : nullptr;
   if (rec != nullptr) {
@@ -219,6 +227,19 @@ int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
     if (opts.has("event-cap")) {
       rec->set_event_capacity(
           static_cast<std::size_t>(opts.get_int("event-cap", 0)));
+    }
+  }
+  // Per-rank sampling profiler. run_rank executes after the loopback fork,
+  // so every rank (parent and children alike) arms its own timer; the
+  // folded stacks ride the gather and only rank 0 writes the merged file.
+  std::unique_ptr<obs::SampledProfiler> profiler;
+  if (opts.has("profile")) {
+    profiler = std::make_unique<obs::SampledProfiler>();
+    rec->set_profiler(profiler.get());
+    if (!profiler->start()) {
+      std::cout << "[rank " << rank << "/" << nranks
+                << "] profile: sampling unavailable (" << profiler->error()
+                << ")" << std::endl;
     }
   }
   // Live introspection: every rank serves its own endpoints. A base port P
@@ -229,14 +250,29 @@ int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
   std::unique_ptr<obs::HttpServer> http;
   if (opts.has("http-port")) {
     rec->set_publisher(&publisher);
-    publisher.set_info({
+    std::vector<std::pair<std::string, std::string>> info = {
         {"tool", "distsplit_rank"},
         {"algo", plan.spec->name},
         {"runtime", std::string(plan.insitu ? "insitu-tcp(" : "tcp(") +
                         std::to_string(nranks) + " ranks)"},
         {"rank", std::to_string(rank)},
         {"seed", std::to_string(opts.seed())},
-    });
+    };
+    for (const auto& kv : Provenance::get().context()) info.push_back(kv);
+    publisher.set_info(std::move(info));
+    if (profiler != nullptr) {
+      // Live view of this rank's own ring (the merged fleet profile only
+      // exists after the end-of-run gather); reads without draining.
+      obs::SampledProfiler* const prof = profiler.get();
+      const std::string prefix =
+          rec->lane_kind() + ":" + std::to_string(rec->lane());
+      publisher.set_profile_source([prof, prefix] {
+        std::ostringstream folded;
+        obs::SampledProfiler::write_folded(folded,
+                                           prof->collect_folded(prefix));
+        return folded.str();
+      });
+    }
     const auto base = opts.get_int("http-port", 0);
     http = std::make_unique<obs::HttpServer>(
         publisher,
@@ -297,6 +333,7 @@ int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
   // teardown, and their summary must not die in a buffer with them.
   std::cout << "[rank " << rank << "/" << nranks << "] " << plan.spec->name
             << ": " << brief << std::endl;
+  if (profiler != nullptr) profiler->stop();
   // Every rank merged the fleet's observability blocks, but only rank 0
   // writes — loopback children would clobber the same paths.
   if (rec != nullptr && rank == 0) {
@@ -305,11 +342,15 @@ int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
       std::ofstream out(metrics_path);
       DS_CHECK_MSG(out.good(),
                    "cannot open metrics output file: " + metrics_path);
-      rec->write_metrics_json(
-          out, {{"algo", plan.spec->name},
-                {"runtime", std::string(plan.insitu ? "insitu-tcp(" : "tcp(") +
-                                std::to_string(nranks) + " ranks)"},
-                {"seed", std::to_string(opts.seed())}});
+      std::vector<std::pair<std::string, std::string>> context = {
+          {"algo", plan.spec->name},
+          {"runtime", std::string(plan.insitu ? "insitu-tcp(" : "tcp(") +
+                          std::to_string(nranks) + " ranks)"},
+          {"seed", std::to_string(opts.seed())}};
+      for (const auto& kv : Provenance::get().context()) {
+        context.push_back(kv);
+      }
+      rec->write_metrics_json(out, context);
       out.flush();
       DS_CHECK_MSG(out.good(),
                    "failed writing metrics output file: " + metrics_path);
@@ -322,6 +363,22 @@ int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
       out.flush();
       DS_CHECK_MSG(out.good(),
                    "failed writing trace output file: " + trace_path);
+    }
+    const std::string profile_path = opts.get("profile", "");
+    if (!profile_path.empty()) {
+      // The gather already merged every rank's drained folded stacks; this
+      // absorbs rank 0's own post-gather tail samples on top.
+      rec->absorb_profiler();
+      std::ofstream out(profile_path);
+      DS_CHECK_MSG(out.good(),
+                   "cannot open profile output file: " + profile_path);
+      rec->write_folded(out);
+      out.flush();
+      DS_CHECK_MSG(out.good(),
+                   "failed writing profile output file: " + profile_path);
+      std::cout << "[rank " << rank << "/" << nranks << "] profile: "
+                << profile_path << " (" << rec->folded().size()
+                << " stacks)" << std::endl;
     }
     if (opts.has("stats")) {
       rec->write_stats_table(std::cout);
