@@ -13,6 +13,7 @@
 #include <fstream>
 #include <iostream>
 #include <numeric>
+#include <thread>
 
 #include "support/provenance.hpp"
 
@@ -35,6 +36,8 @@
 #include "obs/recorder.hpp"
 #include "orient/euler.hpp"
 #include "runtime/parallel_network.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
 #include "splitting/trivial_random.hpp"
 #include "splitting/weak_splitting.hpp"
 #include "support/rng.hpp"
@@ -433,6 +436,49 @@ BENCHMARK(BM_MmapLoadVsGenerate)
     ->Args({256, 0})->Args({256, 1})
     ->Args({1024, 0})->Args({1024, 1})
     ->Unit(benchmark::kMillisecond);
+
+// Per-submission cost of the resident serving path once the fleet is up: a
+// single-rank in-process daemon (the dispatch broadcast short-circuits
+// with no followers) stands for all iterations, and each op is one full
+// client round trip — connect, framed request, validate, execute `mis`
+// through the standing transport with a warm partition cache, respond.
+// Compare against BM_TcpLoopbackRounds, which pays rendezvous + partition
+// per run — the gap is what residency buys. Arg: nodes of the resident gnp
+// instance.
+void BM_ServeRequestRoundTrip(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  const graph::Graph g = graph::gen::gnp(n, 0.1, rng);
+  net::Socket listen = net::listen_on(net::Endpoint{"127.0.0.1", 0});
+  serve::DaemonConfig config;
+  config.rank = 0;
+  config.hosts = {net::local_endpoint(listen.fd())};
+  config.listen = std::move(listen);
+  config.graph = &g;
+  config.idle_poll_ms = 20;
+  serve::Daemon daemon(std::move(config));
+  std::thread runner([&] { daemon.run(); });
+  serve::ClientConfig client;
+  client.port = daemon.request_port();
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    serve::Request req;
+    req.id = ++id;
+    req.algo = "mis";
+    req.seed = 7;
+    const serve::Response resp = serve::submit(client, req);
+    if (resp.status != serve::Status::kOk) {
+      state.SkipWithError("submission not served");
+      break;
+    }
+    benchmark::DoNotOptimize(resp.output_digest);
+  }
+  daemon.request_shutdown();
+  runner.join();
+}
+BENCHMARK(BM_ServeRequestRoundTrip)
+    ->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // ---- trajectory emission (--json=FILE) ----------------------------------
 

@@ -11,6 +11,8 @@
 #include "coloring/randcolor.hpp"
 #include "coloring/reduce.hpp"
 #include "coloring/verify.hpp"
+#include "defective/defective_coloring.hpp"
+#include "edgecolor/edge_coloring.hpp"
 #include "local/cost.hpp"
 #include "local/ids.hpp"
 #include "mis/mis.hpp"
@@ -306,6 +308,82 @@ Spec color_decomp_spec() {
   return spec;
 }
 
+Spec defective_spec() {
+  Spec spec;
+  spec.name = "defective";
+  spec.description =
+      "f-defective 2^k-coloring via the iterated-splitting ladder";
+  spec.input = InputKind::kGeneralGraph;
+  // Each level splits every color class with the whole-graph uniform
+  // splitter — the footnote-2 ladder is a global recursion, not a
+  // message-passing program.
+  spec.capability = Capability::kSequentialOnly;
+  spec.params = {
+      {"levels", ParamType::kInt, "3",
+       "splitting depth k (the palette is 2^k colors)"},
+      {"eps", ParamType::kDouble, "0.1", "per-split accuracy"},
+      {"degree-threshold", ParamType::kInt, "0",
+       "leave class degrees below max(this, 8) unconstrained"},
+  };
+  spec.verifier = "defective::is_defective_coloring";
+  spec.run = [](const RunContext& ctx) {
+    local::CostMeter meter;
+    Rng rng(ctx.seed);
+    const auto outcome = defective::defective_coloring(
+        *ctx.graph, static_cast<std::size_t>(ctx.params.get_int("levels")),
+        ctx.params.get_double("eps"),
+        static_cast<std::size_t>(ctx.params.get_int("degree-threshold")),
+        rng, &meter);
+    DS_CHECK_MSG(defective::is_defective_coloring(*ctx.graph, outcome.colors,
+                                                  outcome.max_defect),
+                 "defective: output violates its own reported defect");
+    Result result;
+    result.charged_rounds = meter.charged_rounds();
+    result.output_words.assign(outcome.colors.begin(), outcome.colors.end());
+    result.add("colors", static_cast<std::uint64_t>(outcome.num_colors));
+    result.add("max-defect", static_cast<std::uint64_t>(outcome.max_defect));
+    result.add("levels", static_cast<std::uint64_t>(outcome.levels));
+    return result;
+  };
+  return spec;
+}
+
+Spec edgecolor_spec() {
+  Spec spec;
+  spec.name = "edgecolor";
+  spec.description =
+      "2Δ(1+o(1))-edge-coloring via recursive edge splitting [GS17]";
+  spec.input = InputKind::kGeneralGraph;
+  // Euler-trail edge splitting walks whole trails; the pipeline is a
+  // whole-graph recursion like the other decomposition-based specs.
+  spec.capability = Capability::kSequentialOnly;
+  spec.params = {
+      {"target-degree", ParamType::kInt, "8",
+       "stop splitting once every class has at most this max degree", 1},
+  };
+  spec.verifier = "edgecolor::is_proper_edge_coloring";
+  spec.run = [](const RunContext& ctx) {
+    local::CostMeter meter;
+    const auto outcome = edgecolor::edge_coloring_via_splitting(
+        *ctx.graph,
+        static_cast<std::size_t>(ctx.params.get_int("target-degree")),
+        &meter);
+    DS_CHECK_MSG(
+        edgecolor::is_proper_edge_coloring(*ctx.graph, outcome.colors),
+        "edgecolor: output is not a proper edge coloring");
+    Result result;
+    result.charged_rounds = meter.charged_rounds();
+    result.output_words.assign(outcome.colors.begin(), outcome.colors.end());
+    result.add("colors", static_cast<std::uint64_t>(outcome.num_colors));
+    result.add("levels", static_cast<std::uint64_t>(outcome.levels));
+    result.add("classes", static_cast<std::uint64_t>(outcome.num_classes));
+    result.add("max-class-degree",
+               static_cast<std::uint64_t>(outcome.max_class_degree));
+    return result;
+  };
+  return spec;
+}
+
 std::size_t count_colors(const splitting::Coloring& colors,
                          splitting::Color which) {
   return static_cast<std::size_t>(
@@ -404,6 +482,8 @@ std::vector<Spec> make_builtin_specs() {
   specs.push_back(netdecomp_carve_spec());
   specs.push_back(mis_decomp_spec());
   specs.push_back(color_decomp_spec());
+  specs.push_back(defective_spec());
+  specs.push_back(edgecolor_spec());
   specs.push_back(split_spec());
   specs.push_back(weak_splitting_spec());
   return specs;

@@ -306,10 +306,15 @@ void assemble_outputs(const Transport& transport, const Partition& part,
 
 void collect_fleet_obs(const Transport& transport, obs::Recorder& recorder) {
   for (std::size_t w = 0; w < transport.num_ranks(); ++w) {
-    const auto [words, count] = transport.gathered(w);
-    const std::size_t end = skip_obs_block(words, count);
-    if (end > 1) recorder.merge_words(words + 1, end - 1);
+    collect_rank_obs(transport, w, recorder);
   }
+}
+
+void collect_rank_obs(const Transport& transport, std::size_t rank,
+                      obs::Recorder& recorder) {
+  const auto [words, count] = transport.gathered(rank);
+  const std::size_t end = skip_obs_block(words, count);
+  if (end > 1) recorder.merge_words(words + 1, end - 1);
 }
 
 }  // namespace ds::dist

@@ -121,4 +121,12 @@ void assemble_outputs(const Transport& transport, const Partition& part,
 /// counting). Call wherever `Transport::gathered` is valid for every rank.
 void collect_fleet_obs(const Transport& transport, obs::Recorder& recorder);
 
+/// Merges only `rank`'s gathered observability block into `recorder`.
+/// Long-lived fleets (the serving daemon) use this on followers: re-merging
+/// the whole fleet there would copy rank 0's cumulative totals into the
+/// follower's recorder, and the next run's drain would feed that copy back
+/// to rank 0, double counting every standing counter.
+void collect_rank_obs(const Transport& transport, std::size_t rank,
+                      obs::Recorder& recorder);
+
 }  // namespace ds::dist

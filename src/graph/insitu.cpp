@@ -137,7 +137,7 @@ std::uint64_t ba_resolve(const BaParams& ba, std::uint64_t s) {
   }
 }
 
-void shard_ba(std::uint64_t seed, std::uint64_t n, std::uint64_t d,
+void shard_ba(std::uint64_t seed, std::uint64_t /*n*/, std::uint64_t d,
               NodeId first, NodeId last, std::vector<Edge>& out) {
   const BaParams ba{seed, d, d * (d + 1) / 2};
   std::vector<Edge> row;
@@ -436,7 +436,7 @@ DistributedGenerator::DistributedGenerator(GenSpec spec, std::uint64_t seed)
   } else if (f == "kronecker") {
     const std::uint64_t scale = spec_.required("scale");
     DS_CHECK_MSG(scale >= 1 && scale <= 31, "kronecker needs 1 <= scale <= 31");
-    spec_.required("deg");
+    (void)spec_.required("deg");  // presence check only; value read per shard
     n_ = std::uint64_t(1) << scale;
   } else {
     DS_CHECK_MSG(false, "unknown generator family '" + f + "'");

@@ -31,6 +31,14 @@
 ///             words (see pack_string/unpack_string)
 ///   kSetup    pre-run all-to-all setup exchange (in-situ cut edges, halo
 ///             values, digest broadcasts); payload layout is the caller's
+///   kRequest  a serve client's submission on the daemon's request port;
+///             payload is the versioned request codec of serve/protocol.hpp
+///   kResponse the daemon's answer to one kRequest (same codec family)
+///   kDispatch rank 0's broadcast of an accepted request to the follower
+///             ranks of a standing serve fleet; payload is the encoded
+///             request, so every rank executes the identical run
+///   kShutdown rank 0's broadcast that the serve fleet is draining and the
+///             followers should exit cleanly; empty payload
 ///
 /// The `seq` field carries the sender's exchange counter; both sides of a
 /// connection step it in lockstep (the protocol is SPMD-deterministic), so
@@ -55,7 +63,9 @@ constexpr std::uint32_t kFrameMagic = 0x44534E54;  // "DSNT"
 /// v2: kGather/kOutputs payloads carry a leading observability block.
 /// v3: kSetup frames (in-situ setup collectives) join the exchange.
 /// v4: kWelcome carries the acceptor's steady-clock time (trace alignment).
-constexpr std::uint64_t kProtocolVersion = 4;
+/// v5: serve frames (kRequest/kResponse on the client port, kDispatch/
+///     kShutdown on the standing fleet connections).
+constexpr std::uint64_t kProtocolVersion = 5;
 
 /// Upper bound on one frame's payload (2^31 words = 16 GiB) — far above
 /// any legitimate round's traffic. A header claiming more is corruption or
@@ -73,6 +83,10 @@ enum class FrameType : std::uint32_t {
   kOutputs = 6,
   kAbort = 7,
   kSetup = 8,
+  kRequest = 9,
+  kResponse = 10,
+  kDispatch = 11,
+  kShutdown = 12,
 };
 
 /// The fixed frame header. Plain trivially-copyable struct; shipped as raw

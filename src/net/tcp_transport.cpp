@@ -29,6 +29,10 @@ const char* type_name(FrameType t) {
     case FrameType::kOutputs: return "outputs";
     case FrameType::kAbort: return "abort";
     case FrameType::kSetup: return "setup";
+    case FrameType::kRequest: return "request";
+    case FrameType::kResponse: return "response";
+    case FrameType::kDispatch: return "dispatch";
+    case FrameType::kShutdown: return "shutdown";
   }
   return "?";
 }
@@ -110,6 +114,116 @@ std::vector<std::vector<std::uint64_t>> TcpTransport::exchange_setup(
     peers_[r].ctrl.payload.clear();
   }
   return from_peer;
+}
+
+void TcpTransport::dispatch(FrameType type,
+                            const std::vector<std::uint64_t>& words) {
+  DS_CHECK_MSG(rank_ == 0, "dispatch: only rank 0 broadcasts serve frames");
+  DS_CHECK_MSG(
+      type == FrameType::kDispatch || type == FrameType::kShutdown,
+      "dispatch carries kDispatch/kShutdown frames only");
+  const std::size_t ranks = peers_.size();
+  if (ranks == 1) return;
+  ++exchange_seq_;
+  for (std::size_t r = 1; r < ranks; ++r) {
+    stage(r, type, words.data(), words.size());
+  }
+  // Flush only: the followers answer through the request's own collectives
+  // (or not at all, for kShutdown).
+  const std::vector<bool> expect(ranks, false);
+  pump(type, expect);
+}
+
+TcpTransport::DispatchEvent TcpTransport::await_dispatch(
+    std::vector<std::uint64_t>& out, int timeout_ms) {
+  DS_CHECK_MSG(rank_ != 0 && peers_.size() > 1,
+               "await_dispatch: follower ranks of a multi-rank fleet only");
+  Peer& p = peers_[0];
+  const std::int64_t deadline = steady_now_ms() + timeout_ms;
+  while (!p.reader.next_frame(scratch_)) {
+    const std::int64_t left = deadline - steady_now_ms();
+    if (left <= 0) return DispatchEvent::kTimeout;
+    pollfd pfd{p.sock.fd(), POLLIN, 0};
+    poll_iterations_.add(1);
+    const int rc =
+        ::poll(&pfd, 1, static_cast<int>(std::min<std::int64_t>(left, 200)));
+    if (rc < 0) {
+      DS_CHECK_MSG(errno == EINTR,
+                   std::string("poll(dispatch): ") + std::strerror(errno));
+      continue;
+    }
+    if (rc == 0) continue;
+    if ((pfd.revents & POLLNVAL) != 0) peer_lost(0, "invalid socket");
+    const auto [buf, capacity] = p.reader.recv_buffer(64 * 1024);
+    const ssize_t n = ::recv(p.sock.fd(), buf, capacity, 0);
+    if (n > 0) {
+      p.rx_bytes.add(static_cast<std::uint64_t>(n));
+      p.reader.commit(static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      peer_lost(0, "EOF");
+    } else if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+      peer_lost(0, std::string("recv: ") + std::strerror(errno));
+    } else {
+      recv_retries_.add(1);
+    }
+  }
+  const auto type = static_cast<FrameType>(scratch_.header.type);
+  if (type == FrameType::kAbort) {
+    const std::string msg =
+        unpack_string(scratch_.payload.data(), scratch_.payload.size());
+    abort(msg);
+    DS_CHECK_MSG(false, "distributed run aborted by rank 0: " + msg);
+  }
+  // The broadcast steps the exchange on both sides; a timeout above left it
+  // untouched, so the step happens exactly once per delivered frame.
+  ++exchange_seq_;
+  DS_CHECK_MSG(
+      (type == FrameType::kDispatch || type == FrameType::kShutdown) &&
+          scratch_.header.seq == exchange_seq_,
+      "rank " + std::to_string(rank_) + ": protocol drift — got " +
+          type_name(type) + " frame seq " +
+          std::to_string(scratch_.header.seq) +
+          " from rank 0 while awaiting dispatch seq " +
+          std::to_string(exchange_seq_));
+  p.rx_frames.add(1);
+  out = std::move(scratch_.payload);
+  scratch_.payload.clear();
+  return type == FrameType::kDispatch ? DispatchEvent::kDispatch
+                                      : DispatchEvent::kShutdown;
+}
+
+bool TcpTransport::peers_alive(std::string* why) {
+  for (std::size_t r = 0; r < peers_.size(); ++r) {
+    if (r == rank_) continue;
+    Peer& p = peers_[r];
+    std::string reason;
+    if (!p.sock.valid()) {
+      reason = "connection closed";
+    } else if (p.reader.pending_bytes() > 0) {
+      // Collectives consume whole frames before returning, so leftover
+      // bytes while idle mean the peer spoke out of turn (a dying rank's
+      // kAbort, or drift).
+      reason = "unsolicited bytes buffered";
+    } else {
+      char probe;
+      const ssize_t n =
+          ::recv(p.sock.fd(), &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+      if (n == 0) {
+        reason = "EOF";
+      } else if (n > 0) {
+        reason = "unsolicited traffic (peer aborting?)";
+      } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        reason = std::string("recv: ") + std::strerror(errno);
+      }
+    }
+    if (!reason.empty()) {
+      if (why != nullptr) {
+        *why = "rank " + std::to_string(r) + ": " + reason;
+      }
+      return false;
+    }
+  }
+  return true;
 }
 
 void TcpTransport::set_recorder(obs::Recorder* rec) {

@@ -94,6 +94,36 @@ class TcpTransport final : public dist::Transport {
   std::vector<std::vector<std::uint64_t>> exchange_setup(
       const std::vector<std::vector<std::uint64_t>>& to_peer);
 
+  /// What `await_dispatch` observed on the standing serve connections.
+  enum class DispatchEvent {
+    kTimeout,   ///< nothing arrived within the wait budget; call again
+    kDispatch,  ///< rank 0 broadcast a request; payload in `out`
+    kShutdown,  ///< rank 0 is draining; exit the serve loop cleanly
+  };
+
+  /// Rank 0's one-to-all serve broadcast (`kDispatch`/`kShutdown`): stages
+  /// the frame to every follower and flushes, expecting nothing back — the
+  /// acknowledgment is the SPMD protocol itself (the next collective the
+  /// request's run issues). Steps the exchange sequence; single-rank fleets
+  /// short-circuit.
+  void dispatch(FrameType type, const std::vector<std::uint64_t>& words);
+
+  /// Follower-side wait for rank 0's next serve broadcast, at most
+  /// `timeout_ms` (so an idle follower can poll its shutdown latch instead
+  /// of sitting in the round-timeout abort path). kTimeout leaves the
+  /// exchange sequence untouched; a delivered frame steps it in lockstep
+  /// with rank 0's `dispatch`. Throws on a dead or drifting connection,
+  /// like every collective.
+  DispatchEvent await_dispatch(std::vector<std::uint64_t>& out,
+                               int timeout_ms);
+
+  /// Non-throwing idle probe of every standing connection, for a resident
+  /// daemon *between* collectives: returns false — filling `why` — when a
+  /// peer hung up, errored, or sent unsolicited bytes (a follower's kAbort:
+  /// its process is dying). Never aborts the fleet itself; the caller
+  /// decides whether to flip health or keep limping.
+  [[nodiscard]] bool peers_alive(std::string* why);
+
   [[nodiscard]] std::size_t rank() const override { return rank_; }
   [[nodiscard]] std::size_t num_ranks() const override {
     return peers_.size();

@@ -279,6 +279,30 @@ void write_snapshot_json(std::ostream& out, const SnapshotPublisher& pub) {
   out << "\n}\n";
 }
 
+void write_runs_json(std::ostream& out, const SnapshotPublisher& pub) {
+  const auto hex_or_empty = [](std::uint64_t digest) {
+    if (digest == 0) return std::string();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return std::string(buf);
+  };
+  const std::vector<RunRecord> runs = pub.history();
+  out << "{\n  \"health\": \"" << health_name(pub.health())
+      << "\",\n  \"runs\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunRecord& r = runs[i];
+    if (i > 0) out << ",";
+    out << "\n    {\"id\": " << r.id << ", \"spec\": \""
+        << json_escape(r.label) << "\", \"params_digest\": \""
+        << hex_or_empty(r.params_digest) << "\", \"output_digest\": \""
+        << hex_or_empty(r.output_digest) << "\", \"rounds\": " << r.rounds
+        << ", \"wall_us\": " << r.wall_us << ", \"ok\": "
+        << (r.ok ? "true" : "false") << "}";
+  }
+  out << (runs.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
 void write_status_html(std::ostream& out, const SnapshotPublisher& pub) {
   PublishedSnapshot snap;
   const bool have = pub.read(snap);

@@ -35,6 +35,12 @@ void write_snapshot_json(std::ostream& out, const SnapshotPublisher& pub);
 /// run-history ring.
 void write_status_html(std::ostream& out, const SnapshotPublisher& pub);
 
+/// The run-history ring as JSON (`/api/v1/runs`): {"health", "runs": [{
+/// "id", "spec", "params_digest", "output_digest", "rounds", "wall_us",
+/// "ok"}, ...]} oldest-first. Digests render as 16-digit hex strings (the
+/// same form `Result::brief` prints), zero digests as "".
+void write_runs_json(std::ostream& out, const SnapshotPublisher& pub);
+
 /// `distsplit_<name>` with every non-[a-zA-Z0-9_] byte mapped to '_'.
 [[nodiscard]] std::string prometheus_name(const std::string& name);
 

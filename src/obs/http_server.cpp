@@ -135,12 +135,17 @@ int HttpServer::route(const std::string& method, const std::string& path,
     write_status_html(out, pub_);
     content_type = "text/html; charset=utf-8";
   } else if (path == "/healthz") {
+    // Draining is 503 on purpose: a draining serve daemon must fail its
+    // health checks so load balancers stop routing before it exits.
     const Health h = pub_.health();
     out << health_name(h) << "\n";
     body = out.str();
-    return h == Health::kAborted ? 503 : 200;
+    return h == Health::kAborted || h == Health::kDraining ? 503 : 200;
   } else if (path == "/api/v1/snapshot") {
     write_snapshot_json(out, pub_);
+    content_type = "application/json";
+  } else if (path == "/api/v1/runs") {
+    write_runs_json(out, pub_);
     content_type = "application/json";
   } else if (path == "/api/v1/profile") {
     // Live folded stacks from the attached sampling profiler — loadable in
@@ -153,7 +158,7 @@ int HttpServer::route(const std::string& method, const std::string& path,
     content_type = "text/plain; charset=utf-8";
   } else {
     out << "not found; try /metrics /status /healthz /api/v1/snapshot "
-           "/api/v1/profile\n";
+           "/api/v1/runs /api/v1/profile\n";
     body = out.str();
     return 404;
   }

@@ -26,6 +26,8 @@ const char* health_name(Health h) {
       return "completed";
     case Health::kAborted:
       return "aborted";
+    case Health::kDraining:
+      return "draining";
   }
   return "?";
 }
@@ -199,25 +201,30 @@ std::vector<std::pair<std::string, std::string>> SnapshotPublisher::info()
   return info_;
 }
 
-void SnapshotPublisher::run_started(const std::string& label) {
+void SnapshotPublisher::run_started(const std::string& label,
+                                    std::uint64_t params_digest) {
   {
     const std::lock_guard<std::mutex> lock(meta_mu_);
     run_label_ = label;
     run_start_us_ = wall_now_us();
+    run_params_digest_ = params_digest;
   }
   set_health(Health::kRunning);
 }
 
-void SnapshotPublisher::run_finished(bool ok) {
+void SnapshotPublisher::run_finished(bool ok, std::uint64_t output_digest) {
   PublishedSnapshot snap;
   const std::uint64_t rounds = read(snap) ? snap.rounds : 0;
   {
     const std::lock_guard<std::mutex> lock(meta_mu_);
     RunRecord rec;
+    rec.id = next_run_id_++;
     rec.label = run_label_.empty() ? "(unnamed run)" : run_label_;
     rec.rounds = rounds;
     rec.wall_us = run_start_us_ == 0 ? 0 : wall_now_us() - run_start_us_;
     rec.ok = ok;
+    rec.params_digest = run_params_digest_;
+    rec.output_digest = output_digest;
     history_.push_back(std::move(rec));
     while (history_.size() > kHistoryCapacity) history_.pop_front();
   }

@@ -39,22 +39,29 @@
 namespace ds::obs {
 
 /// Lifecycle of the publishing process, served by `/healthz`: 200 while
-/// idle/running/completed, 503 once aborted.
+/// idle/running/completed, 503 once aborted or draining (a draining serve
+/// daemon must drop out of its load balancer before it exits).
 enum class Health : std::uint8_t {
   kIdle = 0,       ///< publisher constructed, no run started
   kRunning = 1,    ///< a round loop is live
   kCompleted = 2,  ///< last run finished cleanly
   kAborted = 3,    ///< last run died (collective abort, thrown error)
+  kDraining = 4,   ///< serve daemon finishing in-flight work before exit
 };
 
 [[nodiscard]] const char* health_name(Health h);
 
 /// One finished run, kept in the bounded history ring.
 struct RunRecord {
+  std::uint64_t id = 0;      ///< monotone per-publisher run number (from 1)
   std::string label;         ///< "mis seed=7" — whatever the tool passes
   std::uint64_t rounds = 0;  ///< rounds completed when the run ended
   std::uint64_t wall_us = 0; ///< run_started → run_finished wall time
   bool ok = false;
+  /// Serve provenance: digest of the request's parameter overrides and of
+  /// the run's output table. Zero outside the serve path.
+  std::uint64_t params_digest = 0;
+  std::uint64_t output_digest = 0;
 };
 
 /// Reader-side view of one published metric: per-slot cells (per-peer tcp
@@ -95,13 +102,14 @@ class SnapshotPublisher {
     health_.store(static_cast<std::uint8_t>(h), std::memory_order_release);
   }
 
-  /// Marks the run live and remembers its label for the history record.
-  void run_started(const std::string& label);
+  /// Marks the run live and remembers its label (and, on the serve path,
+  /// the request's params digest) for the history record.
+  void run_started(const std::string& label, std::uint64_t params_digest = 0);
 
   /// Appends a history record (bounded ring) and transitions health to
   /// kCompleted/kAborted. `rounds` of the record comes from the last
-  /// publish.
-  void run_finished(bool ok);
+  /// publish; `output_digest` is the serve path's result digest (0 = none).
+  void run_finished(bool ok, std::uint64_t output_digest = 0);
 
   /// Installs the live profile source for `/api/v1/profile`: a callable
   /// returning the current folded stacks (the tool wires it to the sampling
@@ -177,6 +185,8 @@ class SnapshotPublisher {
   std::deque<RunRecord> history_;
   std::string run_label_;
   std::uint64_t run_start_us_ = 0;
+  std::uint64_t run_params_digest_ = 0;
+  std::uint64_t next_run_id_ = 1;
 };
 
 }  // namespace ds::obs

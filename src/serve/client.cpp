@@ -1,0 +1,31 @@
+#include "serve/client.hpp"
+
+#include "net/frame.hpp"
+#include "support/check.hpp"
+
+namespace ds::serve {
+
+Response submit(const ClientConfig& config, const Request& request) {
+  net::Socket sock = net::connect_to(config.endpoint(), config.timeout_ms);
+  net::set_nodelay(sock.fd());
+  net::set_io_timeouts(sock.fd(), config.timeout_ms);
+
+  const std::vector<std::uint64_t> payload = encode_request(request);
+  net::write_frame(sock.fd(), net::FrameType::kRequest, /*seq=*/0,
+                   payload.data(), payload.size(), "serve request");
+
+  const net::Frame frame = net::read_frame(sock.fd(), "serve response");
+  DS_CHECK_MSG(
+      frame.header.type == static_cast<std::uint32_t>(net::FrameType::kResponse),
+      "serve response: unexpected frame type " +
+          std::to_string(frame.header.type));
+  Response response =
+      decode_response(frame.payload.data(), frame.payload.size());
+  DS_CHECK_MSG(response.id == request.id,
+               "serve response answers request id " +
+                   std::to_string(response.id) + ", expected " +
+                   std::to_string(request.id));
+  return response;
+}
+
+}  // namespace ds::serve

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file client.hpp
+/// The submit side of the serve protocol: connect to a daemon's request
+/// port, ship one framed `serve::Request`, block for the `serve::Response`.
+/// One connection per request — the daemon's accept thread reads exactly
+/// one kRequest per connection and answers on the same socket, so clients
+/// stay trivially stateless (`distsplit_cli submit` is a thin wrapper).
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket.hpp"
+#include "serve/protocol.hpp"
+
+namespace ds::serve {
+
+struct ClientConfig {
+  [[nodiscard]] net::Endpoint endpoint() const { return {host, port}; }
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Budget for connect, and separately for each of the request write and
+  /// the response read. The response wait covers a full fleet run, so this
+  /// is minutes-scale by default.
+  int timeout_ms = 120000;
+};
+
+/// Submits `request` and returns the daemon's response. Throws
+/// ds::CheckError on connect/IO failure, protocol drift, or a response
+/// that answers a different request id.
+Response submit(const ClientConfig& config, const Request& request);
+
+}  // namespace ds::serve

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The serve request/response codec: what a `distsplit_cli submit` client
+/// sends a resident `distsplit_serve` daemon (one kRequest frame on the
+/// request port) and what comes back (one kResponse frame), plus the
+/// payload rank 0 rebroadcasts to its followers inside kDispatch frames.
+///
+/// Both directions are word vectors so they ride the existing net/frame
+/// layer unchanged. The encoding is versioned independently of the frame
+/// protocol: word 0 is `kServeProtocolVersion`, and a daemon rejects a
+/// mismatched client with a clear response instead of protocol drift.
+///
+/// Layout (all strings are the frame layer's pack_string words):
+///
+///   request:  [version, id, seed, param_count, algo..., (key..., val...)*]
+///   response: [version, id, status, output_digest, rounds, wall_us,
+///              brief...]
+///
+/// `decode_*` validate every length against the remaining words and throw
+/// ds::CheckError on malformed input — a daemon must survive a garbage
+/// client byte-for-byte.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ds::serve {
+
+/// Version of the request/response word layout (independent of
+/// net::kProtocolVersion — a client is not a fleet member).
+constexpr std::uint64_t kServeProtocolVersion = 1;
+
+/// Upper bound on one request's payload words: algorithm name + parameter
+/// overrides are tiny; anything larger is a confused or malicious client.
+constexpr std::uint64_t kMaxRequestWords = 1 << 16;
+
+/// One registry submission: which spec to run, with which seed and which
+/// `--param key=value` overrides (applied over the spec's defaults, same as
+/// the one-shot CLI).
+struct Request {
+  std::uint64_t id = 0;  ///< client-chosen correlation id, echoed back
+  std::string algo;
+  std::uint64_t seed = 1;
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+/// Outcome class of one served request.
+enum class Status : std::uint64_t {
+  kOk = 0,        ///< executed and verified; digest/rounds are live
+  kRejected = 1,  ///< not executed (queue full, draining, unhealthy fleet)
+  kError = 2,     ///< resolution or execution failed; brief carries why
+};
+
+[[nodiscard]] const char* status_name(Status s);
+
+/// The daemon's answer to one request.
+struct Response {
+  std::uint64_t id = 0;  ///< echoes Request::id
+  Status status = Status::kError;
+  std::uint64_t output_digest = 0;  ///< Result::output_digest() when kOk
+  std::uint64_t rounds = 0;         ///< executed rounds when kOk
+  std::uint64_t wall_us = 0;        ///< accept-to-answer latency
+  /// `Result::brief()` when kOk; the rejection/error text otherwise.
+  std::string brief;
+};
+
+std::vector<std::uint64_t> encode_request(const Request& req);
+/// Throws ds::CheckError on a malformed or version-mismatched payload.
+Request decode_request(const std::uint64_t* words, std::size_t count);
+
+std::vector<std::uint64_t> encode_response(const Response& resp);
+/// Throws ds::CheckError on a malformed or version-mismatched payload.
+Response decode_response(const std::uint64_t* words, std::size_t count);
+
+/// FNV-1a digest over the override pairs in order — the params fingerprint
+/// the run-history ring records per served request.
+[[nodiscard]] std::uint64_t params_digest(
+    const std::vector<std::pair<std::string, std::string>>& params);
+
+}  // namespace ds::serve

@@ -1,0 +1,75 @@
+#include "serve/serve_network.hpp"
+
+#include <exception>
+
+#include "dist/rank_loop.hpp"
+#include "net/rendezvous.hpp"
+#include "support/check.hpp"
+
+namespace ds::serve {
+
+ServeNetwork::ServeNetwork(const graph::Graph& g, local::IdStrategy strategy,
+                           std::uint64_t seed, net::TcpTransport& transport,
+                           PartitionCache& cache, std::uint64_t& epoch)
+    : topology_(g, strategy, seed), transport_(transport), epoch_(epoch) {
+  partition_ = cache.get_or_build(net::topology_digest(topology_), [&] {
+    return dist::Partition(topology_, transport_.num_ranks());
+  });
+  transport_.attach_partition(*partition_);
+}
+
+std::size_t ServeNetwork::run(const local::ProgramFactory& factory,
+                              std::size_t max_rounds,
+                              local::CostMeter* meter) {
+  std::size_t rounds = 0;
+  try {
+    // The same pre-round observability agreement as the one-shot executor:
+    // when any rank of the fleet observes, every rank must record so the
+    // merged export has one lane per rank.
+    const std::size_t observers =
+        transport_.sync_liveness(recorder() != nullptr ? 1 : 0);
+    if (observers != 0 && recorder() == nullptr) {
+      fleet_recorder_ = std::make_unique<obs::Recorder>();
+      set_recorder(fleet_recorder_.get());
+    }
+    transport_.set_recorder(recorder());
+    rounds = dist::run_rank_loop(topology_, *partition_, transport_, factory,
+                                 max_rounds, epoch_, sink_, output_fn_,
+                                 programs_, recorder());
+  } catch (const std::exception& e) {
+    // A locally raised failure must fail the whole fleet — the peers are
+    // blocked in an exchange this rank will never join. Idempotent when the
+    // transport already aborted.
+    transport_.abort(e.what());
+    throw;
+  }
+  if (output_fn_) {
+    dist::assemble_outputs(transport_, *partition_, outputs_);
+  } else {
+    outputs_.clear();
+  }
+  if (recorder() != nullptr) {
+    if (transport_.rank() == 0) {
+      dist::collect_fleet_obs(transport_, *recorder());
+    } else {
+      // Followers on a resident fleet re-absorb only their own drained
+      // block: merging rank 0's block too would hand them its cumulative
+      // serve counters, which the next run's drain would contribute back —
+      // rank 0 would then re-merge its own history and double count.
+      dist::collect_rank_obs(transport_, transport_.rank(), *recorder());
+    }
+    recorder()->publish_round(rounds);
+  }
+  if (meter != nullptr) meter->add_executed(rounds);
+  return rounds;
+}
+
+const local::NodeProgram& ServeNetwork::program(graph::NodeId v) const {
+  DS_CHECK(v < programs_.size());
+  DS_CHECK_MSG(programs_[v] != nullptr,
+               "program(v) is only resident in the owning rank's process; "
+               "use set_output_fn/outputs() for cross-rank results");
+  return *programs_[v];
+}
+
+}  // namespace ds::serve

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file serve_network.hpp
+/// `serve::ServeNetwork` — the TCP executor of a resident daemon: the same
+/// `dist::run_rank_loop` protocol as `net::TcpNetwork`, but *borrowing* a
+/// standing `net::TcpTransport` (rendezvoused once at daemon startup)
+/// instead of connecting a fleet per run, and a `PartitionCache` entry
+/// instead of re-partitioning per run.
+///
+/// Per request the executor builds only the cheap seed-dependent
+/// `NetworkTopology`; the partition depends on nothing beyond the CSR
+/// degree profile and the rank count, so the cache lookup by topology
+/// digest hits for every repeated (instance, ids, seed) topology.
+///
+/// Lockstep contract: every rank of the fleet constructs its ServeNetwork
+/// for the *same* dispatched request (same graph, strategy, seed, params),
+/// so the transport's exchange sequence stays aligned across requests —
+/// exactly the SPMD determinism the one-shot executors rely on, stretched
+/// over the daemon's lifetime. The shared `epoch` counter must likewise be
+/// one monotone counter per transport, owned by the daemon.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dist/partition.hpp"
+#include "graph/graph.hpp"
+#include "local/executor.hpp"
+#include "local/ids.hpp"
+#include "local/program.hpp"
+#include "local/round_stats.hpp"
+#include "local/topology.hpp"
+#include "net/tcp_transport.hpp"
+#include "serve/partition_cache.hpp"
+
+namespace ds::serve {
+
+class ServeNetwork final : public local::Executor {
+ public:
+  /// Builds this request's topology and resolves its partition through
+  /// `cache`, attaching it to the standing `transport`. `transport`,
+  /// `cache` and `epoch` belong to the daemon and must outlive the
+  /// executor; `epoch` is the daemon's monotone round tag, shared by every
+  /// run on this transport.
+  ServeNetwork(const graph::Graph& g, local::IdStrategy strategy,
+               std::uint64_t seed, net::TcpTransport& transport,
+               PartitionCache& cache, std::uint64_t& epoch);
+
+  std::size_t run(const local::ProgramFactory& factory,
+                  std::size_t max_rounds,
+                  local::CostMeter* meter = nullptr) override;
+
+  /// Only resident for nodes in this rank's range; use `outputs()` (valid
+  /// on every rank) for executor-portable result extraction.
+  [[nodiscard]] const local::NodeProgram& program(
+      graph::NodeId v) const override;
+
+  [[nodiscard]] const local::NetworkTopology& topology() const override {
+    return topology_;
+  }
+
+  void set_stats_sink(local::RoundStatsSink sink) override {
+    sink_ = std::move(sink);
+  }
+
+  [[nodiscard]] const dist::Partition& partition() const {
+    return *partition_;
+  }
+
+ private:
+  local::NetworkTopology topology_;
+  std::shared_ptr<const dist::Partition> partition_;
+  net::TcpTransport& transport_;
+  std::uint64_t& epoch_;
+  std::vector<std::unique_ptr<local::NodeProgram>> programs_;
+  local::RoundStatsSink sink_;
+  /// Fleet-installed recorder when the pre-round observability agreement
+  /// says some rank observes but this one carries no instruments (same
+  /// contract as TcpNetwork).
+  std::unique_ptr<obs::Recorder> fleet_recorder_;
+};
+
+}  // namespace ds::serve

@@ -1,0 +1,28 @@
+#include "serve/signal.hpp"
+
+#include <csignal>
+
+namespace ds::serve {
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown_flag = 0;
+
+void on_signal(int) { g_shutdown_flag = 1; }
+
+}  // namespace
+
+void install_shutdown_handler() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: let the signal interrupt blocking waits
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool shutdown_requested() { return g_shutdown_flag != 0; }
+
+void reset_shutdown_flag() { g_shutdown_flag = 0; }
+
+}  // namespace ds::serve

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file signal.hpp
+/// Process-wide SIGINT/SIGTERM shutdown latch shared by the long-running
+/// tools (`distsplit_serve`, `distsplit_rank`). The handler only flips a
+/// `sig_atomic_t` — every draining decision happens in normal code that
+/// polls `shutdown_requested()` between bounded waits, so the tools can
+/// finish the in-flight run, notify the fleet and exit 0 instead of dying
+/// mid-exchange.
+
+namespace ds::serve {
+
+/// Installs the latch for SIGINT and SIGTERM (idempotent). Handlers are
+/// installed without SA_RESTART so a signal also interrupts blocking
+/// accept/poll waits promptly.
+void install_shutdown_handler();
+
+/// True once any latched signal arrived.
+[[nodiscard]] bool shutdown_requested();
+
+/// Clears the latch (tests re-enter the serve loop in one process).
+void reset_shutdown_flag();
+
+}  // namespace ds::serve

@@ -334,6 +334,57 @@ TEST(HttpServer, HealthTracksPublisherLifecycle) {
   EXPECT_EQ(aborted.body, "aborted\n");
 }
 
+TEST(HttpServer, HealthzReports503WhileDraining) {
+  // A draining daemon still answers, but load balancers must stop routing
+  // new submissions to it — same signal as aborted, different body.
+  SnapshotPublisher pub;
+  HttpServer server(pub, 0);
+  pub.set_health(Health::kDraining);
+  const HttpResponse draining = http_get(server.port(), "/healthz");
+  EXPECT_EQ(draining.status, 503);
+  EXPECT_EQ(draining.body, "draining\n");
+}
+
+TEST(HttpServer, RunsEndpointExposesServedRunHistory) {
+  constexpr auto npos = std::string::npos;
+  SnapshotPublisher pub;
+  HttpServer server(pub, 0);
+
+  // Before any run: a valid JSON document with an empty history.
+  const HttpResponse empty = http_get(server.port(), "/api/v1/runs");
+  EXPECT_EQ(empty.status, 200);
+  EXPECT_NE(empty.headers.find("application/json"), npos);
+  EXPECT_NE(empty.body.find("\"health\": \"idle\""), npos) << empty.body;
+  EXPECT_NE(empty.body.find("\"runs\": []"), npos) << empty.body;
+
+  // Two finished runs — one serve-style (digests attached), one plain.
+  pub.run_started("mis seed=7", /*params_digest=*/0x00ff00ff00ff00ffull);
+  pub.run_finished(/*ok=*/true, /*output_digest=*/0xabcdef0123456789ull);
+  pub.run_started("color seed=3");
+  pub.run_finished(/*ok=*/false);
+
+  const HttpResponse runs = http_get(server.port(), "/api/v1/runs");
+  EXPECT_EQ(runs.status, 200);
+  const std::string& body = runs.body;
+  // Monotone ids, oldest-first, with the serve provenance fields.
+  EXPECT_NE(body.find("\"id\": 1"), npos) << body;
+  EXPECT_NE(body.find("\"spec\": \"mis seed=7\""), npos) << body;
+  EXPECT_NE(body.find("\"params_digest\": \"00ff00ff00ff00ff\""), npos)
+      << body;
+  EXPECT_NE(body.find("\"output_digest\": \"abcdef0123456789\""), npos)
+      << body;
+  EXPECT_NE(body.find("\"ok\": true"), npos) << body;
+  EXPECT_NE(body.find("\"id\": 2"), npos) << body;
+  EXPECT_NE(body.find("\"spec\": \"color seed=3\""), npos) << body;
+  EXPECT_NE(body.find("\"ok\": false"), npos) << body;
+  // Zero digests render as empty strings, not "0000...".
+  EXPECT_NE(body.find("\"params_digest\": \"\""), npos) << body;
+  EXPECT_LT(body.find("\"id\": 1"), body.find("\"id\": 2"));
+
+  // The discoverability hint mentions the endpoint.
+  EXPECT_NE(http_get(server.port(), "/nope").body.find("/api/v1/runs"), npos);
+}
+
 // ---- Loopback fleets -----------------------------------------------------
 
 net::TcpOptions test_options() {

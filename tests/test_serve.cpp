@@ -1,0 +1,446 @@
+// Tests for the serving subsystem (src/serve/): the request/response codec
+// (round-trip + garbage rejection), the bounded request queue's
+// never-blocking backpressure, the per-topology-digest partition cache,
+// and the resident daemon end to end on loopback fleets — sequential and
+// concurrent submissions bit-identical to one-shot execution over one
+// standing rendezvous, graceful-shutdown drain, and a dead follower
+// flipping the fleet unhealthy instead of hanging clients.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algo/registry.hpp"
+#include "graph/generators.hpp"
+#include "local/ids.hpp"
+#include "local/topology.hpp"
+#include "net/loopback.hpp"
+#include "net/rendezvous.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/partition_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/request_queue.hpp"
+#include "support/check.hpp"
+
+namespace ds::serve {
+namespace {
+
+// ---- Codec ---------------------------------------------------------------
+
+TEST(ServeProtocol, RequestRoundTrip) {
+  Request req;
+  req.id = 42;
+  req.algo = "mis";
+  req.seed = 7;
+  req.params = {{"max-rounds", "500"}, {"ids", "random"}};
+  const std::vector<std::uint64_t> words = encode_request(req);
+  const Request back = decode_request(words.data(), words.size());
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.algo, "mis");
+  EXPECT_EQ(back.seed, 7u);
+  EXPECT_EQ(back.params, req.params);
+}
+
+TEST(ServeProtocol, ResponseRoundTrip) {
+  Response resp;
+  resp.id = 9;
+  resp.status = Status::kOk;
+  resp.output_digest = 0xdeadbeefcafef00dull;
+  resp.rounds = 13;
+  resp.wall_us = 250000;
+  resp.brief = "mis: mis-size=5 verified=yes";
+  const std::vector<std::uint64_t> words = encode_response(resp);
+  const Response back = decode_response(words.data(), words.size());
+  EXPECT_EQ(back.id, 9u);
+  EXPECT_EQ(back.status, Status::kOk);
+  EXPECT_EQ(back.output_digest, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(back.rounds, 13u);
+  EXPECT_EQ(back.wall_us, 250000u);
+  EXPECT_EQ(back.brief, resp.brief);
+}
+
+TEST(ServeProtocol, MalformedPayloadsAreRejected) {
+  Request req;
+  req.id = 1;
+  req.algo = "color";
+  req.params = {{"eps", "0.25"}};
+  std::vector<std::uint64_t> words = encode_request(req);
+
+  // Empty and truncated payloads.
+  EXPECT_THROW(decode_request(words.data(), 0), ds::CheckError);
+  EXPECT_THROW(decode_request(words.data(), 2), ds::CheckError);
+  EXPECT_THROW(decode_request(words.data(), words.size() - 1), ds::CheckError);
+
+  // A version the codec does not speak.
+  std::vector<std::uint64_t> wrong = words;
+  wrong[0] = kServeProtocolVersion + 1;
+  EXPECT_THROW(decode_request(wrong.data(), wrong.size()), ds::CheckError);
+
+  // A parameter count pointing past the payload.
+  std::vector<std::uint64_t> lying = words;
+  lying[3] = 1000;
+  EXPECT_THROW(decode_request(lying.data(), lying.size()), ds::CheckError);
+
+  // The response decoder survives the same abuse.
+  Response resp;
+  resp.brief = "ok";
+  std::vector<std::uint64_t> rwords = encode_response(resp);
+  EXPECT_THROW(decode_response(rwords.data(), 0), ds::CheckError);
+  EXPECT_THROW(decode_response(rwords.data(), rwords.size() - 1),
+               ds::CheckError);
+  rwords[0] = kServeProtocolVersion + 5;
+  EXPECT_THROW(decode_response(rwords.data(), rwords.size()), ds::CheckError);
+}
+
+TEST(ServeProtocol, ParamsDigestFingerprintsOverrides) {
+  const std::uint64_t none = params_digest({});
+  const std::uint64_t eps = params_digest({{"eps", "0.1"}});
+  const std::uint64_t eps2 = params_digest({{"eps", "0.2"}});
+  EXPECT_NE(none, eps);
+  EXPECT_NE(eps, eps2);
+  EXPECT_EQ(eps, params_digest({{"eps", "0.1"}}));
+}
+
+// ---- Request queue -------------------------------------------------------
+
+TEST(RequestQueue, BackpressureRefusesWithoutBlocking) {
+  RequestQueue q(2);
+  PendingRequest a;
+  a.request.id = 1;
+  PendingRequest b;
+  b.request.id = 2;
+  EXPECT_TRUE(q.try_push(std::move(a)));
+  EXPECT_TRUE(q.try_push(std::move(b)));
+  EXPECT_EQ(q.depth(), 2u);
+
+  // The refusal must be immediate — try_push never waits for room.
+  PendingRequest c;
+  c.request.id = 3;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.try_push(std::move(c)));
+  const double refused_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(refused_s, 0.1);
+  EXPECT_EQ(q.rejected(), 1u);
+
+  // FIFO order, and room reopens after a pop.
+  PendingRequest out;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out.request.id, 1u);
+  PendingRequest d;
+  d.request.id = 4;
+  EXPECT_TRUE(q.try_push(std::move(d)));
+
+  // close(): no further pushes, but the queued entries stay poppable (the
+  // shutdown drain relies on exactly this).
+  q.close();
+  PendingRequest e;
+  EXPECT_FALSE(q.try_push(std::move(e)));
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out.request.id, 2u);
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out.request.id, 4u);
+  EXPECT_FALSE(q.try_pop(out));
+  EXPECT_FALSE(q.pop_wait(out, 10));
+}
+
+// ---- Partition cache -----------------------------------------------------
+
+TEST(PartitionCache, HitsAndMissesByTopologyDigest) {
+  Rng rng(3);
+  const graph::Graph g = graph::gen::gnp(30, 0.2, rng);
+  const local::NetworkTopology seed1(g, local::IdStrategy::kSequential, 1);
+  const local::NetworkTopology seed2(g, local::IdStrategy::kRandomPermutation,
+                                     2);
+  const std::uint64_t d1 = net::topology_digest(seed1);
+  const std::uint64_t d2 = net::topology_digest(seed2);
+  ASSERT_NE(d1, d2);
+
+  PartitionCache cache(8);
+  std::size_t builds = 0;
+  const auto build1 = [&] {
+    ++builds;
+    return dist::Partition(seed1, 2);
+  };
+  const auto build2 = [&] {
+    ++builds;
+    return dist::Partition(seed2, 2);
+  };
+
+  const auto p1 = cache.get_or_build(d1, build1);
+  EXPECT_EQ(builds, 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // A repeated digest returns the identical object without rebuilding.
+  const auto p1b = cache.get_or_build(d1, build1);
+  EXPECT_EQ(builds, 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(p1.get(), p1b.get());
+
+  // A new digest is a miss.
+  const auto p2 = cache.get_or_build(d2, build2);
+  EXPECT_EQ(builds, 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_NE(p1.get(), p2.get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PartitionCache, EvictsLeastRecentlyUsedPastCapacity) {
+  Rng rng(4);
+  const graph::Graph g = graph::gen::gnp(20, 0.2, rng);
+  const local::NetworkTopology topo(g, local::IdStrategy::kSequential, 1);
+  PartitionCache cache(2);
+  std::size_t builds = 0;
+  const auto build = [&] {
+    ++builds;
+    return dist::Partition(topo, 2);
+  };
+  // Keys are arbitrary digests: the cache never inspects the partitions.
+  (void)cache.get_or_build(101, build);
+  (void)cache.get_or_build(102, build);
+  (void)cache.get_or_build(101, build);  // refresh 101: 102 is now LRU
+  (void)cache.get_or_build(103, build);  // evicts 102
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(builds, 3u);
+  (void)cache.get_or_build(101, build);  // still resident
+  EXPECT_EQ(builds, 3u);
+  (void)cache.get_or_build(102, build);  // evicted: rebuilt
+  EXPECT_EQ(builds, 4u);
+}
+
+// ---- Daemon --------------------------------------------------------------
+
+// The sequential reference digest the served runs must match bit-for-bit.
+std::uint64_t one_shot_digest(const graph::Graph& g, const std::string& name,
+                              std::uint64_t seed) {
+  const algo::Spec& spec = algo::find(name);
+  algo::RunContext ctx;
+  ctx.graph = &g;
+  ctx.seed = seed;
+  ctx.params = algo::Params::parse(spec.params, {});
+  ctx.sequential_runtime = true;
+  return algo::execute(spec, ctx).output_digest();
+}
+
+Request make_request(std::uint64_t id, const std::string& algo,
+                     std::uint64_t seed) {
+  Request req;
+  req.id = id;
+  req.algo = algo;
+  req.seed = seed;
+  return req;
+}
+
+DaemonConfig daemon_config(net::LoopbackRank&& lr, const graph::Graph& g) {
+  DaemonConfig config;
+  config.rank = lr.rank;
+  config.hosts = std::move(lr.hosts);
+  config.listen = std::move(lr.listen);
+  config.graph = &g;
+  config.idle_poll_ms = 50;
+  return config;
+}
+
+TEST(ServeDaemon, ServesSequentialAndConcurrentSubmissionsBitIdentically) {
+  Rng rng(11);
+  const graph::Graph g = graph::gen::gnp(40, 0.15, rng);
+  // mis@7 and color@7 share a topology digest (it covers structure, id
+  // strategy and seed — not the algorithm), mis@9 does not: 6 requests
+  // must come to exactly 2 partition builds.
+  const std::uint64_t mis7 = one_shot_digest(g, "mis", 7);
+  const std::uint64_t color7 = one_shot_digest(g, "color", 7);
+  const std::uint64_t mis9 = one_shot_digest(g, "mis", 9);
+
+  const net::LoopbackReport report = net::run_loopback_ranks(
+      2, [&](net::LoopbackRank&& lr) -> int {
+        const std::size_t rank = lr.rank;
+        Daemon daemon(daemon_config(std::move(lr), g));
+        if (rank != 0) return daemon.run();
+
+        int run_code = -1;
+        std::thread runner([&] { run_code = daemon.run(); });
+        ClientConfig client;
+        client.port = daemon.request_port();
+        client.timeout_ms = 60000;
+
+        int rc = 0;
+        const auto check = [&](const Response& resp, std::uint64_t id,
+                               std::uint64_t digest, int fail_code) {
+          if (rc != 0) return;
+          if (resp.status != Status::kOk || resp.id != id ||
+              resp.output_digest != digest) {
+            rc = fail_code;
+          }
+        };
+        // Three sequential submissions over the one standing fleet.
+        check(submit(client, make_request(1, "mis", 7)), 1, mis7, 10);
+        check(submit(client, make_request(2, "color", 7)), 2, color7, 11);
+        check(submit(client, make_request(3, "mis", 9)), 3, mis9, 12);
+
+        // Three concurrent ones: the queue serializes them onto the fleet,
+        // every digest still matches the one-shot reference.
+        std::vector<Response> concurrent(3);
+        {
+          std::vector<std::thread> clients;
+          const std::vector<std::pair<std::string, std::uint64_t>> jobs = {
+              {"mis", 7}, {"color", 7}, {"mis", 9}};
+          for (std::size_t i = 0; i < jobs.size(); ++i) {
+            clients.emplace_back([&, i] {
+              concurrent[i] = submit(
+                  client, make_request(4 + i, jobs[i].first, jobs[i].second));
+            });
+          }
+          for (std::thread& t : clients) t.join();
+        }
+        check(concurrent[0], 4, mis7, 13);
+        check(concurrent[1], 5, color7, 14);
+        check(concurrent[2], 6, mis9, 15);
+
+        // An invalid submission is answered kError without touching the
+        // fleet (and therefore without breaking it).
+        const Response bad = submit(client, make_request(7, "no-such", 1));
+        if (rc == 0 && bad.status != Status::kError) rc = 16;
+        if (rc == 0 && bad.brief.find("unknown algorithm") == std::string::npos)
+          rc = 17;
+
+        daemon.request_shutdown();
+        runner.join();
+        if (rc != 0) return rc;
+        if (run_code != 0) return 18;
+        const Daemon::Stats stats = daemon.stats();
+        if (stats.served != 6) return 19;
+        if (stats.failed != 1) return 20;
+        if (stats.cache_misses != 2) return 21;
+        if (stats.cache_hits != 4) return 22;
+        if (!daemon.fleet_ok()) return 23;
+        return 0;
+      });
+  EXPECT_TRUE(report.all_ok())
+      << "rank0=" << report.rank0 << " peers=["
+      << (report.peer_exit_codes.empty() ? -1 : report.peer_exit_codes[0])
+      << "]";
+}
+
+TEST(ServeDaemon, GracefulShutdownAnswersEveryClientAndExitsZero) {
+  Rng rng(5);
+  const graph::Graph g = graph::gen::gnp(30, 0.2, rng);
+  // A single-rank fleet (dispatch short-circuits) keeps the whole drain
+  // in-process and deterministic to assert on.
+  net::Socket listen = net::listen_on(net::Endpoint{"127.0.0.1", 0});
+  const net::Endpoint self = net::local_endpoint(listen.fd());
+
+  std::atomic<bool> stop{false};
+  DaemonConfig config;
+  config.rank = 0;
+  config.hosts = {self};
+  config.listen = std::move(listen);
+  config.graph = &g;
+  config.idle_poll_ms = 20;
+  config.stop_requested = [&] { return stop.load(); };
+  Daemon daemon(std::move(config));
+
+  int run_code = -1;
+  std::thread runner([&] { run_code = daemon.run(); });
+  ClientConfig client;
+  client.port = daemon.request_port();
+  client.timeout_ms = 60000;
+
+  // One request served while healthy...
+  const Response first = submit(client, make_request(1, "mis", 3));
+  ASSERT_EQ(first.status, Status::kOk);
+  EXPECT_EQ(first.output_digest, one_shot_digest(g, "mis", 3));
+
+  // ...then a burst racing the shutdown latch: every client must still get
+  // a terminal answer — kOk if its request was accepted before the drain,
+  // kRejected("daemon is draining") after — and the daemon must exit 0.
+  std::vector<Response> burst(4);
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    clients.emplace_back(
+        [&, i] { burst[i] = submit(client, make_request(10 + i, "mis", 3)); });
+  }
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  runner.join();
+  EXPECT_EQ(run_code, 0);
+
+  std::uint64_t ok = 0;
+  for (const Response& resp : burst) {
+    if (resp.status == Status::kOk) {
+      ++ok;
+      EXPECT_EQ(resp.output_digest, one_shot_digest(g, "mis", 3));
+    } else {
+      ASSERT_EQ(resp.status, Status::kRejected);
+      EXPECT_NE(resp.brief.find("draining"), std::string::npos) << resp.brief;
+    }
+  }
+  EXPECT_EQ(daemon.stats().served, ok + 1);
+
+  // Submissions after exit fail to connect at all — the port is gone.
+  ClientConfig late = client;
+  late.timeout_ms = 2000;
+  EXPECT_THROW(submit(late, make_request(99, "mis", 3)), std::exception);
+}
+
+TEST(ServeDaemon, DeadFollowerFlipsFleetUnhealthyInsteadOfHanging) {
+  Rng rng(6);
+  const graph::Graph g = graph::gen::gnp(30, 0.2, rng);
+  std::vector<pid_t> children;
+  const auto t0 = std::chrono::steady_clock::now();
+  const net::LoopbackReport report = net::run_loopback_ranks(
+      2,
+      [&](net::LoopbackRank&& lr) -> int {
+        const std::size_t rank = lr.rank;
+        Daemon daemon(daemon_config(std::move(lr), g));
+        if (rank != 0) return daemon.run();  // idles until SIGKILLed
+
+        int run_code = -1;
+        std::thread runner([&] { run_code = daemon.run(); });
+        // The fleet is up (the ctor rendezvoused); now kill the follower
+        // while the daemon is *idle* — the liveness probe, not a round
+        // timeout, must notice.
+        if (children.size() == 1) ::kill(children[0], SIGKILL);
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(20);
+        while (daemon.fleet_ok() &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        const bool noticed = !daemon.fleet_ok();
+
+        // A submission against the broken fleet is answered, not hung.
+        ClientConfig client;
+        client.port = daemon.request_port();
+        client.timeout_ms = 30000;
+        const Response resp = submit(client, make_request(1, "mis", 3));
+
+        daemon.request_shutdown();
+        runner.join();
+        if (!noticed) return 10;
+        if (resp.status != Status::kRejected) return 11;
+        if (resp.brief.find("unhealthy") == std::string::npos) return 12;
+        if (run_code != 0) return 13;
+        return 0;
+      },
+      [&](const std::vector<pid_t>& pids) { children = pids; });
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(report.rank0, 0);
+  ASSERT_EQ(report.peer_exit_codes.size(), 1u);
+  EXPECT_EQ(report.peer_exit_codes[0], 128 + SIGKILL);
+  EXPECT_LT(elapsed, 30.0);
+}
+
+}  // namespace
+}  // namespace ds::serve

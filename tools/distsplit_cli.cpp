@@ -43,12 +43,21 @@
 ///            Input sources: --input reads a text edge list, --graph maps
 ///            a packed .dsg file read-only in O(1), --gen materializes a
 ///            generator instance in memory.
+///   submit   --port=P [--host=H] --algo=NAME [--seed=S]
+///            [--param=key=value ...] [--id=N] [--timeout-ms=MS]
+///            Submit one run to a resident distsplit_serve daemon's request
+///            port and print its answer. The daemon executes over its
+///            standing fleet; for any scalable spec the reported
+///            output-digest is bit-identical to the one-shot `run` on the
+///            same (instance, seed, params). Exit 0 on a served run, 3 on a
+///            rejection (queue full, draining, unhealthy fleet — retry
+///            later), 2 on an error.
 ///
 /// Exit code 0 on success, 1 on bad usage (unknown subcommand, algorithm,
 /// flag or parameter — with a did-you-mean suggestion where possible) or a
 /// rejected/corrupt .dsg file (versioned-magic validation names the byte
 /// that failed), 2 on an execution failure (I/O, solver rejection, aborted
-/// fleet).
+/// fleet), 3 on a rejected `submit`.
 
 #include <algorithm>
 #include <fstream>
@@ -71,6 +80,8 @@
 #include "obs/publish.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/select.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
 #include "support/check.hpp"
 #include "support/options.hpp"
 #include "support/provenance.hpp"
@@ -81,7 +92,8 @@ using namespace ds;
 
 int usage() {
   std::cerr
-      << "usage: distsplit_cli <gen|pack|stats|list|run> [--key=value...]\n"
+      << "usage: distsplit_cli <gen|pack|stats|list|run|submit> "
+         "[--key=value...]\n"
          "  gen    --nu=N --nv=N --delta=D [--seed=S] [--unified] "
          "[--out=F.dsg]\n"
          "  pack   (--gen=SPEC [--seed=S] | --input=FILE) --out=FILE.dsg\n"
@@ -94,6 +106,9 @@ int usage() {
          "         [--profile=FILE] [--http-port=P] [--event-cap=N]\n"
          "         "
       << runtime::kRuntimeFlagsHelp
+      << "\n  submit --port=P [--host=H] --algo=NAME [--seed=S] "
+         "[--param=key=value ...]\n"
+         "         [--id=N] [--timeout-ms=MS]"
       << "\n\nregistered algorithms (see also: distsplit_cli list):\n"
       << algo::usage_catalog();
   return 1;
@@ -192,6 +207,61 @@ int cmd_list(const Options& opts) {
     std::cout << algo::usage_catalog(opts.has("scalable"));
   }
   return 0;
+}
+
+/// The `submit` flags (everything else must be an algorithm parameter
+/// passed as --param=key=value — the daemon validates them server-side).
+const std::vector<std::string> kSubmitFlags = {
+    "host", "port", "algo", "seed", "param", "id", "timeout-ms",
+};
+
+int cmd_submit(const Options& opts) {
+  for (const std::string& key : opts.keys()) {
+    if (std::find(kSubmitFlags.begin(), kSubmitFlags.end(), key) !=
+        kSubmitFlags.end()) {
+      continue;
+    }
+    std::string msg = "unknown flag '--" + key + "'";
+    const std::string hint = algo::suggest(key, kSubmitFlags);
+    if (!hint.empty()) msg += "; did you mean '--" + hint + "'?";
+    msg += " (algorithm parameters go through --param=key=value)";
+    DS_CHECK_MSG(false, msg);
+  }
+  serve::ClientConfig config;
+  config.host = opts.get("host", "127.0.0.1");
+  const long long port = opts.get_int("port", 0);
+  DS_CHECK_MSG(port > 0 && port <= 65535,
+               "--port=P (the daemon's request port) is required");
+  config.port = static_cast<std::uint16_t>(port);
+  config.timeout_ms = static_cast<int>(opts.get_int("timeout-ms", 120000));
+
+  serve::Request request;
+  request.algo = opts.get("algo", "");
+  DS_CHECK_MSG(!request.algo.empty(),
+               "--algo=NAME is required (see: distsplit_cli list)");
+  request.seed = opts.seed();
+  request.id = static_cast<std::uint64_t>(opts.get_int("id", 1));
+  request.params = algo::parse_param_overrides(opts.get_all("param"));
+
+  const serve::Response response = serve::submit(config, request);
+  switch (response.status) {
+    case serve::Status::kOk:
+      // The same digest line the one-shot `run` prints, so serving can be
+      // diffed against it byte-for-byte.
+      std::cout << request.algo << ": " << response.brief << "\n"
+                << "rounds: " << response.rounds << "\n"
+                << "wall-us: " << response.wall_us << "\n"
+                << "output-digest: " << std::hex << response.output_digest
+                << std::dec << "\n";
+      return 0;
+    case serve::Status::kRejected:
+      std::cerr << "submit rejected: " << response.brief << "\n";
+      return 3;
+    case serve::Status::kError:
+      break;
+  }
+  std::cerr << "submit failed: " << response.brief << "\n";
+  return 2;
 }
 
 /// The `run` flags that belong to the driver itself (everything else must
@@ -458,6 +528,7 @@ int main(int argc, char** argv) {
     if (cmd == "pack") return cmd_pack(opts);
     if (cmd == "stats") return cmd_stats(opts);
     if (cmd == "list") return cmd_list(opts);
+    if (cmd == "submit") return cmd_submit(opts);
     if (cmd == "run") {
       // Resolution errors (unknown algo/flag/param, bad values) are usage
       // errors: exit 1, with the did-you-mean text on stderr. Execution

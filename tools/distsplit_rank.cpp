@@ -76,6 +76,7 @@
 #include "obs/profile.hpp"
 #include "obs/publish.hpp"
 #include "obs/recorder.hpp"
+#include "serve/signal.hpp"
 #include "support/check.hpp"
 #include "support/options.hpp"
 #include "support/provenance.hpp"
@@ -385,6 +386,14 @@ int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
       std::cout.flush();
     }
   }
+  if (serve::shutdown_requested()) {
+    // The latch swallowed a SIGINT/SIGTERM so the collectives could finish
+    // instead of tearing the fleet mid-exchange; the run is complete, so a
+    // clean exit 0 is the graceful answer.
+    std::cout << "[rank " << rank << "/" << nranks
+              << "] shutdown requested; exiting after the in-flight run"
+              << std::endl;
+  }
   return 0;
 }
 
@@ -392,6 +401,9 @@ int run_rank(const RankPlan& plan, const Options& opts, std::size_t rank,
 
 int main(int argc, char** argv) {
   try {
+    // Latch SIGINT/SIGTERM instead of dying mid-collective: an interrupted
+    // rank would otherwise tear the whole fleet down as a peer-lost abort.
+    serve::install_shutdown_handler();
     // Options skips argv[0] itself; this tool has no subcommand word.
     const Options opts(argc, argv);
     const auto local = opts.get_int("local", 0);
