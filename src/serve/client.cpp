@@ -21,10 +21,18 @@ Response submit(const ClientConfig& config, const Request& request) {
           std::to_string(frame.header.type));
   Response response =
       decode_response(frame.payload.data(), frame.payload.size());
-  DS_CHECK_MSG(response.id == request.id,
-               "serve response answers request id " +
-                   std::to_string(response.id) + ", expected " +
-                   std::to_string(request.id));
+  if (response.id != request.id) {
+    // A daemon that could not decode the request (serve-protocol version
+    // mismatch, garbage frame) answers with the default id 0 and an
+    // explanatory brief — hand that brief to the caller instead of a
+    // confusing id-mismatch error.
+    if (response.status == Status::kError && response.id == 0) {
+      return response;
+    }
+    DS_CHECK_MSG(false, "serve response answers request id " +
+                            std::to_string(response.id) + ", expected " +
+                            std::to_string(request.id));
+  }
   return response;
 }
 

@@ -17,6 +17,10 @@ namespace ds::serve {
 
 namespace {
 
+/// How long a latched follower waits for rank 0's kShutdown after the last
+/// sign of life (a dispatch) before leaving the mesh on its own.
+constexpr std::int64_t kFollowerGraceMs = 5000;
+
 const graph::Graph& checked_instance(const DaemonConfig& config) {
   DS_CHECK_MSG(config.graph != nullptr,
                "serve::Daemon needs a resident instance (config.graph)");
@@ -159,7 +163,7 @@ int Daemon::run_follower() {
       // A follower cannot leave unilaterally — the standing mesh would
       // break under rank 0 — so give rank 0 a grace window to drain and
       // broadcast kShutdown before exiting anyway.
-      latch_deadline_ms = net::steady_now_ms() + 5000;
+      latch_deadline_ms = net::steady_now_ms() + kFollowerGraceMs;
     }
     if (latch_deadline_ms >= 0 && net::steady_now_ms() >= latch_deadline_ms) {
       return 0;
@@ -167,6 +171,11 @@ int Daemon::run_follower() {
     const auto event = transport_.await_dispatch(payload, config_.idle_poll_ms);
     if (event == net::TcpTransport::DispatchEvent::kTimeout) continue;
     if (event == net::TcpTransport::DispatchEvent::kShutdown) return 0;
+    // A dispatch proves rank 0 is alive and still draining accepted work
+    // (e.g. a whole-process-group SIGINT with a deep queue), so the grace
+    // window restarts: the fixed deadline only fires after rank 0 has gone
+    // silent, never mid-drain.
+    latch_deadline_ms = -1;
     // Rank 0 validated before dispatching, so resolution failures here mean
     // registry drift between the fleet's binaries — a hard error.
     const Request request = decode_request(payload.data(), payload.size());

@@ -22,6 +22,19 @@ std::size_t ServeNetwork::run(const local::ProgramFactory& factory,
                               std::size_t max_rounds,
                               local::CostMeter* meter) {
   std::size_t rounds = 0;
+  // The standing transport outlives this per-request executor. Handing it a
+  // per-run fleet recorder stores raw counter handles into the daemon's
+  // long-lived peers, so they must be unhooked on *every* exit path of this
+  // run — otherwise the next await_dispatch/dispatch writes through
+  // dangling cells after the recorder died with the request. The guard only
+  // arms for the fleet recorder: it is installed exactly when this rank's
+  // persistent recorder is null, so unhooking means set_recorder(nullptr).
+  struct UnhookGuard {
+    net::TcpTransport* transport = nullptr;
+    ~UnhookGuard() {
+      if (transport != nullptr) transport->set_recorder(nullptr);
+    }
+  } unhook;
   try {
     // The same pre-round observability agreement as the one-shot executor:
     // when any rank of the fleet observes, every rank must record so the
@@ -31,6 +44,7 @@ std::size_t ServeNetwork::run(const local::ProgramFactory& factory,
     if (observers != 0 && recorder() == nullptr) {
       fleet_recorder_ = std::make_unique<obs::Recorder>();
       set_recorder(fleet_recorder_.get());
+      unhook.transport = &transport_;
     }
     transport_.set_recorder(recorder());
     rounds = dist::run_rank_loop(topology_, *partition_, transport_, factory,

@@ -331,6 +331,67 @@ TEST(ServeDaemon, ServesSequentialAndConcurrentSubmissionsBitIdentically) {
       << "]";
 }
 
+TEST(ServeDaemon, MixedObservabilityFleetServesRepeatedRequestsSafely) {
+  // Only rank 0 observes (the --http-port deployment shape). The pre-round
+  // observability agreement then makes the non-observing follower install a
+  // *per-request* fleet recorder and hand its counter handles to the
+  // standing transport; regression coverage for the use-after-free where
+  // those handles outlived the request and the next dispatch wrote through
+  // them (ServeNetwork::run must unhook the transport's recorder on every
+  // exit path). Three sequential requests make the follower's transport
+  // await dispatches twice after a per-request recorder died.
+  Rng rng(23);
+  const graph::Graph g = graph::gen::gnp(32, 0.18, rng);
+  const std::uint64_t mis7 = one_shot_digest(g, "mis", 7);
+  const std::uint64_t color7 = one_shot_digest(g, "color", 7);
+  const std::uint64_t mis9 = one_shot_digest(g, "mis", 9);
+
+  const net::LoopbackReport report = net::run_loopback_ranks(
+      2, [&](net::LoopbackRank&& lr) -> int {
+        const std::size_t rank = lr.rank;
+        obs::Recorder recorder;  // rank 0 only; followers stay bare
+        DaemonConfig config = daemon_config(std::move(lr), g);
+        if (rank == 0) config.recorder = &recorder;
+        Daemon daemon(std::move(config));
+        if (rank != 0) return daemon.run();
+
+        int run_code = -1;
+        std::thread runner([&] { run_code = daemon.run(); });
+        ClientConfig client;
+        client.port = daemon.request_port();
+        client.timeout_ms = 60000;
+
+        int rc = 0;
+        const auto check = [&](const Response& resp, std::uint64_t id,
+                               std::uint64_t digest, int fail_code) {
+          if (rc != 0) return;
+          if (resp.status != Status::kOk || resp.id != id ||
+              resp.output_digest != digest) {
+            rc = fail_code;
+          }
+        };
+        check(submit(client, make_request(1, "mis", 7)), 1, mis7, 10);
+        check(submit(client, make_request(2, "color", 7)), 2, color7, 11);
+        check(submit(client, make_request(3, "mis", 9)), 3, mis9, 12);
+
+        daemon.request_shutdown();
+        runner.join();
+        if (rc != 0) return rc;
+        if (run_code != 0) return 13;
+        if (daemon.stats().served != 3) return 14;
+        if (!daemon.fleet_ok()) return 15;
+        // The observing rank's recorder saw every served request.
+        for (const obs::MetricSnapshot& m : recorder.metrics().snapshot()) {
+          if (m.name == "serve.requests") return m.sum == 3 ? 0 : 16;
+        }
+        return 17;  // serve.requests never registered
+      });
+  EXPECT_TRUE(report.all_ok())
+      << "rank0=" << report.rank0 << " peers=["
+      << (report.peer_exit_codes.empty() ? -1 : report.peer_exit_codes[0])
+      << "]";
+}
+
 TEST(ServeDaemon, GracefulShutdownAnswersEveryClientAndExitsZero) {
   Rng rng(5);
   const graph::Graph g = graph::gen::gnp(30, 0.2, rng);
